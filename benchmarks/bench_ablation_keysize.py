@@ -1,0 +1,54 @@
+"""Ablation: factoring cost versus sitekey strength.
+
+The paper's security argument hinges on 512-bit keys being weak.  This
+benchmark measures factoring time across key sizes within laptop reach
+and verifies the exponential wall, supporting the paper's implicit
+recommendation (and Section 8's spirit): larger sitekeys would have
+neutralised the Figure 5 attack.
+"""
+
+import time
+
+import pytest
+
+from repro.reporting.tables import render_table
+from repro.sitekey.factoring import FactoringError, factor_sitekey
+from repro.sitekey.rsa import generate_keypair
+
+from benchmarks.conftest import print_block
+
+SIZES = (32, 40, 48, 56, 64, 72)
+
+
+@pytest.mark.parametrize("bits", SIZES)
+def test_factoring_scales_with_key_size(benchmark, bits):
+    key = generate_keypair(bits, seed=bits)
+    factored = benchmark.pedantic(factor_sitekey, args=(key.public,),
+                                  rounds=1, iterations=1)
+    assert {factored.p, factored.q} == {key.p, key.q}
+
+
+def test_factoring_wall_summary():
+    rows = []
+    timings = {}
+    for bits in SIZES:
+        key = generate_keypair(bits, seed=bits)
+        start = time.perf_counter()
+        factor_sitekey(key.public, time_budget=120.0)
+        elapsed = time.perf_counter() - start
+        timings[bits] = elapsed
+        rows.append((bits, f"{elapsed * 1000:.2f} ms"))
+    print_block(render_table(
+        ("modulus bits", "factoring time"), rows,
+        title="Ablation — factoring cost vs sitekey strength "
+              "(paper: 512-bit ≈ 1 week on 8 nodes)"))
+
+    # The qualitative wall: the largest size costs meaningfully more
+    # than the smallest (rho is ~exponential in bit length).
+    assert timings[SIZES[-1]] > timings[SIZES[0]]
+
+
+def test_strong_key_resists_within_budget():
+    strong = generate_keypair(192, seed=1)
+    with pytest.raises(FactoringError):
+        factor_sitekey(strong.public, time_budget=2.0)

@@ -1,0 +1,59 @@
+"""Extension: personalised acceptability policies.
+
+The paper concludes that "any single policy of whitelisting is unlikely
+to serve the needs of a large and diverse user community well."  This
+benchmark quantifies that claim over the 305-respondent population and
+exercises the flexible-policy machinery it calls for.
+"""
+
+from collections import Counter
+
+from repro.core.policy import (
+    derive_policy,
+    policy_disagreement,
+    policy_filter_list,
+)
+from repro.perception.ads import AdClass
+from repro.perception.survey import run_perception_survey
+from repro.reporting.tables import render_table
+
+from benchmarks.conftest import print_block
+
+
+def test_ext_policy_disagreement(benchmark):
+    result = run_perception_survey(respondents=305, seed=2015)
+
+    fraction = benchmark.pedantic(policy_disagreement, args=(result,),
+                                  rounds=1, iterations=1)
+
+    acceptance = Counter()
+    for respondent in result.population:
+        policy = derive_policy(result, respondent.respondent_id)
+        for ad_class in AdClass:
+            if policy.accepts(ad_class):
+                acceptance[ad_class] += 1
+
+    n = len(result.population)
+    print_block(render_table(
+        ("ad class", "respondents accepting", "%"),
+        [(c.value, acceptance[c], f"{acceptance[c] / n:.0%}")
+         for c in AdClass],
+        title="Extension — per-class acceptance across the population")
+        + f"\nrespondents whose personal policy disagrees with the "
+          f"global whitelist: {fraction:.0%}")
+
+    # The paper's thesis, quantified: a single policy fits few users.
+    assert fraction > 0.7
+
+    # Class ordering mirrors Figure 9(d): banners most acceptable,
+    # content ads least.
+    assert acceptance[AdClass.BANNER] > acceptance[AdClass.SEM]
+    assert acceptance[AdClass.SEM] > acceptance[AdClass.CONTENT]
+
+    # Compiled personal lists actually re-block the rejected classes.
+    rejecting = next(
+        r.respondent_id for r in result.population
+        if not derive_policy(result, r.respondent_id).accepts(
+            AdClass.CONTENT))
+    flist = policy_filter_list(derive_policy(result, rejecting))
+    assert any("taboola" in text for text in flist.filter_texts())

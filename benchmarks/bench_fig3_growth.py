@@ -1,0 +1,53 @@
+"""Figure 3: growth of the Acceptable Ads whitelist.
+
+Regenerates the filters-over-revisions curve, locates the two jumps the
+paper describes (Google at Rev 200, ask.com/about.com later in 2013),
+and checks the endpoints (9 filters in 2011 → 5,936 at Rev 988).
+"""
+
+from datetime import date
+
+from repro.history.analysis import growth_series
+from repro.reporting.series import Series, find_jumps
+
+from benchmarks.conftest import print_block
+
+
+def test_fig3_growth_curve(benchmark, paper_study):
+    repo = paper_study.history.repository
+
+    series = benchmark(growth_series, repo)
+
+    curve = Series(
+        label="whitelist filters",
+        x=tuple(float(p.rev) for p in series),
+        y=tuple(float(p.filters) for p in series),
+    )
+    jumps = find_jumps([p.filters for p in series], top=2)
+    print_block(
+        "Figure 3 — whitelist growth (Rev 0 .. Rev 988)\n"
+        + curve.render(width=72) + "\n"
+        + "\n".join(
+            f"jump at Rev {rev}: +{delta} filters "
+            f"({series[rev].when.isoformat()})"
+            for rev, delta in jumps))
+
+    # Endpoints: "grew from 9 filters in 2011 to over 5,900".
+    assert series[0].filters == 9
+    assert series[-1].filters == 5_936
+
+    # The largest jump is Google's Rev-200 addition of 1,262 filters,
+    # dated mid-2013 (paper: June 21, 2013).
+    biggest_rev, biggest_delta = jumps[0]
+    assert biggest_rev == 200
+    assert biggest_delta >= 1_262
+    assert date(2013, 4, 1) <= series[200].when <= date(2013, 8, 31)
+
+    # The second jump (ask.com / about.com) lands later in 2013.
+    second_rev, second_delta = jumps[1]
+    assert second_rev > 200
+    assert series[second_rev].when.year == 2013
+    assert second_delta >= 400
+
+    # Growth is cumulative and never dips below zero.
+    assert all(p.filters >= 0 for p in series)

@@ -1,0 +1,44 @@
+"""Figure 4 / Section 4.2: whitelist scope classes at Rev 988.
+
+Classifies every exception filter of the tip whitelist into the
+restricted / unrestricted / sitekey hierarchy and compares the class
+sizes, sitekey count, and domain totals with the paper.
+"""
+
+from repro.filters.classify import classify_whitelist
+from repro.reporting.tables import render_comparison
+
+from benchmarks.conftest import print_block
+
+
+def test_fig4_scope_classes(benchmark, paper_study):
+    whitelist = paper_study.whitelist
+
+    report = benchmark(classify_whitelist, whitelist)
+
+    print_block(render_comparison(
+        "Figure 4 / Section 4.2 — whitelist scope",
+        [
+            ("unrestricted filters", 156, report.unrestricted),
+            ("sitekey filters", 25, report.sitekey_filters),
+            ("distinct sitekeys", 4, len(report.sitekeys)),
+            ("unrestricted element exceptions", 1,
+             report.unrestricted_element_filters),
+            ("explicit FQ domains", 3_545, len(report.fq_domains)),
+            ("effective 2LDs", 1_990,
+             len(report.effective_second_level_domains)),
+            ("about.com subdomains", 1_044,
+             report.subdomain_count("about.com")),
+        ]))
+
+    assert report.unrestricted == 156
+    assert report.sitekey_filters == 25
+    assert len(report.sitekeys) == 4
+    assert report.unrestricted_element_filters == 1
+    # Table 1 arithmetic vs the prose count disagree in the paper
+    # itself; we must land between those bounds.
+    assert 3_132 <= len(report.fq_domains) <= 3_545
+    assert 1_960 <= len(report.effective_second_level_domains) <= 1_990
+    assert report.subdomain_count("about.com") >= 1_044
+    # Restricted filters dominate the whitelist.
+    assert report.restricted_fraction >= 0.89

@@ -1,0 +1,62 @@
+"""Figure 7 / Section 5.1: ECDF of whitelist filter matches per domain.
+
+Computes both curves (total matches, distinct filters) over the
+top-5,000 survey and checks the prose numbers around them: 3,956 sites
+with any activation, 2,934 with whitelist activations, toyota.com's 83
+matches over 8 distinct filters, a mean of 2.6 distinct filters, and
+the 5%-of-sites-at-12+ tail.
+"""
+
+from repro.measurement.stats import figure7_ecdf, section51_headline
+from repro.reporting.series import Series
+from repro.reporting.tables import render_comparison
+
+from benchmarks.conftest import print_block
+
+
+def test_fig7_ecdf(benchmark, survey):
+    fig = benchmark(figure7_ecdf, survey.top5k)
+    head = section51_headline(survey.top5k)
+
+    total_curve = Series(
+        "total matches ECDF",
+        x=tuple(float(v) for v in fig.total_matches.values),
+        y=fig.total_matches.fractions,
+    )
+    distinct_curve = Series(
+        "distinct filters ECDF",
+        x=tuple(float(v) for v in fig.distinct_filters.values),
+        y=fig.distinct_filters.fractions,
+    )
+    print_block(
+        "Figure 7 — ECDF of whitelist matches per activating domain\n"
+        + total_curve.render() + "\n" + distinct_curve.render())
+
+    print_block(render_comparison(
+        "Section 5.1 headline numbers",
+        [
+            ("surveyed domains", 5_000, head.surveyed),
+            ("domains with any activation", 3_956, head.any_activation),
+            ("domains with whitelist activation", 2_934,
+             head.whitelist_activation),
+            ("max total matches (toyota.com)", 83,
+             head.max_total_matches),
+            ("max distinct filters", 8, head.max_distinct_filters),
+            ("mean distinct filters", 2.6, head.mean_distinct_filters),
+            ("95th-pct total matches", 12, head.p95_total_matches),
+        ]))
+
+    assert head.surveyed == 5_000
+    assert abs(head.any_activation - 3_956) / 3_956 < 0.05
+    assert abs(head.whitelist_activation - 2_934) / 2_934 < 0.05
+    assert head.max_domain == "toyota.com"
+    assert abs(head.max_total_matches - 83) <= 12
+    assert head.max_distinct_filters == 8
+    assert abs(head.mean_distinct_filters - 2.6) < 0.35
+    assert head.p95_total_matches >= 10
+
+    # ECDF sanity: monotone, totals dominate distinct counts.
+    assert list(fig.total_matches.fractions) == \
+        sorted(fig.total_matches.fractions)
+    assert fig.total_matches.values[-1] >= fig.distinct_filters.values[-1]
+    assert fig.activating_domains == head.whitelist_activation

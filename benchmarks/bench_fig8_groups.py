@@ -1,0 +1,61 @@
+"""Figure 8: filter matches per popularity group.
+
+Builds the per-group activation-frequency matrix over all four sample
+groups and checks the paper's structural findings: the five most
+activated filters are whitelist (Google-related) filters, whitelist
+activity skews toward popular/shopping sites, and exactly one
+conversion-tracking filter peaks in the 100K–1M stratum.
+"""
+
+from repro.measurement.stats import figure8_group_matrix
+from repro.measurement.survey import WHITELIST_NAME
+from repro.reporting.tables import render_table
+
+from benchmarks.conftest import print_block
+
+
+def test_fig8_group_matrix(benchmark, survey):
+    matrix = benchmark(figure8_group_matrix, survey, 50)
+
+    rows = []
+    for text in matrix.filters[:12]:
+        rows.append((text[:44],) + tuple(
+            f"{matrix.rate(group, text):.1%}" for group in matrix.groups))
+    print_block(render_table(
+        ("filter", "top-5k", "5k-50k", "50k-100k", "100k-1m"),
+        rows, title="Figure 8 — activation frequency per group (top 12)"))
+
+    assert matrix.groups == ["top-5k", "5k-50k", "50k-100k", "100k-1m"]
+    assert len(matrix.filters) == 50
+
+    # The five most activated filters are all whitelist filters.
+    top5 = matrix.filters[:5]
+    whitelist_texts = {
+        f.text for f in survey.whitelist.filters} if survey.whitelist \
+        else set()
+    assert all(text in whitelist_texts for text in top5), top5
+
+    # Most top filters peak in the most popular group...
+    peaks = [matrix.peak_group(text) for text in matrix.filters[:20]]
+    assert peaks.count("top-5k") >= 14
+
+    # ...but the google-analytics conversion tracker peaks in 100K–1M
+    # (the paper's single outlier).
+    outlier = "@@||google-analytics.com/conversion/^$image"
+    assert outlier in matrix.filters
+    assert matrix.peak_group(outlier) == "100k-1m"
+
+    # Shopping-site skew: whitelist filters fire more often on shopping
+    # sites than the group average.
+    top5k = survey.records["top-5k"]
+    shopping = [r for r in top5k if r.profile.category == "shopping"]
+    others = [r for r in top5k if r.profile.category != "shopping"]
+
+    def whitelist_rate(records):
+        hits = sum(
+            1 for r in records
+            if any(a.list_name == WHITELIST_NAME
+                   for a in r.visit.whitelist_activations))
+        return hits / max(1, len(records))
+
+    assert whitelist_rate(shopping) > whitelist_rate(others)

@@ -1,0 +1,87 @@
+"""Figure 9: user perception survey results.
+
+Runs the 305-respondent survey and reproduces the demographics, the
+per-ad headline agreements (Google #2 at 73%, Utopia #2 at 45%, grid
+ads ~90% NOT distinguished, sidebar/top-bar/first-result ~1/3
+obscuring), and the Figure 9(d) per-class mean/variance table.
+"""
+
+from repro.perception.ads import AdClass
+from repro.perception.survey import run_perception_survey
+from repro.reporting.tables import render_comparison, render_table
+
+from benchmarks.conftest import print_block
+
+PAPER_9D = {
+    (AdClass.SEM, "attention"): 0.217,
+    (AdClass.SEM, "distinguished"): 0.597,
+    (AdClass.SEM, "obscuring"): -0.260,
+    (AdClass.BANNER, "attention"): 0.152,
+    (AdClass.BANNER, "distinguished"): 0.755,
+    (AdClass.BANNER, "obscuring"): -0.613,
+    (AdClass.CONTENT, "attention"): -0.247,
+    (AdClass.CONTENT, "distinguished"): -0.935,
+    (AdClass.CONTENT, "obscuring"): 0.125,
+}
+
+
+def test_fig9_perception_survey(benchmark):
+    result = benchmark.pedantic(
+        run_perception_survey, kwargs={"respondents": 305, "seed": 2015},
+        rounds=1, iterations=1)
+
+    demo = result.demographics
+    print_block(render_comparison(
+        "Section 6 — respondent demographics",
+        [
+            ("respondents", 305, demo.total),
+            ("ad-blocker users", 0.50, demo.adblock_fraction),
+            ("chrome share", 0.61, demo.browser_fractions["chrome"]),
+            ("firefox share", 0.28, demo.browser_fractions["firefox"]),
+            ("safari share", 0.09, demo.browser_fractions["safari"]),
+        ]))
+
+    headline = [
+        ("Google #2 attention agree", 0.73,
+         result.distribution("Google #2", "attention").agree_fraction),
+        ("Utopia #2 attention agree", 0.45,
+         result.distribution("Utopia #2", "attention").agree_fraction),
+        ("ViralNova #1 NOT distinguished", 0.90,
+         result.distribution("ViralNova #1",
+                             "distinguished").disagree_fraction),
+        ("Reddit #1 obscuring agree", 0.33,
+         result.distribution("Reddit #1", "obscuring").agree_fraction),
+        ("Google #1 obscuring agree", 0.33,
+         result.distribution("Google #1", "obscuring").agree_fraction),
+        ("Cracked #1 obscuring agree", 0.33,
+         result.distribution("Cracked #1", "obscuring").agree_fraction),
+    ]
+    print_block(render_comparison("Figure 9(a-c) headline agreements",
+                                  headline))
+
+    table9d = result.figure9d()
+    rows = []
+    for ad_class in AdClass:
+        for statement in ("attention", "distinguished", "obscuring"):
+            mean, variance = table9d[ad_class][statement]
+            rows.append((ad_class.value, statement,
+                         f"{mean:+.3f}",
+                         f"{PAPER_9D[(ad_class, statement)]:+.3f}",
+                         f"{variance:.3f}"))
+    print_block(render_table(
+        ("class", "statement", "measured mean", "paper mean",
+         "measured var"),
+        rows, title="Figure 9(d) — per-class mean and variance"))
+
+    assert demo.total == 305
+    assert abs(demo.adblock_fraction - 0.5) < 0.01
+    assert abs(demo.browser_fractions["chrome"] - 0.61) < 0.02
+
+    for (name, paper, measured) in headline:
+        assert abs(measured - paper) < 0.08, name
+
+    for (ad_class, statement), paper_mean in PAPER_9D.items():
+        mean, variance = table9d[ad_class][statement]
+        assert abs(mean - paper_mean) < 0.15, (ad_class, statement)
+        # The dissension finding: high variance throughout.
+        assert variance > 0.8, (ad_class, statement)

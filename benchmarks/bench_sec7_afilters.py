@@ -1,0 +1,51 @@
+"""Section 7: undocumented A-filter groups.
+
+Mines the full history for the ``!A<n>`` groups added without community
+vetting and checks the paper's findings: 61 groups, none disclosed on
+the forum, 5 removed, A7 re-added as A28, the named corporate groups
+(ask.com, comcast, kayak, twcc), and A59's unrestricted AdSense filter.
+"""
+
+from repro.history.afilters import mine_a_filters
+from repro.reporting.tables import render_comparison
+
+from benchmarks.conftest import print_block
+
+
+def test_sec7_a_filters(benchmark, paper_study):
+    repo = paper_study.history.repository
+
+    report = benchmark(mine_a_filters, repo)
+
+    readded = {(g.number, g.readded_as) for g in report.readded}
+    print_block(render_comparison(
+        "Section 7 — undocumented A-filter groups",
+        [
+            ("A-groups added", 61, report.total_added),
+            ("groups removed", 5, len(report.removed)),
+            ("groups active at tip", 56, len(report.active)),
+            ("publicly disclosed", 0,
+             report.total_added - len(report.undisclosed)),
+        ]) + f"\nre-added groups: {sorted(readded)} (paper: A7 -> A28)")
+
+    assert report.total_added == 61
+    assert len(report.removed) == 5
+    assert len(report.active) == 56
+    assert len(report.undisclosed) == 61
+    assert (7, 28) in readded
+
+    # The named corporate groups of Figure 11.
+    assert any("ask.com" in f for f in report.groups[6].filters)
+    assert any("comcast" in f for f in report.groups[29].filters)
+    assert any("kayak.com.au" in f for f in report.groups[46].filters)
+    assert any("twcc.com" in f for f in report.groups[50].filters)
+
+    # A59 includes the unrestricted AdSense-for-search exception.
+    assert "@@||google.com/adsense/search/ads.js$script" in \
+        report.groups[59].filters
+
+    # The commit-message fingerprint: "Updated whitelists." everywhere,
+    # "Added new whitelists." once (Rev 304).
+    messages = [g.commit_message for g in report.groups.values()]
+    assert messages.count("Added new whitelists.") == 1
+    assert messages.count("Updated whitelists.") == 60

@@ -1,0 +1,50 @@
+"""Section 8: whitelist hygiene audit.
+
+Audits the Rev-988 whitelist for the paper's defect classes: 35
+duplicate filters and 8 malformed filters truncated at exactly 4,095
+characters (the Rev-326 bug), and assembles the transparency report.
+"""
+
+from repro.core.transparency import collect_findings
+from repro.filters.hygiene import TRUNCATION_LENGTH, audit
+from repro.reporting.tables import render_comparison
+
+from benchmarks.conftest import print_block
+
+
+def test_sec8_hygiene_audit(benchmark, paper_study):
+    whitelist = paper_study.whitelist
+
+    report = benchmark(audit, whitelist)
+
+    print_block(render_comparison(
+        "Section 8 — whitelist hygiene",
+        [
+            ("duplicate filters", 35, report.duplicate_filter_count),
+            ("malformed filters", 8, report.malformed_count),
+            ("truncated filters", 8, report.truncated_count),
+        ]))
+
+    assert report.duplicate_filter_count == 35
+    assert report.malformed_count == 8
+    assert report.truncated_count == 8
+    assert all(len(text) == TRUNCATION_LENGTH
+               for text in report.truncated)
+    # Every truncated filter is one of the malformed ones.
+    malformed_texts = {f.text for f in report.malformed}
+    assert set(report.truncated) <= malformed_texts
+
+
+def test_sec8_transparency_findings(benchmark, paper_study):
+    findings = benchmark.pedantic(collect_findings, args=(paper_study,),
+                                  rounds=1, iterations=1)
+
+    print_block(paper_study.transparency_report())
+
+    assert findings.undocumented_groups == 61
+    assert findings.unrestricted_filters == 156
+    assert findings.sitekey_filters == 25
+    assert findings.opaque_scope_filters == 181
+    assert findings.duplicate_filters == 35
+    assert findings.sitekey_domains_lower_bound > 2_400_000
+    assert len(findings.large_whitelisted_publishers) >= 160

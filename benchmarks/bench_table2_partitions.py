@@ -1,0 +1,48 @@
+"""Table 2: whitelisted domains per Alexa partition.
+
+Intersects the whitelist's effective second-level domains with the
+ranking and reports the count (and percentage) inside each Alexa
+partition, matching the paper's 33%-of-top-100 gradient.
+"""
+
+from repro.measurement.stats import table2_partitions
+from repro.reporting.tables import render_table
+
+from benchmarks.conftest import print_block
+
+PAPER_TABLE2 = {
+    None: 1_990,
+    1_000_000: 1_286,
+    5_000: 316,
+    1_000: 167,
+    500: 112,
+    100: 33,
+}
+
+
+def test_table2_partitions(benchmark, paper_study):
+    whitelist = paper_study.whitelist
+    ranking = paper_study.history.population.ranking
+
+    rows = benchmark(table2_partitions, whitelist, ranking)
+
+    table = []
+    for row in rows:
+        label = "All" if row.partition is None else f"Top {row.partition:,}"
+        pct = "" if row.fraction is None else f"{row.fraction:.2%}"
+        table.append((label, row.count, PAPER_TABLE2[row.partition], pct))
+    print_block(render_table(
+        ("partition", "measured", "paper", "measured %"),
+        table, title="Table 2 — whitelisted e2LDs per Alexa partition"))
+
+    by_partition = {r.partition: r.count for r in rows}
+    # Whitelist churn (removed A-groups, never-readded domains) can cost
+    # a handful of designated publishers; everything else is exact.
+    for partition, paper in PAPER_TABLE2.items():
+        measured = by_partition[partition]
+        assert abs(measured - paper) <= max(2, round(paper * 0.01)), \
+            (partition, measured, paper)
+
+    # The popularity gradient: denser whitelisting among popular sites.
+    fractions = [r.fraction for r in rows if r.fraction is not None]
+    assert fractions == sorted(fractions)  # largest partition first

@@ -1,0 +1,44 @@
+"""Benchmark fixtures: one paper-scale study shared by every benchmark.
+
+The heavy artifacts (989-revision history, 8,000-domain crawl in two
+engine configurations, zone scan, perception survey) are built once per
+benchmark session; each benchmark then times its analysis stage and
+prints the paper-vs-measured comparison for its table or figure.
+
+Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
+comparisons.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import AcceptableAdsStudy, StudyConfig
+from repro.measurement.survey import SurveyConfig
+
+#: Zone scale used by benchmarks (results are scaled back up).
+BENCH_ZONE_DIVISOR = 2_000
+
+
+@pytest.fixture(scope="session")
+def paper_study() -> AcceptableAdsStudy:
+    """The full paper-scale study (minutes to build, built once)."""
+    config = StudyConfig(
+        seed=2015,
+        key_bits=512,
+        survey=SurveyConfig(top_n=5_000, stratum_size=1_000),
+        zone_scale_divisor=BENCH_ZONE_DIVISOR,
+        zone_noise_domains=2_000,
+        perception_respondents=305,
+    )
+    return AcceptableAdsStudy(config)
+
+
+@pytest.fixture(scope="session")
+def survey(paper_study):
+    return paper_study.site_survey
+
+
+def print_block(text: str) -> None:
+    """Print a benchmark's comparison block, set off from pytest noise."""
+    print("\n" + text + "\n")

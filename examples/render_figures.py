@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Render the paper's figures as standalone SVG files.
+
+Regenerates Figure 3 (whitelist growth), Figure 7 (ECDFs of whitelist
+matches), a Figure 6 excerpt (per-site matches in both engine
+configurations), and Figure 9(a) (Likert distributions per ad) and
+writes them under ``figures/``.
+
+Run:  python examples/render_figures.py [output_dir]
+"""
+
+import sys
+from pathlib import Path
+
+from repro.history import generate_history, growth_series
+from repro.measurement import (
+    SurveyConfig,
+    figure6_site_matches,
+    figure7_ecdf,
+    run_survey,
+)
+from repro.perception import Likert, SURVEY_ADS, run_perception_survey
+from repro.reporting.svg import grouped_bars, line_chart, stacked_bars
+
+
+def main() -> None:
+    out_dir = Path(sys.argv[1] if len(sys.argv) > 1 else "figures")
+    out_dir.mkdir(parents=True, exist_ok=True)
+
+    print("Reconstructing history...")
+    history = generate_history(seed=2015, key_bits=128)
+
+    # --- Figure 3 ------------------------------------------------------
+    points = growth_series(history.repository)
+    svg = line_chart(
+        {"whitelist filters": ([p.rev for p in points],
+                               [p.filters for p in points])},
+        title="Figure 3 — growth of the Acceptable Ads whitelist",
+        x_label="revision", y_label="filters")
+    (out_dir / "fig3_growth.svg").write_text(svg)
+
+    # --- Figures 6 and 7 (scaled survey) --------------------------------
+    print("Running a scaled survey...")
+    survey = run_survey(history, SurveyConfig(top_n=600, stratum_size=50))
+
+    fig7 = figure7_ecdf(survey.top5k)
+    svg = line_chart(
+        {
+            "total matches": (list(fig7.total_matches.values),
+                              list(fig7.total_matches.fractions)),
+            "distinct filters": (list(fig7.distinct_filters.values),
+                                 list(fig7.distinct_filters.fractions)),
+        },
+        title="Figure 7 — ECDF of whitelist matches per domain",
+        x_label="matches", y_label="cumulative fraction")
+    (out_dir / "fig7_ecdf.svg").write_text(svg)
+
+    bars = figure6_site_matches(survey, top=25)
+    svg = grouped_bars(
+        [f"{b.domain} ({b.rank})" for b in bars],
+        {
+            "whitelist matches": [b.whitelist_matches for b in bars],
+            "easylist (WL on)": [b.easylist_matches_with for b in bars],
+            "easylist (WL off)": [b.easylist_matches_without
+                                  for b in bars],
+        },
+        title="Figure 6 — matches with/without the whitelist (top 25)",
+        bold=[b.explicitly_whitelisted for b in bars])
+    (out_dir / "fig6_matches.svg").write_text(svg)
+
+    # --- Figure 9(a): S1 distributions ------------------------------------
+    result = run_perception_survey(seed=2015)
+    labels = [ad.label for ad in SURVEY_ADS]
+    segments = {
+        level.label: [
+            result.distribution(label, "attention").fraction(level)
+            for label in labels
+        ]
+        for level in (Likert.STRONGLY_DISAGREE, Likert.DISAGREE,
+                      Likert.NEUTRAL, Likert.AGREE,
+                      Likert.STRONGLY_AGREE)
+    }
+    svg = stacked_bars(
+        labels, segments,
+        title="Figure 9(a) — 'eye catching / grabs my attention'")
+    (out_dir / "fig9a_attention.svg").write_text(svg)
+
+    for name in ("fig3_growth", "fig7_ecdf", "fig6_matches",
+                 "fig9a_attention"):
+        print(f"wrote {out_dir / name}.svg")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Audit the Acceptable Ads whitelist the way Sections 4, 7 and 8 do.
+
+Reconstructs the 989-revision whitelist history, then runs the paper's
+list-side analyses: yearly activity (Table 1), the growth curve
+(Figure 3), scope classification (Figure 4 / Table 2 inputs),
+undocumented A-filter mining (Section 7), and the hygiene audit
+(Section 8) — finishing with the transparency report.
+
+Run:  python examples/whitelist_audit.py        (full 512-bit keys)
+      python examples/whitelist_audit.py --fast (small demo keys)
+"""
+
+import sys
+
+from repro.filters import audit, classify_whitelist
+from repro.history import (
+    generate_history,
+    growth_series,
+    mine_a_filters,
+    update_cadence,
+    yearly_activity,
+)
+from repro.reporting import render_table, sparkline
+
+
+def main() -> None:
+    key_bits = 128 if "--fast" in sys.argv else 512
+    print(f"Reconstructing whitelist history (key_bits={key_bits})...")
+    history = generate_history(seed=2015, key_bits=key_bits)
+    repo = history.repository
+
+    # --- Table 1 ---------------------------------------------------------
+    rows = yearly_activity(repo)
+    print("\n" + render_table(
+        ("year", "revisions", "filters+", "filters-", "domains+",
+         "domains-"),
+        [(r.year, r.revisions, r.filters_added, r.filters_removed,
+          r.domains_added, r.domains_removed) for r in rows],
+        title="Table 1 — yearly whitelist activity"))
+
+    cadence = update_cadence(repo)
+    print(f"\nOne update every {cadence.days_per_update:.2f} days, "
+          f"{cadence.changes_per_update:.1f} filter changes per update.")
+
+    # --- Figure 3 ----------------------------------------------------------
+    series = growth_series(repo)
+    counts = [p.filters for p in series]
+    print(f"\nFigure 3 — growth to {counts[-1]:,} filters:")
+    print("  " + sparkline(counts, width=70))
+    jump = max(range(1, len(counts)),
+               key=lambda i: counts[i] - counts[i - 1])
+    print(f"  largest jump: Rev {jump} "
+          f"(+{counts[jump] - counts[jump - 1]} filters, "
+          f"{series[jump].when.isoformat()}) — Google's introduction")
+
+    # --- Scope (Figure 4) ---------------------------------------------------
+    whitelist = history.tip_filter_list()
+    scope = classify_whitelist(whitelist)
+    print(f"\nScope at Rev {len(repo) - 1}:")
+    print(f"  restricted filters:    {scope.restricted:,} "
+          f"({scope.restricted_fraction:.1%})")
+    print(f"  unrestricted filters:  {scope.unrestricted}")
+    print(f"  sitekey filters:       {scope.sitekey_filters} "
+          f"({len(scope.sitekeys)} distinct keys)")
+    print(f"  explicit FQ domains:   {len(scope.fq_domains):,}")
+    print(f"  effective 2LDs:        "
+          f"{len(scope.effective_second_level_domains):,}")
+    print(f"  about.com subdomains:  "
+          f"{scope.subdomain_count('about.com'):,}")
+
+    # --- Section 7 -----------------------------------------------------------
+    a_report = mine_a_filters(repo)
+    print(f"\nUndocumented A-filter groups: {a_report.total_added} added, "
+          f"{len(a_report.removed)} removed, "
+          f"{len(a_report.active)} active at tip")
+    for group in a_report.readded:
+        print(f"  A{group.number} was re-added as A{group.readded_as}")
+    sample = a_report.groups[6]
+    print(f"  example — A6 ({sample.commit_message!r}):")
+    for text in sample.filters:
+        print(f"    {text}")
+
+    # --- Section 8 -------------------------------------------------------------
+    hygiene = audit(whitelist)
+    print(f"\nHygiene: {hygiene.duplicate_filter_count} duplicate "
+          f"filters, {hygiene.malformed_count} malformed "
+          f"({hygiene.truncated_count} truncated at 4,095 chars)")
+
+
+if __name__ == "__main__":
+    main()

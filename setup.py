@@ -1,0 +1,6 @@
+from setuptools import setup
+
+# Kept for legacy editable installs (`pip install -e . --no-use-pep517`)
+# in offline environments without the `wheel` package; all metadata lives
+# in pyproject.toml.
+setup()

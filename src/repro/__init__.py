@@ -1,0 +1,22 @@
+"""repro — a reproduction of *Measuring the Impact and Perception of
+Acceptable Advertisements* (IMC 2015).
+
+The package rebuilds the paper's entire apparatus in pure Python: an
+Adblock Plus filter engine, a synthetic web and instrumented browser,
+the whitelist's 989-revision history, the sitekey cryptography and
+parked-domain scan, the Alexa site survey, and the Mechanical Turk
+perception study.
+
+Quick start::
+
+    from repro import AcceptableAdsStudy
+    study = AcceptableAdsStudy()
+    for row in study.table1():
+        print(row.year, row.filters_added, row.filters_removed)
+"""
+
+from repro.core.study import AcceptableAdsStudy, StudyConfig
+
+__version__ = "1.0.0"
+
+__all__ = ["AcceptableAdsStudy", "StudyConfig", "__version__"]

@@ -1,0 +1,322 @@
+"""Command-line interface: every paper analysis from one entry point.
+
+Usage::
+
+    python -m repro table1                # yearly whitelist activity
+    python -m repro growth                # Figure 3 sparkline
+    python -m repro scope                 # Figure 4 scope classes
+    python -m repro table2                # Alexa partitions
+    python -m repro survey --top 800      # Section 5 crawl (scaled)
+    python -m repro parking               # Table 3 zone scan (scaled)
+    python -m repro exploit               # Figure 5 bypass PoC
+    python -m repro perception            # Figure 9 summary
+    python -m repro afilters              # Section 7 A-groups
+    python -m repro transparency          # Section 8 report
+    python -m repro blockable reddit.com  # Blockable Items panel
+
+Heavy stages honour ``--fast`` (small demo RSA keys) and the scale
+flags, so everything is runnable on a laptop in seconds to minutes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.study import AcceptableAdsStudy, StudyConfig
+from repro.measurement.survey import SurveyConfig
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=2015)
+    common.add_argument("--fast", action="store_true",
+                        help="use small demo RSA keys (faster)")
+
+    parser = argparse.ArgumentParser(
+        prog="repro", parents=[common],
+        description="Reproduction of 'Measuring the Impact and "
+                    "Perception of Acceptable Advertisements' (IMC'15)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    def add(name: str, help_text: str):
+        return sub.add_parser(name, help=help_text, parents=[common])
+
+    add("table1", "Table 1: yearly whitelist activity")
+    add("growth", "Figure 3: whitelist growth curve")
+    add("scope", "Figure 4: whitelist scope classes")
+    add("table2", "Table 2: Alexa partitions")
+
+    survey = add("survey", "Section 5 site survey (scaled)")
+    survey.add_argument("--top", type=int, default=800,
+                        help="size of the top group (paper: 5000)")
+    survey.add_argument("--stratum", type=int, default=150,
+                        help="per-stratum sample size (paper: 1000)")
+
+    parking = add("parking", "Table 3 zone scan")
+    parking.add_argument("--divisor", type=int, default=5_000,
+                         help="zone scale divisor")
+
+    exploit = add("exploit", "Figure 5 sitekey bypass")
+    exploit.add_argument("--bits", type=int, default=64,
+                         help="weak-key size to factor")
+
+    add("perception", "Figure 9 perception summary")
+    add("afilters", "Section 7 A-filter mining")
+    add("hygiene", "Section 8 hygiene audit")
+    add("transparency", "Section 8 transparency report")
+
+    temporal = add("temporal",
+                   "survey under historical whitelist snapshots")
+    temporal.add_argument("--top", type=int, default=300)
+
+    blockable = add("blockable", "Blockable Items panel for one domain")
+    blockable.add_argument("domain")
+    return parser
+
+
+def _study(args) -> AcceptableAdsStudy:
+    return AcceptableAdsStudy(StudyConfig(
+        seed=args.seed,
+        key_bits=128 if args.fast else 512,
+        survey=SurveyConfig(
+            top_n=getattr(args, "top", 800),
+            stratum_size=getattr(args, "stratum", 150)),
+        zone_scale_divisor=getattr(args, "divisor", 5_000),
+    ))
+
+
+def _cmd_table1(args, out) -> int:
+    from repro.reporting.tables import render_table
+
+    study = _study(args)
+    rows = study.table1()
+    out.write(render_table(
+        ("year", "revisions", "filters+", "filters-", "domains+",
+         "domains-"),
+        [(r.year, r.revisions, r.filters_added, r.filters_removed,
+          r.domains_added, r.domains_removed) for r in rows],
+        title="Table 1 — yearly whitelist activity") + "\n")
+    cadence = study.cadence()
+    out.write(f"one update every {cadence.days_per_update:.2f} days, "
+              f"{cadence.changes_per_update:.1f} changes each\n")
+    return 0
+
+
+def _cmd_growth(args, out) -> int:
+    from repro.reporting.series import find_jumps, sparkline
+
+    study = _study(args)
+    points = study.figure3()
+    counts = [p.filters for p in points]
+    out.write("Figure 3 — whitelist growth\n")
+    out.write("  " + sparkline(counts, width=70) + "\n")
+    out.write(f"  {counts[0]} filters (Rev 0) -> {counts[-1]:,} "
+              f"(Rev {points[-1].rev})\n")
+    for rev, delta in find_jumps(counts, top=2):
+        out.write(f"  jump: Rev {rev} +{delta} "
+                  f"({points[rev].when.isoformat()})\n")
+    return 0
+
+
+def _cmd_scope(args, out) -> int:
+    study = _study(args)
+    scope = study.scope
+    out.write("Figure 4 — whitelist scope at Rev 988\n")
+    out.write(f"  restricted:   {scope.restricted:,} "
+              f"({scope.restricted_fraction:.1%})\n")
+    out.write(f"  unrestricted: {scope.unrestricted}\n")
+    out.write(f"  sitekey:      {scope.sitekey_filters} filters, "
+              f"{len(scope.sitekeys)} keys\n")
+    out.write(f"  FQ domains:   {len(scope.fq_domains):,}; e2LDs: "
+              f"{len(scope.effective_second_level_domains):,}\n")
+    return 0
+
+
+def _cmd_table2(args, out) -> int:
+    from repro.measurement.stats import table2_partitions
+    from repro.reporting.tables import render_table
+
+    study = _study(args)
+    rows = table2_partitions(study.whitelist,
+                             study.history.population.ranking,
+                             scope=study.scope)
+    out.write(render_table(
+        ("partition", "whitelisted e2LDs", "%"),
+        [("All" if r.partition is None else f"Top {r.partition:,}",
+          r.count,
+          "" if r.fraction is None else f"{r.fraction:.2%}")
+         for r in rows],
+        title="Table 2 — whitelisted domains by popularity") + "\n")
+    return 0
+
+
+def _cmd_survey(args, out) -> int:
+    from repro.measurement.stats import (section51_headline,
+                                         table4_top_filters)
+    from repro.reporting.tables import render_table
+
+    study = _study(args)
+    result = study.site_survey
+    head = section51_headline(result.top5k)
+    n = head.surveyed
+    out.write(f"surveyed {n:,} top-group domains: "
+              f"{head.any_activation / n:.1%} any activation, "
+              f"{head.whitelist_activation / n:.1%} whitelist "
+              "(paper: 79.1% / 58.7%)\n")
+    out.write(render_table(
+        ("rank", "domains", "%", "filter"),
+        [(r.rank, r.domains, f"{r.fraction_of_group:.1%}",
+          r.filter_text[:54])
+         for r in table4_top_filters(result.top5k, top=10)],
+        title="Table 4 (top 10)") + "\n")
+    return 0
+
+
+def _cmd_parking(args, out) -> int:
+    from repro.reporting.tables import render_table
+
+    study = _study(args)
+    results = study.parking_scan
+    divisor = study.config.zone_scale_divisor
+    rows = [(name, r.confirmed, r.scaled_confirmed(divisor))
+            for name, r in results.items()]
+    total = sum(r[2] for r in rows)
+    out.write(render_table(
+        ("service", "confirmed (scaled)", "extrapolated"),
+        rows, title=f"Table 3 — zone divisor {divisor}") + "\n")
+    out.write(f"total extrapolated: {total:,} (paper: 2,676,165)\n")
+    return 0
+
+
+def _cmd_exploit(args, out) -> int:
+    from repro.filters.engine import AdblockEngine
+    from repro.filters.filterlist import parse_filter_list
+    from repro.measurement.easylist import build_easylist
+    from repro.sitekey.der import public_key_to_base64
+    from repro.sitekey.factoring import factor_sitekey, run_bypass_demo
+    from repro.sitekey.rsa import generate_keypair
+
+    victim = generate_keypair(args.bits, seed=args.seed)
+    engine = AdblockEngine()
+    engine.subscribe(build_easylist())
+    engine.subscribe(parse_filter_list(
+        f"@@$sitekey={public_key_to_base64(victim.public)},document",
+        name="exceptionrules"))
+    factored = factor_sitekey(victim.public, time_budget=300.0)
+    demo = run_bypass_demo(engine, factored)
+    out.write(f"factored {args.bits}-bit sitekey in "
+              f"{factored.elapsed_seconds:.3f}s\n")
+    out.write(f"without key: {demo.blocked_without_key}/"
+              f"{demo.test_requests} blocked; with forged key: "
+              f"{demo.blocked_with_key} blocked\n")
+    out.write(f"full bypass: {demo.fully_bypassed}\n")
+    return 0 if demo.fully_bypassed else 1
+
+
+def _cmd_perception(args, out) -> int:
+    from repro.perception.ads import AdClass
+    from repro.perception.survey import run_perception_survey
+    from repro.reporting.tables import render_table
+
+    result = run_perception_survey(seed=args.seed)
+    table = result.figure9d()
+    out.write(render_table(
+        ("class", "attention", "distinguished", "obscuring"),
+        [(c.value,) + tuple(f"{table[c][s][0]:+.3f}"
+                            for s in ("attention", "distinguished",
+                                      "obscuring"))
+         for c in AdClass],
+        title="Figure 9(d) — class means") + "\n")
+    from repro.core.policy import policy_disagreement
+
+    out.write(f"respondents disagreeing with the global whitelist: "
+              f"{policy_disagreement(result):.0%}\n")
+    return 0
+
+
+def _cmd_afilters(args, out) -> int:
+    study = _study(args)
+    report = study.a_filters
+    out.write(f"A-filter groups: {report.total_added} added, "
+              f"{len(report.removed)} removed, "
+              f"{len(report.active)} active\n")
+    for group in report.readded:
+        out.write(f"  A{group.number} re-added as A{group.readded_as}\n")
+    return 0
+
+
+def _cmd_hygiene(args, out) -> int:
+    study = _study(args)
+    hygiene = study.hygiene
+    out.write(f"duplicates: {hygiene.duplicate_filter_count}; "
+              f"malformed: {hygiene.malformed_count}; "
+              f"truncated: {hygiene.truncated_count}\n")
+    return 0
+
+
+def _cmd_transparency(args, out) -> int:
+    out.write(_study(args).transparency_report() + "\n")
+    return 0
+
+
+def _cmd_temporal(args, out) -> int:
+    from repro.measurement.temporal import temporal_survey
+    from repro.reporting.tables import render_table
+
+    study = _study(args)
+    points = temporal_survey(study.history, top_n=args.top)
+    out.write(render_table(
+        ("snapshot", "rev", "filters", "sites w/ whitelist ads"),
+        [(p.when.isoformat(), p.rev, p.whitelist_filters,
+          f"{p.whitelist_activation_fraction:.1%}") for p in points],
+        title="Survey under historical whitelists") + "\n")
+    return 0
+
+
+def _cmd_blockable(args, out) -> int:
+    from repro.measurement.survey import build_engines, \
+        make_profile_factory
+    from repro.web.browser import InstrumentedBrowser
+    from repro.web.crawler import CrawlTarget
+    from repro.web.devtools import render_blockable_items
+
+    study = _study(args)
+    ranking = study.history.population.ranking
+    rank = ranking.rank_of(args.domain) or 999_999
+    engine, _, _ = build_engines(study.history)
+    factory = make_profile_factory(study.history)
+    browser = InstrumentedBrowser(engine)
+    visit = browser.visit(factory(CrawlTarget(domain=args.domain,
+                                              rank=rank)))
+    out.write(render_blockable_items(visit) + "\n")
+    return 0
+
+
+_COMMANDS = {
+    "table1": _cmd_table1,
+    "growth": _cmd_growth,
+    "scope": _cmd_scope,
+    "table2": _cmd_table2,
+    "survey": _cmd_survey,
+    "parking": _cmd_parking,
+    "exploit": _cmd_exploit,
+    "perception": _cmd_perception,
+    "afilters": _cmd_afilters,
+    "hygiene": _cmd_hygiene,
+    "transparency": _cmd_transparency,
+    "temporal": _cmd_temporal,
+    "blockable": _cmd_blockable,
+}
+
+
+def main(argv: list[str] | None = None, out=None) -> int:
+    args = build_parser().parse_args(argv)
+    out = out or sys.stdout
+    return _COMMANDS[args.command](args, out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

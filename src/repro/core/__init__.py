@@ -1,0 +1,26 @@
+"""Paper-level orchestration: the end-to-end study and Section 8 report."""
+
+from repro.core.policy import (
+    AcceptabilityPolicy,
+    derive_policy,
+    policy_disagreement,
+    policy_filter_list,
+)
+from repro.core.study import AcceptableAdsStudy, StudyConfig
+from repro.core.transparency import (
+    TransparencyFindings,
+    build_transparency_report,
+    collect_findings,
+)
+
+__all__ = [
+    "AcceptabilityPolicy",
+    "AcceptableAdsStudy",
+    "derive_policy",
+    "policy_disagreement",
+    "policy_filter_list",
+    "StudyConfig",
+    "TransparencyFindings",
+    "build_transparency_report",
+    "collect_findings",
+]

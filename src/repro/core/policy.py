@@ -1,0 +1,161 @@
+"""Personalised acceptability policies — Section 6's closing proposal.
+
+The paper ends its perception study: "each person views advertisements
+differently — often vastly so.  Therefore, any single policy of
+whitelisting is unlikely to serve the needs of a large and diverse user
+community well," calling for "a more precise and flexible advertisement
+blocking policy."  This module builds that flexible policy:
+
+* :func:`derive_policy` turns one respondent's survey answers into a
+  personal :class:`AcceptabilityPolicy` — which advertisement classes
+  they actually find acceptable under the program's own criteria;
+* :func:`policy_filter_list` compiles a policy into a personal filter
+  list that re-blocks the whitelisted ad classes the user rejects;
+* :func:`policy_disagreement` quantifies the paper's claim: the
+  fraction of the population whose personal policy disagrees with the
+  one-size-fits-all whitelist on at least one ad class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.filters.filterlist import FilterList, parse_filter_list
+from repro.perception.ads import AdClass, SURVEY_ADS
+from repro.perception.survey import PerceptionResult
+
+__all__ = [
+    "AcceptabilityPolicy",
+    "derive_policy",
+    "policy_filter_list",
+    "policy_disagreement",
+    "CLASS_BLOCKING_FILTERS",
+]
+
+#: Re-blocking filters per advertisement class: what a personal policy
+#: adds back when the user rejects a class the whitelist allows.
+CLASS_BLOCKING_FILTERS: dict[AdClass, tuple[str, ...]] = {
+    AdClass.SEM: (
+        "||google.com/adsense/search/$script,third-party",
+        "||google.com/afs/$script,subdocument",
+        "##.ads-ad",
+        "###tads",
+    ),
+    AdClass.BANNER: (
+        "||adserv.genericnet.com^$third-party",
+        "||pagead2.googlesyndication.com^$third-party",
+        "##.banner-ad",
+        "##.acceptable-unit",
+    ),
+    AdClass.CONTENT: (
+        "||widgets.outbrain.com^$third-party",
+        "||cdn.taboola.com^$third-party",
+        "||engine.influads.com^$third-party",
+        "##.grid-item.sponsored",
+        "##.promoted-hover",
+        "###siteTable_organic",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class AcceptabilityPolicy:
+    """One user's verdict per advertisement class.
+
+    ``accepted`` holds the classes the user tolerates; everything else
+    should be re-blocked despite the global whitelist.
+    """
+
+    respondent_id: int
+    accepted: frozenset[AdClass]
+    scores: dict[AdClass, float] = field(default_factory=dict, hash=False,
+                                         compare=False)
+
+    def accepts(self, ad_class: AdClass) -> bool:
+        return ad_class in self.accepted
+
+    @property
+    def rejects_everything(self) -> bool:
+        return not self.accepted
+
+    @property
+    def accepts_everything(self) -> bool:
+        return self.accepted == frozenset(AdClass)
+
+
+def _class_score(result: PerceptionResult, respondent_id: int,
+                 ad_class: AdClass) -> float:
+    """A respondent's acceptability score for one ad class.
+
+    The Acceptable Ads criteria say acceptable ads are distinguished
+    from content, unobtrusive, and not attention-grabbing; the score is
+    the mean of (distinguished) − (obscuring) − ½(attention) over the
+    class's ads, using this respondent's own ratings.
+    """
+    labels = {ad.label for ad in SURVEY_ADS if ad.ad_class is ad_class}
+    per_statement: dict[str, list[int]] = {
+        "attention": [], "distinguished": [], "obscuring": []}
+    for response in result.responses:
+        if response.respondent_id != respondent_id:
+            continue
+        if response.ad_label not in labels:
+            continue
+        per_statement[response.statement].append(int(response.rating))
+
+    def mean(values: list[int]) -> float:
+        return sum(values) / len(values) if values else 0.0
+
+    return (mean(per_statement["distinguished"])
+            - mean(per_statement["obscuring"])
+            - 0.5 * mean(per_statement["attention"]))
+
+
+def derive_policy(result: PerceptionResult, respondent_id: int,
+                  *, threshold: float = 0.0) -> AcceptabilityPolicy:
+    """Derive one respondent's personal policy from their answers."""
+    scores = {
+        ad_class: _class_score(result, respondent_id, ad_class)
+        for ad_class in AdClass
+    }
+    accepted = frozenset(
+        ad_class for ad_class, score in scores.items()
+        if score > threshold)
+    return AcceptabilityPolicy(respondent_id=respondent_id,
+                               accepted=accepted, scores=scores)
+
+
+def policy_filter_list(policy: AcceptabilityPolicy) -> FilterList:
+    """Compile a personal policy into a re-blocking filter list.
+
+    Subscribing to this list *after* the Acceptable Ads whitelist
+    restores blocking for the rejected classes (blocking filters do not
+    override exceptions in ABP, so the list uses fresh, more specific
+    blocking filters the whitelist's exceptions do not cover — plus
+    element hiding, which whitelisted request exceptions never disable).
+    """
+    lines = [f"! Personal acceptability policy "
+             f"(respondent {policy.respondent_id})"]
+    for ad_class in AdClass:
+        if policy.accepts(ad_class):
+            continue
+        lines.append(f"! re-block {ad_class.value} advertisements")
+        lines.extend(CLASS_BLOCKING_FILTERS[ad_class])
+    return parse_filter_list(
+        "\n".join(lines),
+        name=f"personal-policy-{policy.respondent_id}")
+
+
+def policy_disagreement(result: PerceptionResult,
+                        *, threshold: float = 0.0) -> float:
+    """Fraction of respondents whose policy rejects ≥1 whitelisted class.
+
+    The global whitelist accepts all three classes; any respondent who
+    rejects at least one disagrees with it — the paper predicts this is
+    most of the population.
+    """
+    respondents = {r.respondent_id for r in result.population}
+    disagreeing = sum(
+        1 for rid in respondents
+        if not derive_policy(result, rid,
+                             threshold=threshold).accepts_everything)
+    return disagreeing / len(respondents)

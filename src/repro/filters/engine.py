@@ -1,0 +1,377 @@
+"""The Adblock Plus decision engine: blacklists + the Acceptable Ads whitelist.
+
+This module reproduces the content-blocking semantics the paper measures:
+
+* a *blocking* filter match cancels a web request — unless *any* matching
+  exception filter overrides it ("regardless of any blocking filter
+  matches", Section 2.1.1);
+* a ``$document`` exception matching the page's own URL (or validated via
+  a sitekey signature, Section 4.2.3) disables **all** blocking on that
+  page — this is the sitekey bypass of Figure 5;
+* an ``$elemhide`` exception matching the page URL disables all
+  element-hiding filters on that page (the ``@@||ask.com^$elemhide``
+  A-filters of Section 7);
+* element-hiding filters (``##``) hide DOM elements unless an element
+  exception (``#@#``) with a matching selector applies on that domain.
+
+Every filter consultation can be *recorded*: the survey of Section 5 runs
+an instrumented engine that logs each activation (filter, source list,
+URL, page) — including "needless" whitelist activations where the
+exception fired but nothing would have been blocked, a phenomenon the
+paper calls out explicitly.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Iterable
+
+from repro.filters.filterlist import FilterList
+from repro.filters.index import FilterIndex
+from repro.filters.options import ContentType
+from repro.filters.parser import ElementFilter, RequestFilter
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.web.dom import Element
+
+__all__ = [
+    "Verdict",
+    "Activation",
+    "RequestDecision",
+    "DocumentPrivileges",
+    "AdblockEngine",
+]
+
+
+class Verdict(enum.Enum):
+    """Outcome of a request consultation."""
+
+    BLOCK = "block"
+    ALLOW = "allow"          # an exception filter overrode blocking
+    NO_MATCH = "no_match"    # nothing matched; request proceeds
+
+
+@dataclass(frozen=True, slots=True)
+class Activation:
+    """One recorded filter activation."""
+
+    filter_text: str
+    list_name: str
+    page_host: str
+    target: str              # request URL, or selector for element filters
+    kind: str                # "request" | "element" | "document"
+    is_exception: bool
+    needless: bool = False   # exception fired with no blocking counterpart
+
+
+@dataclass(frozen=True, slots=True)
+class RequestDecision:
+    """Full result of consulting the engine about one request."""
+
+    verdict: Verdict
+    blocking: tuple[RequestFilter, ...] = ()
+    exceptions: tuple[RequestFilter, ...] = ()
+
+    @property
+    def blocked(self) -> bool:
+        return self.verdict is Verdict.BLOCK
+
+
+@dataclass(frozen=True, slots=True)
+class DocumentPrivileges:
+    """Page-level privileges granted by ``$document``/``$elemhide``.
+
+    ``allow_all`` short-circuits every blocking decision on the page;
+    ``disable_elemhide`` turns off element hiding.  ``granted_by`` names
+    the filters responsible (they count as activations).
+    """
+
+    allow_all: bool = False
+    disable_elemhide: bool = False
+    granted_by: tuple[RequestFilter, ...] = ()
+
+
+class AdblockEngine:
+    """ABP configured with blocking lists and exception (whitelist) lists.
+
+    The default configuration the paper studies is::
+
+        engine = AdblockEngine()
+        engine.subscribe(easylist)          # blocking
+        engine.subscribe(acceptable_ads)    # the whitelist
+
+    Each list contributes its blocking filters, exception filters, and
+    element filters; the engine resolves interactions between them.
+    """
+
+    def __init__(self, record: bool = False) -> None:
+        self._blocking = FilterIndex()
+        self._exceptions = FilterIndex()
+        self._element_hide: list[tuple[str, ElementFilter]] = []
+        self._element_exceptions: list[tuple[str, ElementFilter]] = []
+        self._list_of_filter: dict[int, str] = {}
+        self._lists: list[FilterList] = []
+        self.recording = record
+        self.activations: list[Activation] = []
+
+    # -- subscription management -------------------------------------
+
+    def subscribe(self, filter_list: FilterList) -> None:
+        """Add every filter of ``filter_list`` to the engine."""
+        self._lists.append(filter_list)
+        name = filter_list.name
+        for flt in filter_list.filters:
+            self._add_filter(flt, name)
+
+    def _add_filter(self, flt: RequestFilter | ElementFilter,
+                    list_name: str) -> None:
+        self._list_of_filter[id(flt)] = list_name
+        if isinstance(flt, RequestFilter):
+            if flt.is_exception:
+                self._exceptions.add(flt)
+            else:
+                self._blocking.add(flt)
+        else:
+            if flt.is_exception:
+                self._element_exceptions.append((list_name, flt))
+            else:
+                self._element_hide.append((list_name, flt))
+
+    @property
+    def subscriptions(self) -> tuple[FilterList, ...]:
+        return tuple(self._lists)
+
+    def list_name_for(self, flt: RequestFilter | ElementFilter) -> str:
+        return self._list_of_filter.get(id(flt), "?")
+
+    # -- recording -----------------------------------------------------
+
+    def clear_activations(self) -> None:
+        self.activations.clear()
+
+    def _record(self, activation: Activation) -> None:
+        if self.recording:
+            self.activations.append(activation)
+
+    # -- document-level privileges --------------------------------------
+
+    def document_privileges(
+        self, page_url: str, page_host: str, *, sitekey: str | None = None
+    ) -> DocumentPrivileges:
+        """Privileges the page itself gets from ``$document``/``$elemhide``.
+
+        ``sitekey`` is the (already signature-verified) public key the
+        server presented, if any; sitekey exception filters only activate
+        when it matches one of their keys.
+        """
+        allow_all = False
+        disable_elemhide = False
+        granted: list[RequestFilter] = []
+        for flt in self._exceptions.match_all(
+            page_url, ContentType.DOCUMENT, page_host, page_host,
+            sitekey=sitekey,
+        ):
+            allow_all = True
+            granted.append(flt)
+        for flt in self._exceptions.match_all(
+            page_url, ContentType.ELEMHIDE, page_host, page_host,
+            sitekey=sitekey,
+        ):
+            disable_elemhide = True
+            if flt not in granted:
+                granted.append(flt)
+        for flt in granted:
+            self._record(Activation(
+                filter_text=flt.text,
+                list_name=self.list_name_for(flt),
+                page_host=page_host,
+                target=page_url,
+                kind="document",
+                is_exception=True,
+            ))
+        return DocumentPrivileges(
+            allow_all=allow_all,
+            disable_elemhide=disable_elemhide,
+            granted_by=tuple(granted),
+        )
+
+    # -- request decisions ----------------------------------------------
+
+    def check_request(
+        self,
+        url: str,
+        content_type: ContentType,
+        page_host: str,
+        request_host: str,
+        *,
+        privileges: DocumentPrivileges | None = None,
+        sitekey: str | None = None,
+    ) -> RequestDecision:
+        """Decide one request; records all activations when instrumented."""
+        if privileges is not None and privileges.allow_all:
+            return RequestDecision(verdict=Verdict.ALLOW)
+
+        # ``$donottrack`` filters only steer the DNT header (see
+        # :meth:`should_send_dnt`); they never block or allow content.
+        blocking = tuple(
+            flt for flt in self._blocking.match_all(
+                url, content_type, page_host, request_host)
+            if not flt.options.donottrack)
+        exceptions = tuple(
+            flt for flt in self._exceptions.match_all(
+                url, content_type, page_host, request_host,
+                sitekey=sitekey)
+            if not flt.options.donottrack)
+
+        for flt in blocking:
+            self._record(Activation(
+                filter_text=flt.text,
+                list_name=self.list_name_for(flt),
+                page_host=page_host,
+                target=url,
+                kind="request",
+                is_exception=False,
+            ))
+        for flt in exceptions:
+            self._record(Activation(
+                filter_text=flt.text,
+                list_name=self.list_name_for(flt),
+                page_host=page_host,
+                target=url,
+                kind="request",
+                is_exception=True,
+                needless=not blocking,
+            ))
+
+        if exceptions:
+            return RequestDecision(Verdict.ALLOW, blocking, exceptions)
+        if blocking:
+            return RequestDecision(Verdict.BLOCK, blocking, exceptions)
+        return RequestDecision(Verdict.NO_MATCH)
+
+    # -- element hiding ---------------------------------------------------
+
+    def hidden_elements(
+        self,
+        elements: Iterable["Element"],
+        page_host: str,
+        *,
+        privileges: DocumentPrivileges | None = None,
+    ) -> list["Element"]:
+        """Which of ``elements`` get hidden on a page at ``page_host``.
+
+        An element is hidden when some element-hiding filter applies on
+        the domain and matches it, and no element exception (with a
+        selector that also matches it) applies on the domain.
+        """
+        if privileges is not None and (
+                privileges.allow_all or privileges.disable_elemhide):
+            return []
+        hidden: list["Element"] = []
+        active_exceptions = [
+            (name, flt) for name, flt in self._element_exceptions
+            if flt.applies_on_domain(page_host)
+        ]
+        for element in elements:
+            hider = self._find_hider(element, page_host)
+            if hider is None:
+                continue
+            list_name, flt = hider
+            excepted = False
+            for exc_name, exc in active_exceptions:
+                if exc.selector.matches(element):
+                    excepted = True
+                    self._record(Activation(
+                        filter_text=exc.text,
+                        list_name=exc_name,
+                        page_host=page_host,
+                        target=exc.selector_text,
+                        kind="element",
+                        is_exception=True,
+                    ))
+                    break
+            self._record(Activation(
+                filter_text=flt.text,
+                list_name=list_name,
+                page_host=page_host,
+                target=flt.selector_text,
+                kind="element",
+                is_exception=False,
+            ))
+            if not excepted:
+                hidden.append(element)
+        return hidden
+
+    def _find_hider(
+        self, element: "Element", page_host: str
+    ) -> tuple[str, ElementFilter] | None:
+        for name, flt in self._element_hide:
+            if flt.applies_on_domain(page_host) and flt.selector.matches(element):
+                return name, flt
+        return None
+
+    def elemhide_stylesheet(
+        self,
+        page_host: str,
+        *,
+        privileges: DocumentPrivileges | None = None,
+    ) -> str:
+        """The CSS a real ABP would inject on a page at ``page_host``.
+
+        Every element-hiding selector applicable on the domain (and not
+        cancelled by an identical-selector element exception) collapses
+        to ``display: none !important`` — the extension's actual hiding
+        mechanism.  Pages holding ``$elemhide``/``$document`` privileges
+        get an empty stylesheet.
+        """
+        if privileges is not None and (
+                privileges.allow_all or privileges.disable_elemhide):
+            return ""
+        excepted = {
+            flt.selector_text
+            for _, flt in self._element_exceptions
+            if flt.applies_on_domain(page_host)
+        }
+        selectors = []
+        seen: set[str] = set()
+        for _, flt in self._element_hide:
+            if not flt.applies_on_domain(page_host):
+                continue
+            text = flt.selector_text
+            if text in excepted or text in seen:
+                continue
+            seen.add(text)
+            selectors.append(text)
+        if not selectors:
+            return ""
+        return (",\n".join(selectors)
+                + " { display: none !important; }")
+
+    # -- Do-Not-Track (the $donottrack option) ---------------------------
+
+    def should_send_dnt(
+        self,
+        url: str,
+        content_type: ContentType,
+        page_host: str,
+        request_host: str,
+    ) -> bool:
+        """Should a DNT header accompany this request?
+
+        Appendix A.4: a matching ``$donottrack`` filter asks the browser
+        to send ``DNT: 1``, "as long as there is no matching exception
+        rule with a donottrack option on the same page."
+        """
+        requested = any(
+            flt.options.donottrack
+            and flt.matches(url, content_type, page_host, request_host)
+            for flt in self._blocking
+        )
+        if not requested:
+            return False
+        return not any(
+            flt.options.donottrack
+            and flt.matches(url, content_type, page_host, request_host)
+            for flt in self._exceptions
+        )

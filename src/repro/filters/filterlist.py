@@ -1,0 +1,133 @@
+"""Filter-list parsing and the subscription model.
+
+A filter list is a text document: an optional ``[Adblock Plus 2.0]``
+header, ``!``-prefixed metadata/comment lines (``! Title:``,
+``! Version:``, ...), and one filter per line.  Users *subscribe* to
+lists; Adblock Plus ships two default subscriptions — EasyList (blocking)
+and the Acceptable Ads whitelist (exceptions) — which is exactly the
+configuration the paper measures.
+
+:class:`FilterList` keeps the raw line order (the whitelist's A-group
+structure is positional: a ``!A7`` comment introduces the filters that
+follow it, so analyses need ordering preserved).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator
+
+from repro.filters.parser import (
+    Comment,
+    ElementFilter,
+    Filter,
+    InvalidFilter,
+    RequestFilter,
+    parse_filter,
+)
+
+__all__ = ["FilterList", "parse_filter_list", "HEADER"]
+
+HEADER = "[Adblock Plus 2.0]"
+
+_METADATA_KEYS = (
+    "title", "version", "expires", "homepage", "licence", "license",
+    "last modified", "redirect", "checksum",
+)
+
+
+@dataclass
+class FilterList:
+    """A parsed filter list.
+
+    ``entries`` holds every line in order (comments included);
+    convenience views expose the request / element / invalid subsets.
+    """
+
+    name: str = ""
+    entries: list[Filter] = field(default_factory=list)
+    metadata: dict[str, str] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.filters)
+
+    def __iter__(self) -> Iterator[Filter]:
+        return iter(self.entries)
+
+    @property
+    def filters(self) -> Iterator[Filter]:
+        """Active (non-comment, non-invalid) filters, in list order."""
+        for entry in self.entries:
+            if isinstance(entry, (RequestFilter, ElementFilter)):
+                yield entry
+
+    @property
+    def request_filters(self) -> list[RequestFilter]:
+        return [f for f in self.entries if isinstance(f, RequestFilter)]
+
+    @property
+    def element_filters(self) -> list[ElementFilter]:
+        return [f for f in self.entries if isinstance(f, ElementFilter)]
+
+    @property
+    def comments(self) -> list[Comment]:
+        return [f for f in self.entries if isinstance(f, Comment)]
+
+    @property
+    def invalid_filters(self) -> list[InvalidFilter]:
+        return [f for f in self.entries if isinstance(f, InvalidFilter)]
+
+    @property
+    def exception_filters(self) -> list[Filter]:
+        """All exception filters (request ``@@`` and element ``#@#``)."""
+        return [
+            f for f in self.filters
+            if getattr(f, "is_exception", False)
+        ]
+
+    def add(self, line: str) -> Filter:
+        """Parse ``line`` and append it; returns the parsed entry."""
+        entry = parse_filter(line)
+        self.entries.append(entry)
+        return entry
+
+    def extend(self, lines: Iterable[str]) -> None:
+        for line in lines:
+            self.add(line)
+
+    def filter_texts(self) -> list[str]:
+        """Raw text of every active filter, in order."""
+        return [f.text for f in self.filters]
+
+    def to_text(self) -> str:
+        """Serialise back to filter-list text (header + all lines)."""
+        lines = [HEADER]
+        for key, value in self.metadata.items():
+            lines.append(f"! {key.title()}: {value}")
+        lines.extend(entry.text for entry in self.entries)
+        return "\n".join(lines) + "\n"
+
+
+def parse_filter_list(text: str, name: str = "") -> FilterList:
+    """Parse filter-list text into a :class:`FilterList`.
+
+    Header lines and ``! Key: value`` metadata comments populate
+    ``metadata``; everything else becomes an entry.  Blank lines are
+    skipped (they are formatting, not malformed filters).
+    """
+    flist = FilterList(name=name)
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("[") and line.endswith("]"):
+            flist.metadata.setdefault("header", line)
+            continue
+        if line.startswith("!"):
+            key, _, value = line[1:].partition(":")
+            key_norm = key.strip().lower()
+            if value and key_norm in _METADATA_KEYS:
+                flist.metadata[key_norm] = value.strip()
+                continue
+        flist.add(line)
+    return flist

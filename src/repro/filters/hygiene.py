@@ -1,0 +1,75 @@
+"""Whitelist hygiene audit — the Section 8 findings.
+
+The paper reports that the live whitelist contains "redundant, obsolete,
+and malformed filters": 35 duplicate filters and at least 8 malformed
+exception filters that were erroneously truncated at a maximum length of
+4,095 characters (introduced in Rev 326).  This module detects exactly
+those defect classes so the audit can be re-run against any list.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.filters.filterlist import FilterList
+from repro.filters.parser import InvalidFilter
+
+__all__ = ["HygieneReport", "audit", "TRUNCATION_LENGTH"]
+
+#: The erroneous maximum filter length of Rev 326 (Section 8).
+TRUNCATION_LENGTH = 4095
+
+
+@dataclass
+class HygieneReport:
+    """Defects found in one filter list."""
+
+    duplicates: dict[str, int] = field(default_factory=dict)
+    malformed: list[InvalidFilter] = field(default_factory=list)
+    truncated: list[str] = field(default_factory=list)
+    deprecated_options: Counter = field(default_factory=Counter)
+
+    @property
+    def duplicate_filter_count(self) -> int:
+        """Number of *surplus* copies (paper counts 35 duplicate filters)."""
+        return sum(n - 1 for n in self.duplicates.values())
+
+    @property
+    def malformed_count(self) -> int:
+        return len(self.malformed)
+
+    @property
+    def truncated_count(self) -> int:
+        return len(self.truncated)
+
+    @property
+    def clean(self) -> bool:
+        return not (self.duplicates or self.malformed or self.truncated
+                    or self.deprecated_options)
+
+
+def audit(filter_list: FilterList) -> HygieneReport:
+    """Audit ``filter_list`` for the Section 8 defect classes.
+
+    * duplicates: byte-identical active filters appearing more than once;
+    * malformed: entries that failed to parse;
+    * truncated: filters whose text length is exactly
+      :data:`TRUNCATION_LENGTH` — the signature of the Rev 326 bug
+      (legitimate filters never land exactly on the limit);
+    * deprecated options: ``background``/``xbl``/``ping``/``dtd`` usage.
+    """
+    report = HygieneReport()
+    seen: Counter[str] = Counter(f.text for f in filter_list.filters)
+    report.duplicates = {text: n for text, n in seen.items() if n > 1}
+    for entry in filter_list.entries:
+        if isinstance(entry, InvalidFilter):
+            if entry.error != "blank line":
+                report.malformed.append(entry)
+        if len(entry.text) >= TRUNCATION_LENGTH:
+            report.truncated.append(entry.text)
+        options = getattr(entry, "options", None)
+        if options is not None:
+            for keyword in options.deprecated_used:
+                report.deprecated_options[keyword] += 1
+    return report

@@ -1,0 +1,179 @@
+"""Request-pattern compilation: the ``<request-match>`` production.
+
+A request pattern is a simplified regular expression over URLs with four
+special constructs (Appendix A.1):
+
+* ``*``    — wildcard, matches any run of characters (implicit at both
+  ends of every pattern unless anchored);
+* ``|``    — anchor; at the start it pins the match to the beginning of
+  the URL, at the end to the end of the URL;
+* ``||``   — extended anchor; matches the start of the hostname at a
+  domain-label boundary, admitting any scheme and any subdomain
+  (``||example.com/ad`` matches ``https://sub.example.com/ad``);
+* ``^``    — separator placeholder; matches any single character that is
+  not a letter, digit, or one of ``_ - . %``, and *also* matches the end
+  of the URL (so ``||adzerk.net^`` matches a bare ``http://adzerk.net``).
+
+Patterns wrapped in ``/.../`` are raw regular expressions.  Everything is
+compiled to a Python regex once, at parse time; matching is a single
+``re.search``.  ``match-case`` switches the compilation to case-sensitive
+(URLs are matched case-insensitively by default, as in ABP).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+__all__ = ["CompiledPattern", "compile_pattern", "PatternError",
+           "extract_keyword", "keyword_candidates", "SEPARATOR_REGEX"]
+
+
+class PatternError(ValueError):
+    """Raised when a pattern cannot be compiled."""
+
+
+#: What ``^`` expands to: any separator character, or the end of the URL.
+SEPARATOR_REGEX = r"(?:[^\w\-.%]|$)"
+
+
+@dataclass(frozen=True, slots=True)
+class CompiledPattern:
+    """A request pattern compiled to a regex.
+
+    ``source`` is the original pattern text; ``is_regex`` records whether
+    it was a raw ``/.../`` pattern; ``is_literal_hostname`` is set for the
+    common ``||host^`` shape, letting the keyword index fast-path it.
+    """
+
+    source: str
+    regex: re.Pattern[str]
+    is_regex: bool
+    match_case: bool
+    anchored_hostname: str | None = None
+
+    def matches(self, url: str) -> bool:
+        """True when the pattern matches anywhere in ``url``."""
+        return self.regex.search(url) is not None
+
+
+def compile_pattern(source: str, match_case: bool = False) -> CompiledPattern:
+    """Compile a filter pattern into a :class:`CompiledPattern`.
+
+    Raises :class:`PatternError` for raw regex patterns that fail to
+    compile.
+    """
+    flags = 0 if match_case else re.IGNORECASE
+
+    if len(source) >= 2 and source.startswith("/") and source.endswith("/"):
+        inner = source[1:-1]
+        try:
+            regex = re.compile(inner, flags)
+        except re.error as exc:
+            raise PatternError(f"bad regex pattern {source!r}: {exc}") from exc
+        return CompiledPattern(source=source, regex=regex, is_regex=True,
+                               match_case=match_case)
+
+    text = source
+    parts: list[str] = []
+    anchored_hostname: str | None = None
+
+    if text.startswith("||"):
+        text = text[2:]
+        # Scheme, then any chain of subdomain labels, then the pattern.
+        parts.append(r"^[a-z][a-z0-9+.\-]*://(?:[^/?#]*\.)?")
+        host_match = re.match(r"^([a-z0-9\-]+(?:\.[a-z0-9\-]+)*)", text,
+                              re.IGNORECASE)
+        if host_match:
+            anchored_hostname = host_match.group(1).lower()
+    elif text.startswith("|"):
+        text = text[1:]
+        parts.append("^")
+
+    end_anchor = False
+    if text.endswith("|") and not text.endswith("\\|"):
+        end_anchor = True
+        text = text[:-1]
+
+    parts.append(_translate_body(text))
+    if end_anchor:
+        parts.append("$")
+
+    try:
+        regex = re.compile("".join(parts), flags)
+    except re.error as exc:  # pragma: no cover - translation should be safe
+        raise PatternError(f"failed to compile {source!r}: {exc}") from exc
+    return CompiledPattern(source=source, regex=regex, is_regex=False,
+                           match_case=match_case,
+                           anchored_hostname=anchored_hostname)
+
+
+def _translate_body(text: str) -> str:
+    """Translate the pattern body: ``*`` -> ``.*``, ``^`` -> separator."""
+    out: list[str] = []
+    run: list[str] = []
+
+    def flush() -> None:
+        if run:
+            out.append(re.escape("".join(run)))
+            run.clear()
+
+    for ch in text:
+        if ch == "*":
+            flush()
+            # Collapse adjacent wildcards; ``.*.*`` is valid but slow.
+            if not out or out[-1] != ".*":
+                out.append(".*")
+        elif ch == "^":
+            flush()
+            out.append(SEPARATOR_REGEX)
+        else:
+            run.append(ch)
+    flush()
+    return "".join(out)
+
+
+# A keyword must be a full token of every matching URL, so the run has to
+# be delimited in the pattern by non-token characters (and not touch a
+# wildcard, whose expansion could extend the token).  This mirrors ABP's
+# own candidate regex.
+_KEYWORD_RE = re.compile(
+    r"(?:^\|{1,2}|[^a-z0-9%*])([a-z0-9%]{3,})(?=[^a-z0-9%*]|$)",
+    re.IGNORECASE,
+)
+_COMMON_KEYWORDS = frozenset({"http", "https", "www", "com"})
+
+
+def keyword_candidates(source: str) -> list[str]:
+    """All safe index keywords for a pattern (real-ABP style).
+
+    A keyword is a literal token guaranteed to appear, separator-
+    delimited, in every URL the pattern matches; the engine buckets
+    filters by one of them so each request only tests a handful of
+    candidates.  Returns ``[]`` when no safe keyword exists (regex
+    patterns, very short or wildcard-adjacent literals) — such filters
+    go into the always-checked bucket.
+    """
+    if len(source) >= 2 and source.startswith("/") and source.endswith("/"):
+        return []
+    candidates = []
+    for match in _KEYWORD_RE.finditer(source):
+        word = match.group(1).lower()
+        if word not in _COMMON_KEYWORDS:
+            candidates.append(word)
+        # A trailing end-of-pattern token is only safe when the pattern is
+        # end-anchored; _KEYWORD_RE's $ alternative admits it, so filter
+        # out unanchored trailing tokens here.
+    if candidates and not source.endswith(("|", "^")):
+        last = candidates[-1]
+        if source.lower().endswith(last):
+            candidates.pop()
+    return candidates
+
+
+def extract_keyword(source: str) -> str:
+    """The default index keyword: the longest safe candidate (or "")."""
+    candidates = keyword_candidates(source)
+    if not candidates:
+        return ""
+    return max(candidates, key=len)

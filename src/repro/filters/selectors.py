@@ -1,0 +1,231 @@
+"""CSS selector subset used by element-hiding filters.
+
+Element filters (``##`` and ``#@#``) identify page elements with CSS
+selectors (Section 2.1.2).  The subset implemented here covers what occurs
+in EasyList-style lists and in the paper's examples:
+
+* type selectors (``div``), universal (``*``);
+* id selectors (``#siteTable_organic``);
+* class selectors (``.ButtonAd``);
+* attribute selectors (``[href]``, ``[id="x"]``, ``[src^="http"]``,
+  ``[class*="ad"]``, ``[href$=".gif"]``);
+* compound selectors combining the above (``div.ad[data-ad]``);
+* comma-separated selector lists;
+* descendant (whitespace) and child (``>``) combinators.
+
+Matching is performed against :class:`repro.web.dom.Element` trees (any
+object with ``tag``, ``attributes``, ``classes``, ``parent`` works).
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, Protocol
+
+__all__ = [
+    "SelectorError",
+    "SimpleSelector",
+    "CompoundSelector",
+    "ComplexSelector",
+    "SelectorList",
+    "parse_selector",
+]
+
+
+class SelectorError(ValueError):
+    """Raised when a selector cannot be parsed."""
+
+
+class ElementLike(Protocol):  # pragma: no cover - structural typing only
+    tag: str
+    parent: "ElementLike | None"
+
+    @property
+    def classes(self) -> frozenset[str]: ...
+
+    def get(self, name: str, default: str | None = None) -> str | None: ...
+
+
+@dataclass(frozen=True, slots=True)
+class SimpleSelector:
+    """One simple selector: tag/universal, ``#id``, ``.class`` or ``[attr]``.
+
+    Exactly one of the kind fields is used, recorded in ``kind``:
+    ``tag`` / ``id`` / ``class`` / ``attr``.  For attribute selectors,
+    ``operator`` is one of ``""`` (presence), ``=``, ``^=``, ``$=``,
+    ``*=``, ``~=``.
+    """
+
+    kind: str
+    value: str
+    operator: str = ""
+    attr_value: str = ""
+
+    def matches(self, element: ElementLike) -> bool:
+        if self.kind == "tag":
+            return self.value == "*" or element.tag.lower() == self.value
+        if self.kind == "id":
+            return element.get("id") == self.value
+        if self.kind == "class":
+            return self.value in element.classes
+        # attribute selector
+        actual = element.get(self.value)
+        if actual is None:
+            return False
+        if not self.operator:
+            return True
+        expected = self.attr_value
+        if self.operator == "=":
+            return actual == expected
+        if self.operator == "^=":
+            return bool(expected) and actual.startswith(expected)
+        if self.operator == "$=":
+            return bool(expected) and actual.endswith(expected)
+        if self.operator == "*=":
+            return bool(expected) and expected in actual
+        if self.operator == "~=":
+            return expected in actual.split()
+        raise SelectorError(f"unknown attribute operator {self.operator!r}")
+
+
+@dataclass(frozen=True, slots=True)
+class CompoundSelector:
+    """A sequence of simple selectors that must all match one element."""
+
+    parts: tuple[SimpleSelector, ...]
+
+    def matches(self, element: ElementLike) -> bool:
+        return all(part.matches(element) for part in self.parts)
+
+
+@dataclass(frozen=True, slots=True)
+class ComplexSelector:
+    """Compound selectors joined by combinators, right-to-left matched.
+
+    ``combinators[i]`` joins ``compounds[i]`` to ``compounds[i+1]`` and is
+    either ``" "`` (descendant) or ``">"`` (child).
+    """
+
+    compounds: tuple[CompoundSelector, ...]
+    combinators: tuple[str, ...]
+
+    def matches(self, element: ElementLike) -> bool:
+        if not self.compounds[-1].matches(element):
+            return False
+        return self._match_ancestors(element, len(self.compounds) - 2)
+
+    def _match_ancestors(self, element: ElementLike, index: int) -> bool:
+        if index < 0:
+            return True
+        combinator = self.combinators[index]
+        target = self.compounds[index]
+        parent = element.parent
+        if combinator == ">":
+            if parent is None or not target.matches(parent):
+                return False
+            return self._match_ancestors(parent, index - 1)
+        # descendant: try every ancestor
+        while parent is not None:
+            if target.matches(parent) and self._match_ancestors(parent, index - 1):
+                return True
+            parent = parent.parent
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class SelectorList:
+    """A comma-separated list of selectors; matches if any member does."""
+
+    selectors: tuple[ComplexSelector, ...]
+    source: str = field(default="", compare=False)
+
+    def matches(self, element: ElementLike) -> bool:
+        return any(sel.matches(element) for sel in self.selectors)
+
+    def select(self, elements: Iterable[ElementLike]) -> list[ElementLike]:
+        """Filter an element iterable down to the matching members."""
+        return [el for el in elements if self.matches(el)]
+
+
+_IDENT = r"[A-Za-z_\-][\w\-]*"
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<tag>\*|""" + _IDENT + r""")
+    | \#(?P<id>[\w\-]+)
+    | \.(?P<cls>[\w\-]+)
+    | \[(?P<attr>[\w\-]+)
+        (?:(?P<op>[~^$*]?=)
+           (?P<quote>["']?)(?P<val>[^\]"']*)(?P=quote))?\]
+    """,
+    re.VERBOSE,
+)
+
+
+def parse_selector(text: str) -> SelectorList:
+    """Parse a selector list; raises :class:`SelectorError` on bad input."""
+    if not text or text.isspace():
+        raise SelectorError("empty selector")
+    selectors = tuple(
+        _parse_complex(chunk.strip())
+        for chunk in text.split(",")
+        if chunk.strip() or _raise_empty(text)
+    )
+    return SelectorList(selectors=selectors, source=text)
+
+
+def _raise_empty(text: str) -> bool:
+    raise SelectorError(f"empty selector in list {text!r}")
+
+
+def _parse_complex(text: str) -> ComplexSelector:
+    # Normalise child combinator spacing, then split on whitespace.
+    text = re.sub(r"\s*>\s*", " > ", text).strip()
+    tokens = text.split()
+    compounds: list[CompoundSelector] = []
+    combinators: list[str] = []
+    expect_compound = True
+    for token in tokens:
+        if token == ">":
+            if expect_compound or not compounds:
+                raise SelectorError(f"misplaced '>' in {text!r}")
+            combinators.append(">")
+            expect_compound = True
+            continue
+        if not expect_compound:
+            combinators.append(" ")
+        compounds.append(_parse_compound(token))
+        expect_compound = False
+    if expect_compound:
+        raise SelectorError(f"dangling combinator in {text!r}")
+    return ComplexSelector(compounds=tuple(compounds),
+                           combinators=tuple(combinators))
+
+
+def _parse_compound(text: str) -> CompoundSelector:
+    parts: list[SimpleSelector] = []
+    pos = 0
+    while pos < len(text):
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SelectorError(f"cannot parse selector at {text[pos:]!r}")
+        if match.group("tag") is not None:
+            if parts:
+                raise SelectorError(
+                    f"type selector must come first in {text!r}")
+            parts.append(SimpleSelector("tag", match.group("tag").lower()))
+        elif match.group("id") is not None:
+            parts.append(SimpleSelector("id", match.group("id")))
+        elif match.group("cls") is not None:
+            parts.append(SimpleSelector("class", match.group("cls")))
+        else:
+            parts.append(SimpleSelector(
+                "attr",
+                match.group("attr"),
+                operator=match.group("op") or "",
+                attr_value=match.group("val") or "",
+            ))
+        pos = match.end()
+    if not parts:
+        raise SelectorError(f"empty compound selector in {text!r}")
+    return CompoundSelector(parts=tuple(parts))

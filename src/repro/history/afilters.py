@@ -1,0 +1,130 @@
+"""Section 7: mining the undocumented "A-filter" groups.
+
+The paper identifies 61 instances of Eyeo adding whitelist filters
+without community vetting.  Their fingerprints:
+
+* each group is introduced in the list by a nondescript ``!A<n>``
+  comment (no description, no forum link);
+* the commits adding them carry the repeated message
+  "Updated whitelists." (one used "Added new whitelists.") instead of a
+  forum-topic link;
+* five groups were later removed; one of those (A7) was re-added under
+  a different number (A28) with identical filters.
+
+This module mines all of that from a repository: it walks every
+changeset, attributes filters to A-groups positionally (a group is its
+marker comment plus the filters added with it), and reports additions,
+removals, re-additions, and per-group contents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.filters.parser import A_GROUP_RE, FORUM_LINK_RE
+from repro.history.repository import Repository
+
+__all__ = ["AGroup", "AFilterReport", "mine_a_filters"]
+
+
+@dataclass(slots=True)
+class AGroup:
+    """One ``!A<n>`` group's lifecycle."""
+
+    number: int
+    added_rev: int
+    filters: tuple[str, ...]
+    commit_message: str
+    removed_rev: int | None = None
+    readded_as: int | None = None   # e.g. A7 -> 28
+
+    @property
+    def active(self) -> bool:
+        return self.removed_rev is None
+
+    @property
+    def publicly_disclosed(self) -> bool:
+        """Did the introducing commit link a forum topic?"""
+        return FORUM_LINK_RE.search(self.commit_message) is not None
+
+
+@dataclass(slots=True)
+class AFilterReport:
+    """Aggregate Section 7 findings."""
+
+    groups: dict[int, AGroup] = field(default_factory=dict)
+
+    @property
+    def total_added(self) -> int:
+        return len(self.groups)
+
+    @property
+    def removed(self) -> list[AGroup]:
+        return [g for g in self.groups.values() if not g.active]
+
+    @property
+    def active(self) -> list[AGroup]:
+        return [g for g in self.groups.values() if g.active]
+
+    @property
+    def readded(self) -> list[AGroup]:
+        return [g for g in self.groups.values() if g.readded_as is not None]
+
+    @property
+    def undisclosed(self) -> list[AGroup]:
+        return [g for g in self.groups.values() if not g.publicly_disclosed]
+
+    def filters_in_groups(self) -> int:
+        return sum(len(g.filters) for g in self.groups.values())
+
+
+def mine_a_filters(repo: Repository) -> AFilterReport:
+    """Mine every A-group's lifecycle from the full history."""
+    report = AFilterReport()
+
+    for changeset in repo.log():
+        # Group additions: an ``!A<n>`` comment followed by the filters
+        # added in the same changeset (positionally, until the next
+        # comment line).
+        added = list(changeset.added)
+        for index, line in enumerate(added):
+            match = A_GROUP_RE.match(line)
+            if not match:
+                continue
+            number = int(match.group(1))
+            filters: list[str] = []
+            for follower in added[index + 1:]:
+                if follower.startswith("!"):
+                    break
+                filters.append(follower)
+            report.groups[number] = AGroup(
+                number=number,
+                added_rev=changeset.rev,
+                filters=tuple(filters),
+                commit_message=changeset.message,
+            )
+
+        # Group removals: the marker comment disappearing.
+        for line in changeset.removed:
+            match = A_GROUP_RE.match(line)
+            if match:
+                number = int(match.group(1))
+                group = report.groups.get(number)
+                if group is not None:
+                    group.removed_rev = changeset.rev
+
+    # Re-addition detection: a removed group whose exact filter set
+    # reappears under a different number.
+    by_content: dict[tuple[str, ...], list[AGroup]] = {}
+    for group in report.groups.values():
+        by_content.setdefault(group.filters, []).append(group)
+    for twins in by_content.values():
+        if len(twins) < 2:
+            continue
+        twins.sort(key=lambda g: g.added_rev)
+        for earlier, later in zip(twins, twins[1:]):
+            if (earlier.removed_rev is not None
+                    and later.added_rev > earlier.removed_rev):
+                earlier.readded_as = later.number
+
+    return report

@@ -1,0 +1,108 @@
+"""Persist and reload whitelist histories.
+
+Generating the 989-revision history takes seconds; real deployments of
+these analyses would run against an archived history repeatedly.  This
+module serialises a :class:`~repro.history.repository.Repository` to a
+single JSON-lines file (one changeset per line — append-friendly, like
+the VCS it models) and reloads it with full integrity checking.
+
+The format is stable and self-describing::
+
+    {"format": "repro-history", "version": 1, "name": "exceptionrules"}
+    {"rev": 0, "when": "2011-10-03", "message": "...",
+     "added": [...], "removed": [...]}
+    ...
+"""
+
+from __future__ import annotations
+
+import json
+from datetime import date
+from pathlib import Path
+from typing import IO
+
+from repro.history.repository import Repository, RepositoryError
+
+__all__ = ["ArchiveError", "save_repository", "load_repository",
+           "dump_repository", "read_repository"]
+
+_FORMAT = "repro-history"
+_VERSION = 1
+
+
+class ArchiveError(ValueError):
+    """Raised for unreadable or inconsistent archives."""
+
+
+def dump_repository(repo: Repository, stream: IO[str]) -> None:
+    """Write ``repo`` to ``stream`` as JSON lines."""
+    header = {"format": _FORMAT, "version": _VERSION, "name": repo.name}
+    stream.write(json.dumps(header) + "\n")
+    for changeset in repo.log():
+        stream.write(json.dumps({
+            "rev": changeset.rev,
+            "when": changeset.when.isoformat(),
+            "message": changeset.message,
+            "added": list(changeset.added),
+            "removed": list(changeset.removed),
+        }) + "\n")
+
+
+def read_repository(stream: IO[str]) -> Repository:
+    """Read a repository from a JSON-lines stream.
+
+    Replays every changeset through :meth:`Repository.commit`, so a
+    corrupted archive (bad removal, out-of-order dates) fails loudly
+    with :class:`ArchiveError` rather than producing silent garbage.
+    """
+    header_line = stream.readline()
+    if not header_line.strip():
+        raise ArchiveError("empty archive")
+    try:
+        header = json.loads(header_line)
+    except json.JSONDecodeError as exc:
+        raise ArchiveError(f"bad archive header: {exc}") from exc
+    if header.get("format") != _FORMAT:
+        raise ArchiveError("not a repro-history archive")
+    if header.get("version") != _VERSION:
+        raise ArchiveError(
+            f"unsupported archive version {header.get('version')!r}")
+
+    repo = Repository(name=header.get("name", "exceptionrules"))
+    for line_no, line in enumerate(stream, start=2):
+        if not line.strip():
+            continue
+        try:
+            entry = json.loads(line)
+            when = date.fromisoformat(entry["when"])
+            changeset = repo.commit(
+                when, entry["message"],
+                added=entry.get("added", ()),
+                removed=entry.get("removed", ()),
+            )
+        except (json.JSONDecodeError, KeyError, ValueError,
+                RepositoryError) as exc:
+            raise ArchiveError(
+                f"archive line {line_no}: {exc}") from exc
+        if changeset.rev != entry.get("rev", changeset.rev):
+            raise ArchiveError(
+                f"archive line {line_no}: revision number mismatch "
+                f"({entry.get('rev')} recorded, {changeset.rev} replayed)")
+    return repo
+
+
+def save_repository(repo: Repository, path: str | Path) -> Path:
+    """Save ``repo`` to ``path``; returns the path written."""
+    path = Path(path)
+    with path.open("w", encoding="utf-8") as stream:
+        dump_repository(repo, stream)
+    return path
+
+
+def load_repository(path: str | Path) -> Repository:
+    """Load a repository archive from disk."""
+    path = Path(path)
+    if not path.exists():
+        raise ArchiveError(f"no archive at {path}")
+    with path.open("r", encoding="utf-8") as stream:
+        return read_repository(stream)

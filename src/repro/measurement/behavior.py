@@ -1,0 +1,192 @@
+"""Deeper filter-behaviour characterisation — the paper's future work.
+
+Section 5 closes: "These results suggest the need for more complex
+analysis techniques to fully characterize the whitelist's behavior.  We
+leave such explorations for future work."  This module is that
+exploration, quantifying three behaviours the paper could only gesture
+at:
+
+* **needless activation** — per filter, the fraction of activations
+  with no blocking counterpart (content EasyList never would have
+  blocked; the gstatic case);
+* **visual impact** — whether a filter's activations put visible ad
+  content on the page (versus pure conversion tracking), using the
+  synthetic web's ground-truth ad labels;
+* **scope utilisation** — for restricted filters, how many of their
+  declared domains were ever observed activating them, i.e. how much
+  declared scope is dead weight.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.filters.parser import parse_filter
+from repro.measurement.survey import SurveyResult, WHITELIST_NAME
+from repro.web.crawler import CrawlRecord
+
+__all__ = [
+    "FilterBehavior",
+    "BehaviorReport",
+    "characterize_filters",
+    "scope_utilisation",
+]
+
+#: Ad networks whose resources render visible content (the catalog's
+#: element-injecting resources); everything else is tracking-only.
+_VISIBLE_NETWORKS = frozenset({
+    "googlesyndication", "doubleclick-pagead", "criteo", "outbrain",
+    "taboola", "influads", "adzerk", "generic-publisher-adserv",
+    "generic-banner", "openx", "pubmatic", "zedo",
+})
+
+
+def _visible_filter_texts() -> frozenset[str]:
+    """Whitelist filters belonging to ad-rendering networks.
+
+    A filter's visual impact is a property of the network it excepts:
+    if the network's resources inject DOM elements, allowing them puts
+    ads on the page; a pure conversion pixel never does.  (Classifying
+    by co-occurring page content would mislabel trackers that merely
+    ride along on ad-heavy sites — gstatic fires on plenty of pages
+    with visible ads it had nothing to do with.)
+    """
+    from repro.web.adnetworks import NETWORK_CATALOG
+
+    texts: set[str] = set()
+    for network in NETWORK_CATALOG:
+        renders = (network.name in _VISIBLE_NETWORKS
+                   or any(r.element is not None for r in network.resources))
+        if renders:
+            texts.update(network.whitelist_filters)
+    return frozenset(texts)
+
+
+_VISIBLE_FILTERS = _visible_filter_texts()
+
+
+def _filter_renders_ads(filter_text: str) -> bool:
+    if filter_text in _VISIBLE_FILTERS:
+        return True
+    # Restricted publisher exceptions and element exceptions surface
+    # visible advertising; trackpix/conversion extras do not.
+    if filter_text.startswith("@@||adserv.genericnet.com/"):
+        return True
+    if "#@#" in filter_text:
+        return True
+    return False
+
+
+@dataclass(slots=True)
+class FilterBehavior:
+    """Observed behaviour of one whitelist filter across a survey."""
+
+    filter_text: str
+    activations: int = 0
+    needless: int = 0
+    domains: set = field(default_factory=set)
+    visible_ad_domains: set = field(default_factory=set)
+
+    @property
+    def needless_fraction(self) -> float:
+        return self.needless / self.activations if self.activations else 0.0
+
+    renders_ads: bool = False
+
+    @property
+    def tracking_only(self) -> bool:
+        """True when the filter's network renders no visible content."""
+        return not self.renders_ads
+
+
+@dataclass(slots=True)
+class BehaviorReport:
+    """Aggregate behaviour over all whitelist filters in a survey."""
+
+    filters: dict[str, FilterBehavior] = field(default_factory=dict)
+
+    @property
+    def fully_needless(self) -> list[FilterBehavior]:
+        """Filters 100% of whose activations were needless (gstatic)."""
+        return [b for b in self.filters.values()
+                if b.activations and b.needless_fraction == 1.0]
+
+    @property
+    def tracking_only_filters(self) -> list[FilterBehavior]:
+        return [b for b in self.filters.values()
+                if b.activations and b.tracking_only]
+
+    @property
+    def visible_ad_filters(self) -> list[FilterBehavior]:
+        return [b for b in self.filters.values()
+                if b.activations and not b.tracking_only]
+
+    def needless_activation_rate(self) -> float:
+        """Survey-wide fraction of whitelist activations that were
+        needless."""
+        total = sum(b.activations for b in self.filters.values())
+        needless = sum(b.needless for b in self.filters.values())
+        return needless / total if total else 0.0
+
+
+def characterize_filters(records: list[CrawlRecord]) -> BehaviorReport:
+    """Characterise every whitelist filter observed in ``records``."""
+    report = BehaviorReport()
+    for record in records:
+        visible_site = _has_visible_ads(record)
+        for activation in record.visit.whitelist_activations:
+            if activation.list_name != WHITELIST_NAME:
+                continue
+            behavior = report.filters.get(activation.filter_text)
+            if behavior is None:
+                behavior = FilterBehavior(
+                    filter_text=activation.filter_text,
+                    renders_ads=_filter_renders_ads(
+                        activation.filter_text))
+                report.filters[activation.filter_text] = behavior
+            behavior.activations += 1
+            if activation.needless:
+                behavior.needless += 1
+            behavior.domains.add(record.domain)
+            if visible_site:
+                behavior.visible_ad_domains.add(record.domain)
+    return report
+
+
+def _has_visible_ads(record: CrawlRecord) -> bool:
+    networks = set(record.profile.networks)
+    if networks & _VISIBLE_NETWORKS:
+        return True
+    return bool(record.profile.first_party_ads)
+
+
+def scope_utilisation(result: SurveyResult) -> dict[str, float]:
+    """Declared-scope utilisation of restricted whitelist filters.
+
+    For each restricted filter observed in the survey, the fraction of
+    its declared ``domain=`` entries that were actually seen activating
+    it.  Filters with enormous declared scopes and tiny observed scopes
+    are the "overly general" rows of the Section 8 report.
+    """
+    observed: dict[str, set] = defaultdict(set)
+    for record in result.all_records():
+        for activation in record.visit.whitelist_activations:
+            if activation.list_name != WHITELIST_NAME:
+                continue
+            observed[activation.filter_text].add(record.domain)
+
+    utilisation: dict[str, float] = {}
+    for text, domains in observed.items():
+        parsed = parse_filter(text)
+        declared = getattr(parsed, "restricted_domains", ())
+        if not declared:
+            continue
+        from repro.web.url import registered_domain
+
+        declared_e2lds = {registered_domain(d) for d in declared}
+        used = sum(1 for d in declared_e2lds
+                   if any(site == d or site.endswith("." + d)
+                          for site in domains))
+        utilisation[text] = used / len(declared_e2lds)
+    return utilisation

@@ -1,0 +1,64 @@
+"""The four Section 5 sample groups.
+
+The paper surveys *(i)* the 5,000 most popular domains and three
+1,000-domain random samples from the *(ii)* 5K–50K, *(iii)* 50K–100K
+and *(iv)* 100K–1M popularity strata.  This module materialises those
+samples from the synthetic ranking as crawl targets.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.measurement.alexa import AlexaRanking
+from repro.web.crawler import CrawlTarget
+
+__all__ = ["SampleGroup", "SAMPLE_GROUP_SPECS", "build_samples"]
+
+
+@dataclass(frozen=True, slots=True)
+class SampleGroup:
+    """One of the four survey sample groups."""
+
+    name: str
+    group_index: int
+    targets: tuple[CrawlTarget, ...]
+
+    def __len__(self) -> int:
+        return len(self.targets)
+
+
+#: (name, group index, low rank, high rank, sample size); the top group
+#: is exhaustive rather than sampled.
+SAMPLE_GROUP_SPECS: tuple[tuple[str, int, int, int, int | None], ...] = (
+    ("top-5k", 0, 1, 5_000, None),
+    ("5k-50k", 1, 5_001, 50_000, 1_000),
+    ("50k-100k", 2, 50_001, 100_000, 1_000),
+    ("100k-1m", 3, 100_001, 1_000_000, 1_000),
+)
+
+
+def build_samples(ranking: AlexaRanking,
+                  *, top_n: int = 5_000,
+                  stratum_size: int = 1_000) -> list[SampleGroup]:
+    """Materialise all four sample groups.
+
+    ``top_n`` and ``stratum_size`` shrink the samples proportionally for
+    fast test runs (the group boundaries stay the paper's).
+    """
+    groups: list[SampleGroup] = []
+    for name, index, low, high, size in SAMPLE_GROUP_SPECS:
+        if size is None:
+            pairs = [(rank, ranking.domain_at(rank))
+                     for rank in range(1, top_n + 1)]
+        else:
+            scaled = min(stratum_size, size)
+            pairs = ranking.sample_stratum(low, high, scaled, salt=name)
+        targets = tuple(
+            CrawlTarget(domain=domain, rank=rank, group_index=index,
+                        category=ranking.category_of(domain))
+            for rank, domain in pairs
+        )
+        groups.append(SampleGroup(name=name, group_index=index,
+                                  targets=targets))
+    return groups

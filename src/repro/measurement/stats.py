@@ -1,0 +1,308 @@
+"""Survey statistics: Table 2, Table 4, Figures 6, 7 and 8.
+
+Each function takes raw survey output (or the whitelist itself, for
+Table 2) and produces exactly the quantity the paper reports, in a form
+the benchmark harness can print as the paper's rows/series.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.filters.classify import ScopeReport, classify_whitelist
+from repro.filters.filterlist import FilterList
+from repro.measurement.alexa import AlexaRanking, PARTITION_TARGETS
+from repro.measurement.survey import (
+    EASYLIST_NAME,
+    SurveyResult,
+    WHITELIST_NAME,
+)
+from repro.web.crawler import CrawlRecord
+
+__all__ = [
+    "PartitionRow",
+    "table2_partitions",
+    "TopFilterRow",
+    "table4_top_filters",
+    "SiteMatchBar",
+    "figure6_site_matches",
+    "EcdfSeries",
+    "figure7_ecdf",
+    "GroupFilterMatrix",
+    "figure8_group_matrix",
+    "Section51Headline",
+    "section51_headline",
+]
+
+
+# ---------------------------------------------------------------------------
+# Table 2 — whitelisted domains per Alexa partition
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class PartitionRow:
+    """One Table 2 row."""
+
+    partition: int | None      # None = "All"
+    count: int
+    fraction: float | None     # of the partition size
+
+
+def table2_partitions(whitelist: FilterList,
+                      ranking: AlexaRanking,
+                      *, scope: ScopeReport | None = None
+                      ) -> list[PartitionRow]:
+    """Whitelisted e2LDs falling inside each Alexa partition."""
+    scope = scope or classify_whitelist(whitelist)
+    e2lds = scope.effective_second_level_domains
+    ranks = sorted(
+        rank for rank in (ranking.rank_of(d) for d in e2lds)
+        if rank is not None
+    )
+    rows = [PartitionRow(partition=None, count=len(e2lds), fraction=None)]
+    for bound in sorted(PARTITION_TARGETS, reverse=True):
+        inside = sum(1 for r in ranks if r <= bound)
+        rows.append(PartitionRow(partition=bound, count=inside,
+                                 fraction=inside / bound))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Table 4 — most common whitelist filters in the top-5K survey
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class TopFilterRow:
+    """One Table 4 row: a whitelist filter and its activating domains."""
+
+    rank: int
+    filter_text: str
+    domains: int
+    fraction_of_group: float
+
+
+def table4_top_filters(records: list[CrawlRecord],
+                       top: int = 20) -> list[TopFilterRow]:
+    """The ``top`` whitelist filters by number of activating domains."""
+    domain_sets: dict[str, set[str]] = {}
+    for record in records:
+        for activation in record.visit.whitelist_activations:
+            if activation.list_name != WHITELIST_NAME:
+                continue
+            domain_sets.setdefault(activation.filter_text, set()).add(
+                record.domain)
+    ranked = sorted(domain_sets.items(),
+                    key=lambda item: (-len(item[1]), item[0]))
+    group_size = max(1, len(records))
+    return [
+        TopFilterRow(rank=i + 1, filter_text=text, domains=len(domains),
+                     fraction_of_group=len(domains) / group_size)
+        for i, (text, domains) in enumerate(ranked[:top])
+    ]
+
+
+# ---------------------------------------------------------------------------
+# Figure 6 — per-site matches, whitelist on vs off
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class SiteMatchBar:
+    """One Figure 6 bar pair: a site's matches in both configurations."""
+
+    domain: str
+    rank: int
+    explicitly_whitelisted: bool     # bold label in the paper
+    whitelist_matches: int           # with whitelist: whitelist-source
+    easylist_matches_with: int       # with whitelist: EasyList-source
+    easylist_matches_without: int    # whitelist disabled
+
+
+def figure6_site_matches(result: SurveyResult,
+                         *, group: str = "top-5k",
+                         top: int = 50,
+                         elide: tuple[str, ...] = ("sina.com.cn",)
+                         ) -> list[SiteMatchBar]:
+    """The ``top`` most popular sites with ≥1 match, as Figure 6 plots.
+
+    The paper plots "the top 50 sites with at least one filter
+    activation", ordered by Alexa rank; sites in ``elide`` are dropped
+    ("we elide sina.com.cn for ease of presentation").
+    """
+    without = {r.domain: r for r in result.records_easylist_only.get(group, [])}
+    bars: list[SiteMatchBar] = []
+    for record in result.records[group]:
+        if record.domain in elide:
+            continue
+        plain = without.get(record.domain)
+        easylist_without = (
+            sum(1 for a in plain.visit.activations
+                if a.list_name == EASYLIST_NAME)
+            if plain is not None else 0
+        )
+        whitelist_matches = sum(
+            1 for a in record.visit.activations
+            if a.list_name == WHITELIST_NAME)
+        easylist_with = sum(
+            1 for a in record.visit.activations
+            if a.list_name == EASYLIST_NAME)
+        if whitelist_matches + easylist_with + easylist_without == 0:
+            continue
+        bars.append(SiteMatchBar(
+            domain=record.domain,
+            rank=record.rank,
+            explicitly_whitelisted=record.profile.is_whitelisted_publisher,
+            whitelist_matches=whitelist_matches,
+            easylist_matches_with=easylist_with,
+            easylist_matches_without=easylist_without,
+        ))
+    bars.sort(key=lambda b: b.rank)
+    return bars[:top]
+
+
+# ---------------------------------------------------------------------------
+# Figure 7 — ECDF of whitelist matches per surveyed domain
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class EcdfSeries:
+    """An empirical CDF: sorted values with cumulative fractions."""
+
+    values: tuple[int, ...]
+    fractions: tuple[float, ...]
+
+    @classmethod
+    def from_values(cls, raw: list[int]) -> "EcdfSeries":
+        ordered = sorted(raw)
+        n = len(ordered)
+        return cls(
+            values=tuple(ordered),
+            fractions=tuple((i + 1) / n for i in range(n)),
+        )
+
+    def quantile(self, q: float) -> int:
+        """Value at cumulative fraction ``q`` (0 < q <= 1)."""
+        if not self.values:
+            raise ValueError("empty ECDF")
+        index = min(len(self.values) - 1,
+                    max(0, int(q * len(self.values)) - 1))
+        return self.values[index]
+
+    def fraction_at_least(self, threshold: int) -> float:
+        return sum(1 for v in self.values if v >= threshold) / len(self.values)
+
+
+@dataclass(frozen=True, slots=True)
+class Figure7:
+    """Both Figure 7 curves, over whitelist-activating domains only."""
+
+    total_matches: EcdfSeries
+    distinct_filters: EcdfSeries
+    activating_domains: int
+
+
+def figure7_ecdf(records: list[CrawlRecord]) -> Figure7:
+    totals: list[int] = []
+    distinct: list[int] = []
+    for record in records:
+        wl = [a for a in record.visit.whitelist_activations
+              if a.list_name == WHITELIST_NAME]
+        if not wl:
+            continue
+        totals.append(len(wl))
+        distinct.append(len({a.filter_text for a in wl}))
+    return Figure7(
+        total_matches=EcdfSeries.from_values(totals),
+        distinct_filters=EcdfSeries.from_values(distinct),
+        activating_domains=len(totals),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8 — filter activation frequency per popularity group
+# ---------------------------------------------------------------------------
+
+@dataclass
+class GroupFilterMatrix:
+    """Figure 8's heat map: per-group activation frequency per filter."""
+
+    filters: list[str]                       # columns, most-active first
+    groups: list[str]                        # rows
+    frequency: dict[str, Counter] = field(default_factory=dict)
+    group_sizes: dict[str, int] = field(default_factory=dict)
+
+    def rate(self, group: str, filter_text: str) -> float:
+        return (self.frequency[group][filter_text]
+                / max(1, self.group_sizes[group]))
+
+    def peak_group(self, filter_text: str) -> str:
+        """The group where a filter fires most frequently (by rate)."""
+        return max(self.groups, key=lambda g: self.rate(g, filter_text))
+
+
+def figure8_group_matrix(result: SurveyResult,
+                         top_filters: int = 50) -> GroupFilterMatrix:
+    """Per-group activation frequencies for the most active filters."""
+    matrix = GroupFilterMatrix(filters=[], groups=[])
+    overall: Counter = Counter()
+    for group in result.groups:
+        name = group.name
+        matrix.groups.append(name)
+        counts: Counter = Counter()
+        for record in result.records[name]:
+            for text in {a.filter_text for a in record.visit.activations}:
+                counts[text] += 1
+                overall[text] += 1
+        matrix.frequency[name] = counts
+        matrix.group_sizes[name] = len(result.records[name])
+    matrix.filters = [text for text, _ in overall.most_common(top_filters)]
+    return matrix
+
+
+# ---------------------------------------------------------------------------
+# Section 5.1 headline numbers
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class Section51Headline:
+    """The prose numbers of Section 5.1."""
+
+    surveyed: int
+    any_activation: int              # paper: 3,956 of 5,000
+    whitelist_activation: int        # paper: 2,934 (59%)
+    max_total_matches: int           # paper: 83 (toyota.com)
+    max_domain: str
+    max_distinct_filters: int        # paper: 8
+    mean_distinct_filters: float     # paper: 2.6
+    p95_total_matches: int           # paper: >= 12 for 5% of sites
+
+
+def section51_headline(records: list[CrawlRecord]) -> Section51Headline:
+    any_act = sum(1 for r in records if r.visit.activations)
+    wl_records = []
+    for record in records:
+        wl = [a for a in record.visit.whitelist_activations
+              if a.list_name == WHITELIST_NAME]
+        if wl:
+            wl_records.append((record, wl))
+    if wl_records:
+        max_record, max_wl = max(wl_records, key=lambda rw: len(rw[1]))
+        distinct_counts = [len({a.filter_text for a in wl})
+                           for _, wl in wl_records]
+        mean_distinct = sum(distinct_counts) / len(distinct_counts)
+        totals = EcdfSeries.from_values([len(wl) for _, wl in wl_records])
+        p95 = totals.quantile(0.95)
+        max_distinct = len({a.filter_text for a in max_wl})
+    else:  # pragma: no cover - degenerate surveys only
+        max_record, max_wl, mean_distinct, p95, max_distinct = (
+            None, [], 0.0, 0, 0)
+    return Section51Headline(
+        surveyed=len(records),
+        any_activation=any_act,
+        whitelist_activation=len(wl_records),
+        max_total_matches=len(max_wl),
+        max_domain=max_record.domain if max_record else "",
+        max_distinct_filters=max_distinct,
+        mean_distinct_filters=mean_distinct,
+        p95_total_matches=p95,
+    )

@@ -1,0 +1,134 @@
+"""The perception study's stimuli: 8 sites, 15 whitelisted advertisements.
+
+Section 6 shows respondents eight popular sites, each with one or more
+advertisements that Adblock Plus allows, chosen for "popularity and
+diversity of ad placement": a search engine (Google), an image host
+(Imgur), a retailer (Walmart), a Web service (IsItUp), a game forum
+(Utopia), a humor site (Cracked), a viral curator (ViralNova), and a
+user-content site (Reddit).
+
+Each ad carries *latent stimulus* parameters per statement — how
+attention-grabbing, how well distinguished from content, and how
+obscuring it really is.  The respondent model turns those latents into
+Likert responses; the latents are calibrated so the paper's headline
+agreement levels reproduce (Google #2: 73% find it attention-grabbing;
+Utopia #2: 45%; grid/content ads: ~90% say *not* distinguished;
+sidebar/top-bar/first-result ads: ~1/3 say obscuring).
+
+Figure 9(d) groups the ads into three classes: search-engine-marketing
+(SEM), banner, and content advertisements.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+__all__ = ["AdClass", "AdPlacement", "SURVEY_ADS", "SURVEY_SITES",
+           "ads_in_class", "ad_by_label"]
+
+
+class AdClass(enum.Enum):
+    """Figure 9(d)'s three advertisement classes."""
+
+    SEM = "search-engine-marketing"
+    BANNER = "banner"
+    CONTENT = "content"
+
+
+@dataclass(frozen=True, slots=True)
+class AdPlacement:
+    """One surveyed advertisement.
+
+    The three ``latent_*`` values are the population-level latent means
+    feeding the Likert response model: positive = respondents lean
+    "agree" with the corresponding statement (S1 eye-catching, S2
+    clearly distinguished, S3 obscures content).
+    """
+
+    label: str               # e.g. "Google #2"
+    site: str
+    ad_class: AdClass
+    placement: str           # sidebar / top-bar / grid / ...
+    latent_attention: float
+    latent_distinguished: float
+    latent_obscuring: float
+
+
+SURVEY_SITES: tuple[str, ...] = (
+    "google.com", "imgur.com", "walmart.com", "isitup.org",
+    "utopia-game.com", "cracked.com", "viralnova.com", "reddit.com",
+)
+
+
+SURVEY_ADS: tuple[AdPlacement, ...] = (
+    # Google: the first search result ad and the image-based product ads.
+    AdPlacement("Google #1", "google.com", AdClass.SEM,
+                "first-search-result",
+                latent_attention=0.05, latent_distinguished=0.75,
+                latent_obscuring=-0.15),
+    AdPlacement("Google #2", "google.com", AdClass.SEM,
+                "image-product-ads",
+                latent_attention=1.15, latent_distinguished=0.55,
+                latent_obscuring=-0.45),
+    AdPlacement("Walmart #1", "walmart.com", AdClass.SEM,
+                "sponsored-products",
+                latent_attention=-0.50, latent_distinguished=0.50,
+                latent_obscuring=-0.35),
+    # Banner advertisements.
+    AdPlacement("Imgur #1", "imgur.com", AdClass.BANNER, "sidebar",
+                latent_attention=0.10, latent_distinguished=0.95,
+                latent_obscuring=-1.05),
+    AdPlacement("Walmart #2", "walmart.com", AdClass.BANNER, "top-banner",
+                latent_attention=0.15, latent_distinguished=0.90,
+                latent_obscuring=-1.00),
+    AdPlacement("IsItUp #1", "isitup.org", AdClass.BANNER, "sponsor-image",
+                latent_attention=-0.35, latent_distinguished=1.05,
+                latent_obscuring=-1.35),
+    AdPlacement("Utopia #1", "utopia-game.com", AdClass.BANNER,
+                "footer-banner",
+                latent_attention=-0.10, latent_distinguished=0.95,
+                latent_obscuring=-1.15),
+    AdPlacement("Utopia #2", "utopia-game.com", AdClass.BANNER,
+                "nav-ad-bar",
+                latent_attention=0.45, latent_distinguished=0.75,
+                latent_obscuring=-0.55),
+    AdPlacement("Cracked #1", "cracked.com", AdClass.BANNER, "top-bar",
+                latent_attention=0.45, latent_distinguished=0.80,
+                latent_obscuring=-0.05),
+    AdPlacement("Reddit #1", "reddit.com", AdClass.BANNER, "sidebar",
+                latent_attention=0.20, latent_distinguished=0.90,
+                latent_obscuring=-0.10),
+    # Content advertisements: interleaved with, and barely separable
+    # from, real content.
+    AdPlacement("Reddit #2", "reddit.com", AdClass.CONTENT,
+                "sponsored-link",
+                latent_attention=-0.55, latent_distinguished=-0.40,
+                latent_obscuring=-0.10),
+    AdPlacement("Imgur #2", "imgur.com", AdClass.CONTENT, "promoted-post",
+                latent_attention=-0.40, latent_distinguished=-0.70,
+                latent_obscuring=0.00),
+    AdPlacement("Cracked #2", "cracked.com", AdClass.CONTENT,
+                "native-article",
+                latent_attention=-0.35, latent_distinguished=-0.85,
+                latent_obscuring=0.10),
+    AdPlacement("ViralNova #1", "viralnova.com", AdClass.CONTENT,
+                "content-grid",
+                latent_attention=-0.15, latent_distinguished=-1.75,
+                latent_obscuring=0.25),
+    AdPlacement("ViralNova #2", "viralnova.com", AdClass.CONTENT,
+                "content-grid",
+                latent_attention=-0.10, latent_distinguished=-1.70,
+                latent_obscuring=0.30),
+)
+
+
+def ads_in_class(ad_class: AdClass) -> list[AdPlacement]:
+    return [ad for ad in SURVEY_ADS if ad.ad_class is ad_class]
+
+
+def ad_by_label(label: str) -> AdPlacement:
+    for ad in SURVEY_ADS:
+        if ad.label == label:
+            return ad
+    raise KeyError(label)

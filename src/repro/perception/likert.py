@@ -1,0 +1,115 @@
+"""Likert-scale machinery: coding, distributions, aggregation.
+
+The paper codes the five response levels to integers in [-2, 2]
+("strongly disagree was given -2") and reports per-ad response
+distributions (Figure 9 a–c) plus per-class mean and variance
+(Figure 9 d).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = ["Likert", "LikertDistribution", "THRESHOLDS",
+           "latent_to_likert"]
+
+
+class Likert(enum.IntEnum):
+    """The five response levels, integer-coded per the paper."""
+
+    STRONGLY_DISAGREE = -2
+    DISAGREE = -1
+    NEUTRAL = 0
+    AGREE = 1
+    STRONGLY_AGREE = 2
+
+    @property
+    def label(self) -> str:
+        return self.name.replace("_", " ").title()
+
+
+#: Latent-variable cut points: a latent value below -1.5 codes as
+#: strongly disagree, [-1.5, -0.5) as disagree, and so on.
+THRESHOLDS = (-1.5, -0.5, 0.5, 1.5)
+
+
+def latent_to_likert(latent: float) -> Likert:
+    """Map a continuous latent opinion to a Likert level."""
+    if latent < THRESHOLDS[0]:
+        return Likert.STRONGLY_DISAGREE
+    if latent < THRESHOLDS[1]:
+        return Likert.DISAGREE
+    if latent < THRESHOLDS[2]:
+        return Likert.NEUTRAL
+    if latent < THRESHOLDS[3]:
+        return Likert.AGREE
+    return Likert.STRONGLY_AGREE
+
+
+@dataclass(frozen=True)
+class LikertDistribution:
+    """An aggregated set of Likert responses."""
+
+    counts: tuple[int, int, int, int, int]  # SD, D, N, A, SA
+
+    @classmethod
+    def from_responses(cls, responses: Iterable[Likert]
+                       ) -> "LikertDistribution":
+        counter = Counter(responses)
+        return cls(counts=tuple(
+            counter.get(level, 0)
+            for level in (Likert.STRONGLY_DISAGREE, Likert.DISAGREE,
+                          Likert.NEUTRAL, Likert.AGREE,
+                          Likert.STRONGLY_AGREE)
+        ))
+
+    @property
+    def n(self) -> int:
+        return sum(self.counts)
+
+    def fraction(self, level: Likert) -> float:
+        index = int(level) + 2
+        return self.counts[index] / self.n if self.n else 0.0
+
+    @property
+    def agree_fraction(self) -> float:
+        """Agree or strongly agree — the paper's headline percentages."""
+        if not self.n:
+            return 0.0
+        return (self.counts[3] + self.counts[4]) / self.n
+
+    @property
+    def disagree_fraction(self) -> float:
+        if not self.n:
+            return 0.0
+        return (self.counts[0] + self.counts[1]) / self.n
+
+    @property
+    def mean(self) -> float:
+        if not self.n:
+            return 0.0
+        total = sum(count * (index - 2)
+                    for index, count in enumerate(self.counts))
+        return total / self.n
+
+    @property
+    def variance(self) -> float:
+        """Population variance of the integer-coded responses."""
+        if not self.n:
+            return 0.0
+        mean = self.mean
+        total = sum(count * ((index - 2) - mean) ** 2
+                    for index, count in enumerate(self.counts))
+        return total / self.n
+
+    @property
+    def stddev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merged(self, other: "LikertDistribution") -> "LikertDistribution":
+        return LikertDistribution(counts=tuple(
+            a + b for a, b in zip(self.counts, other.counts)))

@@ -1,0 +1,109 @@
+"""The Mechanical Turk respondent population model.
+
+The paper recruited 305 workers (>= 5,000 approved HITs, >= 98%
+approval), paid $1 each for a 72-question, ~10-minute survey.  The
+demographics it reports: 50% had used ad-blocking software; browser
+shares 61% Chrome, 28% Firefox, 9% Safari, 1% Opera, 1% IE.
+
+Respondents are heterogeneous — the paper's core perception finding is
+*dissension*.  Each synthetic respondent carries latent traits:
+
+* ``annoyance`` — general sensitivity to advertising (shifts all three
+  statements in the "ads are bad" direction);
+* ``discernment`` — ability to spot ads (shifts S2 responses);
+* ``acquiescence`` — agree-bias common in survey populations;
+* ``noise`` — per-question idiosyncrasy scale.
+
+The trait variances are the dissension knob: they are set high enough
+that every ad sees the full response range, matching Figure 9's spread.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["Respondent", "Demographics", "build_population",
+           "RESPONDENT_COUNT", "BROWSER_SHARES"]
+
+RESPONDENT_COUNT = 305
+
+BROWSER_SHARES: tuple[tuple[str, float], ...] = (
+    ("chrome", 0.61),
+    ("firefox", 0.28),
+    ("safari", 0.09),
+    ("opera", 0.01),
+    ("internet explorer", 0.01),
+)
+
+_ADBLOCK_SHARE = 0.50
+
+
+@dataclass(frozen=True, slots=True)
+class Respondent:
+    """One survey participant."""
+
+    respondent_id: int
+    browser: str
+    uses_adblock: bool
+    annoyance: float
+    discernment: float
+    acquiescence: float
+    noise_scale: float
+
+
+@dataclass(frozen=True, slots=True)
+class Demographics:
+    """Aggregate demographics of a population."""
+
+    total: int
+    adblock_fraction: float
+    browser_fractions: dict[str, float]
+
+
+def build_population(count: int = RESPONDENT_COUNT,
+                     seed: int = 305) -> list[Respondent]:
+    """Generate a deterministic respondent population.
+
+    Browser assignment uses exact quotas (the paper reports shares, not
+    a sample), ad-block usage alternates to hit 50% exactly, and traits
+    are Gaussian draws from the dissension-calibrated distributions.
+    """
+    rng = random.Random(seed)
+    browsers: list[str] = []
+    for name, share in BROWSER_SHARES:
+        browsers.extend([name] * round(share * count))
+    while len(browsers) < count:
+        browsers.append(BROWSER_SHARES[0][0])
+    browsers = browsers[:count]
+    rng.shuffle(browsers)
+
+    population: list[Respondent] = []
+    for i in range(count):
+        population.append(Respondent(
+            respondent_id=i,
+            browser=browsers[i],
+            uses_adblock=(i % 2 == 0) if count % 2 == 0 or i < count - 1
+            else rng.random() < _ADBLOCK_SHARE,
+            annoyance=rng.gauss(0.0, 0.55),
+            discernment=rng.gauss(0.0, 0.45),
+            acquiescence=rng.gauss(0.05, 0.30),
+            noise_scale=abs(rng.gauss(0.85, 0.25)) + 0.25,
+        ))
+    return population
+
+
+def demographics(population: list[Respondent]) -> Demographics:
+    """Summarise a population the way Section 6 reports it."""
+    total = len(population)
+    browser_counts: dict[str, int] = {}
+    for respondent in population:
+        browser_counts[respondent.browser] = (
+            browser_counts.get(respondent.browser, 0) + 1)
+    return Demographics(
+        total=total,
+        adblock_fraction=sum(
+            1 for r in population if r.uses_adblock) / total,
+        browser_fractions={name: n / total
+                           for name, n in browser_counts.items()},
+    )

@@ -1,0 +1,175 @@
+"""Running the Section 6 perception survey and aggregating Figure 9.
+
+Response model: for respondent *r*, advertisement *a*, and statement
+*s*, the latent opinion is
+
+    latent = stimulus(a, s) + trait_shift(r, s) + acquiescence(r) + noise
+
+mapped to the five Likert levels by fixed cut points.  Trait shifts
+implement the psychology the paper observes:
+
+* high-``annoyance`` respondents agree more with S1 (eye-catching) and
+  S3 (obscuring) and *disagree* more with S2 (clearly distinguished);
+* high-``discernment`` respondents distinguish ads better (positive S2
+  shift) — this is why even the grid ads get some "distinguished"
+  agreement;
+* ``acquiescence`` shifts every statement slightly toward agreement.
+
+Aggregation produces Figure 9(a–c) (per-ad distributions per statement)
+and Figure 9(d) (mean and variance per advertisement class).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from repro.perception.ads import AdClass, AdPlacement, SURVEY_ADS
+from repro.perception.likert import (
+    Likert,
+    LikertDistribution,
+    latent_to_likert,
+)
+from repro.perception.respondents import (
+    Demographics,
+    RESPONDENT_COUNT,
+    Respondent,
+    build_population,
+    demographics,
+)
+
+__all__ = [
+    "STATEMENTS",
+    "Statement",
+    "Response",
+    "PerceptionResult",
+    "run_perception_survey",
+    "QUESTIONS_PER_RESPONDENT",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class Statement:
+    """One of the three Acceptable-Ads-criteria statements."""
+
+    key: str
+    text: str
+
+
+STATEMENTS: tuple[Statement, ...] = (
+    Statement("attention",
+              "The advertisements are eye catching and grab my attention."),
+    Statement("distinguished",
+              "The advertisements are clearly distinguished from page "
+              "content."),
+    Statement("obscuring",
+              "The advertisements on this page obscure page content or "
+              "obstruct reading flow."),
+)
+
+#: 15 ads x 3 statements, plus per-ad familiarity probes, site
+#: familiarity, and demographics — the paper's 72 questions.
+QUESTIONS_PER_RESPONDENT = (
+    len(SURVEY_ADS) * len(STATEMENTS)   # 45 statement ratings
+    + len(SURVEY_ADS)                   # 15 "had you seen this ad format"
+    + 8                                 # site familiarity
+    + 4                                 # demographics
+)
+
+
+@dataclass(frozen=True, slots=True)
+class Response:
+    """One respondent's rating of one statement about one ad."""
+
+    respondent_id: int
+    ad_label: str
+    statement: str
+    rating: Likert
+
+
+@dataclass
+class PerceptionResult:
+    """All responses plus the Figure 9 aggregations."""
+
+    population: list[Respondent]
+    responses: list[Response] = field(default_factory=list)
+
+    @property
+    def demographics(self) -> Demographics:
+        return demographics(self.population)
+
+    def distribution(self, ad_label: str,
+                     statement: str) -> LikertDistribution:
+        """Figure 9(a–c): one ad's distribution for one statement."""
+        return LikertDistribution.from_responses(
+            r.rating for r in self.responses
+            if r.ad_label == ad_label and r.statement == statement)
+
+    def class_distribution(self, ad_class: AdClass,
+                           statement: str) -> LikertDistribution:
+        labels = {ad.label for ad in SURVEY_ADS if ad.ad_class is ad_class}
+        return LikertDistribution.from_responses(
+            r.rating for r in self.responses
+            if r.ad_label in labels and r.statement == statement)
+
+    def figure9d(self) -> dict[AdClass, dict[str, tuple[float, float]]]:
+        """Figure 9(d): (mean, variance) per class per statement."""
+        table: dict[AdClass, dict[str, tuple[float, float]]] = {}
+        for ad_class in AdClass:
+            row: dict[str, tuple[float, float]] = {}
+            for statement in STATEMENTS:
+                dist = self.class_distribution(ad_class, statement.key)
+                row[statement.key] = (dist.mean, dist.variance)
+            table[ad_class] = row
+        return table
+
+
+def _stimulus(ad: AdPlacement, statement_key: str) -> float:
+    if statement_key == "attention":
+        return ad.latent_attention
+    if statement_key == "distinguished":
+        return ad.latent_distinguished
+    return ad.latent_obscuring
+
+
+def _trait_shift(respondent: Respondent, statement_key: str) -> float:
+    if statement_key == "attention":
+        return 0.45 * respondent.annoyance
+    if statement_key == "distinguished":
+        return (0.55 * respondent.discernment
+                - 0.35 * respondent.annoyance)
+    return 0.55 * respondent.annoyance
+
+
+def run_perception_survey(
+    *,
+    respondents: int = RESPONDENT_COUNT,
+    seed: int = 2015,
+    population: list[Respondent] | None = None,
+) -> PerceptionResult:
+    """Run the full survey and return all responses.
+
+    Deterministic in ``seed``; the population can be supplied for
+    counterfactual experiments (e.g. an all-ad-blocker population).
+    """
+    population = population or build_population(count=respondents,
+                                                seed=seed ^ 0x5EED)
+    rng = random.Random(seed)
+    result = PerceptionResult(population=population)
+
+    for respondent in population:
+        for ad in SURVEY_ADS:
+            for statement in STATEMENTS:
+                latent = (
+                    _stimulus(ad, statement.key)
+                    + _trait_shift(respondent, statement.key)
+                    + respondent.acquiescence
+                    + rng.gauss(0.0, respondent.noise_scale)
+                )
+                result.responses.append(Response(
+                    respondent_id=respondent.respondent_id,
+                    ad_label=ad.label,
+                    statement=statement.key,
+                    rating=latent_to_likert(latent),
+                ))
+    return result

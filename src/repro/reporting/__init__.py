@@ -1,0 +1,17 @@
+"""Rendering helpers for benchmark output: tables and figure series."""
+
+from repro.reporting.series import Series, find_jumps, sparkline
+from repro.reporting.svg import SvgCanvas, grouped_bars, line_chart, stacked_bars
+from repro.reporting.tables import render_comparison, render_table
+
+__all__ = [
+    "Series",
+    "SvgCanvas",
+    "grouped_bars",
+    "line_chart",
+    "stacked_bars",
+    "find_jumps",
+    "render_comparison",
+    "render_table",
+    "sparkline",
+]

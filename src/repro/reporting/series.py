@@ -1,0 +1,70 @@
+"""Figure-data containers: time series and sparkline rendering.
+
+Benchmarks regenerate the paper's *figures* as data series; a terminal
+has no plot surface, so each series can render itself as a compact
+sparkline plus the salient landmarks (jumps, quantiles, crossings).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = ["Series", "sparkline", "find_jumps"]
+
+_BLOCKS = " ▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 64) -> str:
+    """Render values as a unicode sparkline resampled to ``width``."""
+    if not values:
+        return ""
+    step = max(1, len(values) // width)
+    sampled = [values[i] for i in range(0, len(values), step)]
+    low = min(sampled)
+    high = max(sampled)
+    span = (high - low) or 1.0
+    return "".join(
+        _BLOCKS[1 + int((v - low) / span * (len(_BLOCKS) - 2))]
+        for v in sampled
+    )
+
+
+def find_jumps(values: Sequence[float], top: int = 3
+               ) -> list[tuple[int, float]]:
+    """The ``top`` largest single-step increases: (index, delta)."""
+    deltas = [(i, values[i] - values[i - 1])
+              for i in range(1, len(values))]
+    deltas.sort(key=lambda pair: -pair[1])
+    return deltas[:top]
+
+
+@dataclass(frozen=True)
+class Series:
+    """A labelled (x, y) series with sparkline rendering."""
+
+    label: str
+    x: tuple[float, ...]
+    y: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.x) != len(self.y):
+            raise ValueError("x and y lengths differ")
+
+    def render(self, width: int = 64) -> str:
+        if not self.y:
+            return f"{self.label}: (empty)"
+        return (f"{self.label}: {sparkline(self.y, width)} "
+                f"[{self.y[0]:g} .. {self.y[-1]:g}]")
+
+    def at_x(self, x_value: float) -> float:
+        """The y of the last point with x <= x_value."""
+        best = None
+        for xi, yi in zip(self.x, self.y):
+            if xi <= x_value:
+                best = yi
+            else:
+                break
+        if best is None:
+            raise ValueError(f"no point at or before x={x_value}")
+        return best

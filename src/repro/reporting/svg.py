@@ -1,0 +1,208 @@
+"""Dependency-free SVG rendering for the paper's figures.
+
+The benchmark harness prints figures as data; this module draws them.
+Three chart types cover every figure in the paper:
+
+* :func:`line_chart` — Figure 3 (growth) and Figure 7 (ECDFs);
+* :func:`grouped_bars` — Figure 6 (per-site matches, two configs);
+* :func:`stacked_bars` — Figure 9(a–c) (Likert distributions).
+
+Output is a self-contained SVG string (write it to a ``.svg`` file and
+open it in any browser).  No third-party plotting library is used.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+from xml.sax.saxutils import escape
+
+__all__ = ["SvgCanvas", "line_chart", "grouped_bars", "stacked_bars"]
+
+_PALETTE = ("#4878a8", "#e08214", "#5aae61", "#c51b7d", "#8073ac",
+            "#b35806")
+
+
+@dataclass
+class SvgCanvas:
+    """A minimal SVG document builder."""
+
+    width: int
+    height: int
+
+    def __post_init__(self) -> None:
+        self._parts: list[str] = []
+
+    def rect(self, x: float, y: float, w: float, h: float,
+             fill: str, opacity: float = 1.0) -> None:
+        self._parts.append(
+            f'<rect x="{x:.1f}" y="{y:.1f}" width="{w:.1f}" '
+            f'height="{h:.1f}" fill="{fill}" opacity="{opacity}"/>')
+
+    def line(self, x1: float, y1: float, x2: float, y2: float,
+             stroke: str = "#888", width: float = 1.0) -> None:
+        self._parts.append(
+            f'<line x1="{x1:.1f}" y1="{y1:.1f}" x2="{x2:.1f}" '
+            f'y2="{y2:.1f}" stroke="{stroke}" '
+            f'stroke-width="{width}"/>')
+
+    def polyline(self, points: Sequence[tuple[float, float]],
+                 stroke: str, width: float = 1.6) -> None:
+        coords = " ".join(f"{x:.1f},{y:.1f}" for x, y in points)
+        self._parts.append(
+            f'<polyline points="{coords}" fill="none" '
+            f'stroke="{stroke}" stroke-width="{width}"/>')
+
+    def text(self, x: float, y: float, content: str, *,
+             size: int = 11, anchor: str = "start",
+             rotate: float | None = None, fill: str = "#222") -> None:
+        transform = (f' transform="rotate({rotate} {x:.1f} {y:.1f})"'
+                     if rotate is not None else "")
+        self._parts.append(
+            f'<text x="{x:.1f}" y="{y:.1f}" font-size="{size}" '
+            f'font-family="sans-serif" text-anchor="{anchor}" '
+            f'fill="{fill}"{transform}>{escape(content)}</text>')
+
+    def to_svg(self) -> str:
+        body = "\n".join(self._parts)
+        return (f'<svg xmlns="http://www.w3.org/2000/svg" '
+                f'width="{self.width}" height="{self.height}" '
+                f'viewBox="0 0 {self.width} {self.height}">\n'
+                f'<rect width="100%" height="100%" fill="white"/>\n'
+                f"{body}\n</svg>\n")
+
+
+_MARGIN = 56
+
+
+def _scale(values: Sequence[float]) -> tuple[float, float]:
+    low = min(values)
+    high = max(values)
+    if low == high:
+        high = low + 1.0
+    return low, high
+
+
+def line_chart(series: dict[str, tuple[Sequence[float], Sequence[float]]],
+               *, title: str, x_label: str = "", y_label: str = "",
+               width: int = 720, height: int = 400) -> str:
+    """Render one or more (x, y) series as a line chart."""
+    if not series:
+        raise ValueError("line_chart needs at least one series")
+    canvas = SvgCanvas(width, height)
+    plot_w = width - 2 * _MARGIN
+    plot_h = height - 2 * _MARGIN
+
+    all_x = [x for xs, _ in series.values() for x in xs]
+    all_y = [y for _, ys in series.values() for y in ys]
+    x_lo, x_hi = _scale(all_x)
+    y_lo, y_hi = _scale(all_y)
+
+    def px(x: float) -> float:
+        return _MARGIN + (x - x_lo) / (x_hi - x_lo) * plot_w
+
+    def py(y: float) -> float:
+        return height - _MARGIN - (y - y_lo) / (y_hi - y_lo) * plot_h
+
+    canvas.text(width / 2, 22, title, size=14, anchor="middle")
+    canvas.line(_MARGIN, height - _MARGIN, width - _MARGIN,
+                height - _MARGIN, stroke="#222")
+    canvas.line(_MARGIN, _MARGIN, _MARGIN, height - _MARGIN,
+                stroke="#222")
+    for frac in (0.0, 0.25, 0.5, 0.75, 1.0):
+        y_val = y_lo + frac * (y_hi - y_lo)
+        canvas.line(_MARGIN, py(y_val), width - _MARGIN, py(y_val),
+                    stroke="#ddd")
+        canvas.text(_MARGIN - 6, py(y_val) + 4, f"{y_val:,.0f}"
+                    if y_hi > 10 else f"{y_val:.2f}",
+                    size=10, anchor="end")
+        x_val = x_lo + frac * (x_hi - x_lo)
+        canvas.text(px(x_val), height - _MARGIN + 16,
+                    f"{x_val:,.0f}", size=10, anchor="middle")
+    if x_label:
+        canvas.text(width / 2, height - 12, x_label, anchor="middle")
+    if y_label:
+        canvas.text(16, height / 2, y_label, anchor="middle",
+                    rotate=-90)
+
+    for index, (label, (xs, ys)) in enumerate(series.items()):
+        color = _PALETTE[index % len(_PALETTE)]
+        canvas.polyline([(px(x), py(y)) for x, y in zip(xs, ys)],
+                        stroke=color)
+        canvas.text(width - _MARGIN - 4,
+                    _MARGIN + 16 + 16 * index, label,
+                    anchor="end", fill=color)
+    return canvas.to_svg()
+
+
+def grouped_bars(labels: Sequence[str],
+                 groups: dict[str, Sequence[float]],
+                 *, title: str, width: int = 960,
+                 height: int = 420,
+                 bold: Sequence[bool] | None = None) -> str:
+    """Render per-label grouped bars (Figure 6's paired bars)."""
+    if not groups:
+        raise ValueError("grouped_bars needs at least one group")
+    for name, values in groups.items():
+        if len(values) != len(labels):
+            raise ValueError(f"group {name!r} length mismatch")
+    canvas = SvgCanvas(width, height)
+    plot_w = width - 2 * _MARGIN
+    plot_h = height - 2 * _MARGIN - 40
+    y_hi = max(max(values) for values in groups.values()) or 1.0
+
+    slot = plot_w / max(1, len(labels))
+    bar_w = slot / (len(groups) + 0.7)
+
+    canvas.text(width / 2, 22, title, size=14, anchor="middle")
+    canvas.line(_MARGIN, height - _MARGIN - 40, width - _MARGIN,
+                height - _MARGIN - 40, stroke="#222")
+
+    for g_index, (name, values) in enumerate(groups.items()):
+        color = _PALETTE[g_index % len(_PALETTE)]
+        canvas.text(_MARGIN + 120 * g_index, 40, name, fill=color)
+        for i, value in enumerate(values):
+            h = value / y_hi * plot_h
+            x = _MARGIN + i * slot + g_index * bar_w
+            canvas.rect(x, height - _MARGIN - 40 - h, bar_w * 0.92, h,
+                        fill=color)
+
+    for i, label in enumerate(labels):
+        weight = bold[i] if bold is not None else False
+        canvas.text(_MARGIN + i * slot + slot / 2,
+                    height - _MARGIN - 26, label, size=9,
+                    anchor="end", rotate=-45,
+                    fill="#000" if weight else "#666")
+    return canvas.to_svg()
+
+
+def stacked_bars(labels: Sequence[str],
+                 segments: dict[str, Sequence[float]],
+                 *, title: str, width: int = 720,
+                 height: int = 360) -> str:
+    """Render 100%-stacked horizontal bars (Figure 9's Likert rows)."""
+    for name, values in segments.items():
+        if len(values) != len(labels):
+            raise ValueError(f"segment {name!r} length mismatch")
+    canvas = SvgCanvas(width, height)
+    plot_w = width - 2 * _MARGIN - 80
+    row_h = (height - 2 * _MARGIN) / max(1, len(labels))
+
+    canvas.text(width / 2, 22, title, size=14, anchor="middle")
+    for s_index, name in enumerate(segments):
+        color = _PALETTE[s_index % len(_PALETTE)]
+        canvas.text(_MARGIN + 120 * s_index, 38, name, size=10,
+                    fill=color)
+
+    for i, label in enumerate(labels):
+        total = sum(values[i] for values in segments.values()) or 1.0
+        x = _MARGIN + 80.0
+        y = _MARGIN + i * row_h + row_h * 0.15
+        canvas.text(_MARGIN + 74, y + row_h * 0.5, label, size=10,
+                    anchor="end")
+        for s_index, values in enumerate(segments.values()):
+            w = values[i] / total * plot_w
+            canvas.rect(x, y, w, row_h * 0.7,
+                        fill=_PALETTE[s_index % len(_PALETTE)])
+            x += w
+    return canvas.to_svg()

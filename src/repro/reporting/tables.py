@@ -1,0 +1,68 @@
+"""ASCII table rendering for benchmark output.
+
+Every benchmark prints the paper's rows next to the measured ones;
+this renderer keeps that output aligned and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["render_table", "render_comparison"]
+
+
+def render_table(headers: Sequence[str],
+                 rows: Iterable[Sequence[object]],
+                 title: str | None = None) -> str:
+    """Render rows as a fixed-width ASCII table."""
+    materialised = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialised:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialised:
+        lines.append("  ".join(cell.ljust(widths[i])
+                               for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_comparison(title: str,
+                      rows: Iterable[tuple[str, object, object]]) -> str:
+    """Render (metric, paper value, measured value) comparison rows."""
+    table_rows = [(name, paper, measured, _verdict(paper, measured))
+                  for name, paper, measured in rows]
+    return render_table(("metric", "paper", "measured", "match"),
+                        table_rows, title=title)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.3f}" if abs(value) < 100 else f"{value:,.0f}"
+    if isinstance(value, int):
+        # No thousands separators below 10,000 — years print as years.
+        return f"{value:,}" if abs(value) >= 10_000 else str(value)
+    return str(value)
+
+
+def _verdict(paper: object, measured: object,
+             tolerance: float = 0.15) -> str:
+    """A rough shape check: within ``tolerance`` relative error."""
+    try:
+        p = float(paper)   # type: ignore[arg-type]
+        m = float(measured)  # type: ignore[arg-type]
+    except (TypeError, ValueError):
+        return ""
+    if p == 0:
+        return "=" if m == 0 else "~"
+    rel = abs(m - p) / abs(p)
+    if rel <= 0.02:
+        return "=="
+    if rel <= tolerance:
+        return "~"
+    return "!"

@@ -1,0 +1,148 @@
+"""Minimal DER for sitekey public keys.
+
+Sitekey filters embed "a DER-encoded, base-64 representation of an RSA
+public key" (Section 4.2.3) — concretely an X.509
+``SubjectPublicKeyInfo`` wrapping a PKCS#1 ``RSAPublicKey``.  We encode
+and decode exactly that structure:
+
+    SubjectPublicKeyInfo ::= SEQUENCE {
+        algorithm   SEQUENCE { OID rsaEncryption, NULL },
+        subjectPublicKey BIT STRING {
+            RSAPublicKey ::= SEQUENCE { modulus INTEGER,
+                                        publicExponent INTEGER } } }
+
+Keys encoded here round-trip bit-exactly, and the base64 form begins
+with the ``MFww...``-style prefix quoted in the paper's example filter.
+"""
+
+from __future__ import annotations
+
+import base64
+
+from repro.sitekey.rsa import RsaPublicKey
+
+__all__ = [
+    "DerError",
+    "encode_public_key",
+    "decode_public_key",
+    "public_key_to_base64",
+    "public_key_from_base64",
+]
+
+#: OID 1.2.840.113549.1.1.1 (rsaEncryption), pre-encoded.
+_RSA_OID = bytes.fromhex("06092a864886f70d010101")
+_NULL = b"\x05\x00"
+
+_TAG_INTEGER = 0x02
+_TAG_BIT_STRING = 0x03
+_TAG_SEQUENCE = 0x30
+
+
+class DerError(ValueError):
+    """Raised for malformed DER input."""
+
+
+def _encode_length(length: int) -> bytes:
+    if length < 0x80:
+        return bytes([length])
+    body = length.to_bytes((length.bit_length() + 7) // 8, "big")
+    return bytes([0x80 | len(body)]) + body
+
+
+def _encode_tlv(tag: int, value: bytes) -> bytes:
+    return bytes([tag]) + _encode_length(len(value)) + value
+
+
+def _encode_integer(value: int) -> bytes:
+    if value < 0:
+        raise DerError("negative integers are not used in public keys")
+    body = value.to_bytes(max(1, (value.bit_length() + 7) // 8), "big")
+    if body[0] & 0x80:
+        body = b"\x00" + body  # keep it positive
+    return _encode_tlv(_TAG_INTEGER, body)
+
+
+def encode_public_key(key: RsaPublicKey) -> bytes:
+    """Encode ``key`` as a DER SubjectPublicKeyInfo."""
+    rsa_key = _encode_tlv(
+        _TAG_SEQUENCE, _encode_integer(key.n) + _encode_integer(key.e))
+    bit_string = _encode_tlv(_TAG_BIT_STRING, b"\x00" + rsa_key)
+    algorithm = _encode_tlv(_TAG_SEQUENCE, _RSA_OID + _NULL)
+    return _encode_tlv(_TAG_SEQUENCE, algorithm + bit_string)
+
+
+class _Reader:
+    def __init__(self, data: bytes) -> None:
+        self.data = data
+        self.pos = 0
+
+    def read_tlv(self, expected_tag: int) -> bytes:
+        if self.pos >= len(self.data):
+            raise DerError("truncated DER: expected a tag")
+        tag = self.data[self.pos]
+        if tag != expected_tag:
+            raise DerError(f"expected tag 0x{expected_tag:02x}, "
+                           f"got 0x{tag:02x}")
+        self.pos += 1
+        length = self._read_length()
+        end = self.pos + length
+        if end > len(self.data):
+            raise DerError("truncated DER: value runs past end")
+        value = self.data[self.pos:end]
+        self.pos = end
+        return value
+
+    def _read_length(self) -> int:
+        if self.pos >= len(self.data):
+            raise DerError("truncated DER: expected a length")
+        first = self.data[self.pos]
+        self.pos += 1
+        if first < 0x80:
+            return first
+        count = first & 0x7F
+        if count == 0 or count > 8:
+            raise DerError("unsupported DER length encoding")
+        if self.pos + count > len(self.data):
+            raise DerError("truncated DER length")
+        value = int.from_bytes(self.data[self.pos:self.pos + count], "big")
+        self.pos += count
+        return value
+
+
+def decode_public_key(data: bytes) -> RsaPublicKey:
+    """Decode a DER SubjectPublicKeyInfo into an :class:`RsaPublicKey`.
+
+    Raises :class:`DerError` on any structural problem (wrong OID,
+    truncation, trailing garbage inside sequences).
+    """
+    outer = _Reader(data)
+    spki = _Reader(outer.read_tlv(_TAG_SEQUENCE))
+    algorithm = spki.read_tlv(_TAG_SEQUENCE)
+    if not algorithm.startswith(_RSA_OID):
+        raise DerError("not an rsaEncryption key")
+    bit_string = spki.read_tlv(_TAG_BIT_STRING)
+    if not bit_string or bit_string[0] != 0:
+        raise DerError("bit string with unused bits is not a valid key")
+    inner = _Reader(bit_string[1:])
+    rsa_seq = _Reader(inner.read_tlv(_TAG_SEQUENCE))
+    n = int.from_bytes(rsa_seq.read_tlv(_TAG_INTEGER), "big")
+    e = int.from_bytes(rsa_seq.read_tlv(_TAG_INTEGER), "big")
+    if rsa_seq.pos != len(rsa_seq.data):
+        raise DerError("trailing bytes inside RSAPublicKey")
+    if n <= 0 or e <= 0:
+        raise DerError("non-positive key parameters")
+    return RsaPublicKey(n=n, e=e)
+
+
+def public_key_to_base64(key: RsaPublicKey) -> str:
+    """The base64 text that goes into ``$sitekey=`` filters."""
+    return base64.b64encode(encode_public_key(key)).decode("ascii")
+
+
+def public_key_from_base64(text: str) -> RsaPublicKey:
+    """Inverse of :func:`public_key_to_base64`; raises DerError on junk."""
+    try:
+        raw = base64.b64decode(text.encode("ascii"), validate=True)
+    except (ValueError, UnicodeEncodeError) as exc:
+        raise DerError(f"bad base64 sitekey: {exc}") from exc
+    return decode_public_key(raw)

@@ -1,0 +1,256 @@
+"""Factoring weak sitekeys and the Figure 5 bypass proof-of-concept.
+
+The paper factored deployed 512-bit sitekeys with CADO-NFS on an 8-node
+cluster in about a week per key, then showed that the recovered private
+key lets *any* publisher sign its own pages and bypass Adblock Plus
+entirely.  A general number field sieve is out of scope for a pure-
+Python reproduction, so we demonstrate the identical property on
+genuinely weak keys (≤ ~80-bit moduli) using Pollard's rho and Pollard's
+p−1 — real factoring, real key recovery, and then the real bypass flow:
+
+1. factor the public modulus of a sitekey found in the whitelist;
+2. reconstruct the private exponent;
+3. stand up an adversarial site that serves intrusive ads *plus* a
+   sitekey signature made with the recovered key;
+4. show the instrumented engine blocks the site without the signature
+   and allows everything with it (Figure 5 a/b).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+import time
+from dataclasses import dataclass
+
+from repro.filters.engine import AdblockEngine, Verdict
+from repro.filters.options import ContentType
+from repro.sitekey.der import public_key_to_base64
+from repro.sitekey.protocol import make_header, verify_presented_key
+from repro.sitekey.rsa import RsaPrivateKey, RsaPublicKey, is_probable_prime
+
+__all__ = [
+    "FactoringError",
+    "pollard_rho",
+    "pollard_p_minus_1",
+    "factor_semiprime",
+    "recover_private_key",
+    "FactoredKey",
+    "factor_sitekey",
+    "BypassDemo",
+    "run_bypass_demo",
+]
+
+
+class FactoringError(RuntimeError):
+    """Raised when the modulus resists the implemented methods in time."""
+
+
+def pollard_rho(n: int, *, seed: int = 1, max_iterations: int = 10_000_000
+                ) -> int | None:
+    """Pollard's rho with Brent's cycle detection; returns a factor or None."""
+    if n % 2 == 0:
+        return 2
+    rng = random.Random(seed)
+    for attempt in range(20):
+        y = rng.randrange(1, n)
+        c = rng.randrange(1, n)
+        m = 128
+        g = r = q = 1
+        x = ys = y
+        iterations = 0
+        while g == 1 and iterations < max_iterations:
+            x = y
+            for _ in range(r):
+                y = (y * y + c) % n
+            k = 0
+            while k < r and g == 1:
+                ys = y
+                for _ in range(min(m, r - k)):
+                    y = (y * y + c) % n
+                    q = q * abs(x - y) % n
+                g = math.gcd(q, n)
+                k += m
+            r *= 2
+            iterations += r
+        if g == n:
+            g = 1
+            while g == 1:
+                ys = (ys * ys + c) % n
+                g = math.gcd(abs(x - ys), n)
+        if 1 < g < n:
+            return g
+    return None
+
+
+def pollard_p_minus_1(n: int, bound: int = 100_000) -> int | None:
+    """Pollard's p−1: finds p when p−1 is ``bound``-smooth."""
+    a = 2
+    for j in range(2, bound):
+        a = pow(a, j, n)
+        if j % 512 == 0:
+            g = math.gcd(a - 1, n)
+            if 1 < g < n:
+                return g
+            if g == n:
+                return None
+    g = math.gcd(a - 1, n)
+    if 1 < g < n:
+        return g
+    return None
+
+
+def factor_semiprime(n: int, *, time_budget: float = 30.0) -> tuple[int, int]:
+    """Factor a semiprime ``n = p*q``; raises :class:`FactoringError`.
+
+    Tries trial division, p−1, then rho with escalating effort until the
+    time budget runs out.  Practical up to ~90-bit moduli on a laptop —
+    the moral equivalent of the paper's 512-bit-on-a-cluster result.
+    """
+    if n <= 3:
+        raise FactoringError("modulus too small to be a semiprime")
+    if is_probable_prime(n):
+        raise FactoringError(f"{n} is prime, not a semiprime")
+    for p in range(2, 10_000):
+        if n % p == 0:
+            return p, n // p
+    deadline = time.monotonic() + time_budget
+    factor = pollard_p_minus_1(n)
+    seed = 1
+    while factor is None:
+        if time.monotonic() > deadline:
+            raise FactoringError(
+                f"could not factor {n.bit_length()}-bit modulus within "
+                f"{time_budget:.0f}s")
+        factor = pollard_rho(n, seed=seed, max_iterations=2_000_000)
+        seed += 1
+    p, q = factor, n // factor
+    if p * q != n:
+        raise FactoringError("inconsistent factorisation")
+    return (p, q) if p <= q else (q, p)
+
+
+def recover_private_key(public: RsaPublicKey, p: int) -> RsaPrivateKey:
+    """Rebuild the full private key from the public key and one factor."""
+    if public.n % p != 0:
+        raise FactoringError("p does not divide the modulus")
+    q = public.n // p
+    phi = (p - 1) * (q - 1)
+    d = pow(public.e, -1, phi)
+    return RsaPrivateKey(n=public.n, e=public.e, d=d, p=p, q=q)
+
+
+@dataclass(frozen=True, slots=True)
+class FactoredKey:
+    """A successful sitekey factorisation."""
+
+    public: RsaPublicKey
+    private: RsaPrivateKey
+    p: int
+    q: int
+    elapsed_seconds: float
+
+    @property
+    def bits(self) -> int:
+        return self.public.bits
+
+
+def factor_sitekey(public: RsaPublicKey, *,
+                   time_budget: float = 30.0) -> FactoredKey:
+    """Factor a sitekey's public modulus and recover the private key."""
+    start = time.monotonic()
+    p, q = factor_semiprime(public.n, time_budget=time_budget)
+    private = recover_private_key(public, p)
+    return FactoredKey(public=public, private=private, p=p, q=q,
+                       elapsed_seconds=time.monotonic() - start)
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: the adversarial-publisher bypass
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True, slots=True)
+class BypassDemo:
+    """Outcome of the Figure 5 proof-of-concept.
+
+    ``blocked_without_key`` / ``blocked_with_key`` count blocked requests
+    on the adversarial test page in each configuration; the paper's
+    result is many -> zero.
+    """
+
+    test_requests: int
+    blocked_without_key: int
+    blocked_with_key: int
+    hidden_without_key: int
+    hidden_with_key: int
+    sitekey_b64: str
+
+    @property
+    def fully_bypassed(self) -> bool:
+        return (self.blocked_with_key == 0 and self.hidden_with_key == 0
+                and self.blocked_without_key > 0)
+
+
+#: The intrusive ad stack of the adversarial test site: all blocked by
+#: EasyList, none whitelisted.
+_TEST_REQUESTS: tuple[tuple[str, ContentType], ...] = (
+    ("http://serve.popads.net/cas.js", ContentType.SCRIPT),
+    ("http://cdn.bannerfarm.net/ad-frame/banner.gif", ContentType.IMAGE),
+    ("http://ads.rubiconproject.com/header/1234.js", ContentType.SCRIPT),
+    ("http://d3.zedo.com/jsc/d3/fo.js", ContentType.SCRIPT),
+)
+
+
+def run_bypass_demo(engine: AdblockEngine, factored: FactoredKey,
+                    *, host: str = "adversarial-test-site.com") -> BypassDemo:
+    """Replay Figure 5 against ``engine``.
+
+    The engine must be subscribed to EasyList and a whitelist containing
+    a ``$sitekey=`` filter for ``factored.public`` (that is the key the
+    adversary stole).  Returns the before/after block counts.
+    """
+    from repro.web.dom import Document
+
+    page_url = f"http://{host}/"
+    user_agent = "Mozilla/5.0 (Figure5 PoC)"
+
+    def load(sitekey: str | None) -> tuple[int, int]:
+        privileges = engine.document_privileges(page_url, host,
+                                                sitekey=sitekey)
+        blocked = 0
+        for url, content_type in _TEST_REQUESTS:
+            from repro.web.url import parse_url
+
+            decision = engine.check_request(
+                url, content_type, host, parse_url(url).host,
+                privileges=privileges, sitekey=sitekey)
+            if decision.verdict is Verdict.BLOCK:
+                blocked += 1
+        doc = Document(url=page_url)
+        banner = doc.body.new_child("img", class_="banner-ad")
+        banner.ad_label = "intrusive-banner"
+        hidden = len(engine.hidden_elements(
+            doc.all_elements(), host, privileges=privileges))
+        return blocked, hidden
+
+    # (a) without sitekey: the page is blocked like any other.
+    blocked_without, hidden_without = load(None)
+
+    # (b) with sitekey: the adversary signs the request with the
+    # *recovered* private key; the client verifies it exactly as it
+    # would a legitimate signature.
+    header = make_header("/", host, user_agent, factored.private)
+    verification = verify_presented_key(header, "/", host, user_agent)
+    if not verification.valid:  # pragma: no cover - would be a crypto bug
+        raise FactoringError("recovered key failed to produce a valid "
+                             "signature")
+    blocked_with, hidden_with = load(verification.sitekey)
+
+    return BypassDemo(
+        test_requests=len(_TEST_REQUESTS),
+        blocked_without_key=blocked_without,
+        blocked_with_key=blocked_with,
+        hidden_without_key=hidden_without,
+        hidden_with_key=hidden_with,
+        sitekey_b64=public_key_to_base64(factored.public),
+    )

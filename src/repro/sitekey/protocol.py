@@ -1,0 +1,106 @@
+"""The Adblock Plus sitekey protocol (Section 4.2.3).
+
+A server claiming a sitekey must prove possession of the private key:
+
+* the *signed string* is ``"<uri>\\0<host>\\0<user-agent>"`` — the URI,
+  hostname, and User-Agent of the HTTP request;
+* the proof travels in the ``X-Adblock-Key`` response header as
+  ``<base64 DER public key>_<base64 signature>`` and, equivalently, in
+  the ``data-adblockkey`` attribute of the returned page's root element;
+* the extension verifies the signature and, if valid, treats the base64
+  public key as the request's *sitekey*; ``$sitekey=`` filters whose key
+  list contains it then activate.
+
+This module implements both sides: :func:`make_header` for servers and
+:func:`verify_presented_key` for the client/extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sitekey.der import (
+    DerError,
+    public_key_from_base64,
+    public_key_to_base64,
+)
+from repro.sitekey.rsa import RsaPrivateKey, sign, verify
+
+__all__ = [
+    "SitekeyVerification",
+    "signed_string",
+    "make_header",
+    "split_header",
+    "verify_presented_key",
+]
+
+_SEPARATOR = "\x00"
+
+
+def signed_string(uri: str, host: str, user_agent: str) -> bytes:
+    """The exact byte string both sides sign/verify."""
+    return _SEPARATOR.join((uri, host, user_agent)).encode("utf-8")
+
+
+def make_header(uri: str, host: str, user_agent: str,
+                key: RsaPrivateKey) -> str:
+    """Produce the ``X-Adblock-Key`` header value for a request."""
+    import base64
+
+    signature = sign(signed_string(uri, host, user_agent), key)
+    key_b64 = public_key_to_base64(key.public)
+    sig_b64 = base64.b64encode(signature).decode("ascii")
+    return f"{key_b64}_{sig_b64}"
+
+
+def split_header(header: str) -> tuple[str, str]:
+    """Split a header value into (key_b64, signature_b64).
+
+    Raises ``ValueError`` when the separator is missing.  The public key
+    base64 never contains ``_``, so the *first* underscore splits.
+    """
+    key_b64, sep, sig_b64 = header.partition("_")
+    if not sep or not key_b64 or not sig_b64:
+        raise ValueError("malformed X-Adblock-Key header")
+    return key_b64, sig_b64
+
+
+@dataclass(frozen=True, slots=True)
+class SitekeyVerification:
+    """Outcome of checking a presented sitekey."""
+
+    valid: bool
+    sitekey: str | None = None  # base64 public key, when valid
+    reason: str = ""
+
+
+def verify_presented_key(header: str | None, uri: str, host: str,
+                         user_agent: str) -> SitekeyVerification:
+    """Client-side check of an ``X-Adblock-Key`` header.
+
+    Returns the verified base64 sitekey on success; a failed check says
+    why (missing header, bad base64/DER, signature mismatch).  Only a
+    *verified* key is ever handed to the filter engine.
+    """
+    import base64
+    import binascii
+
+    if header is None:
+        return SitekeyVerification(valid=False, reason="no sitekey header")
+    try:
+        key_b64, sig_b64 = split_header(header)
+    except ValueError as exc:
+        return SitekeyVerification(valid=False, reason=str(exc))
+    try:
+        public = public_key_from_base64(key_b64)
+    except DerError as exc:
+        return SitekeyVerification(valid=False, reason=f"bad key: {exc}")
+    try:
+        signature = base64.b64decode(sig_b64.encode("ascii"), validate=True)
+    except (binascii.Error, ValueError, UnicodeEncodeError) as exc:
+        return SitekeyVerification(valid=False,
+                                   reason=f"bad signature encoding: {exc}")
+    if not verify(signed_string(uri, host, user_agent), signature, public):
+        return SitekeyVerification(valid=False,
+                                   reason="signature verification failed")
+    return SitekeyVerification(valid=True, sitekey=key_b64)

@@ -1,0 +1,107 @@
+"""Survey crawler: drive the instrumented browser across domain samples.
+
+The paper's methodology (Section 5): visit only the landing page of each
+sampled domain with an instrumented Adblock Plus, recording filter
+activations.  The crawler here does that for any iterable of
+``(domain, rank, group_index)`` triples, producing one
+:class:`CrawlRecord` per domain — the raw material for every Section 5
+table and figure.
+
+Two engine configurations matter (Figure 6 compares them):
+
+* ``easylist+whitelist`` — ABP's default: EasyList plus Acceptable Ads;
+* ``easylist-only`` — the whitelist disabled.
+
+:func:`crawl` accepts any engine, so callers run it twice to produce the
+comparison.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.filters.engine import AdblockEngine
+from repro.web.browser import InstrumentedBrowser, PageVisit
+from repro.web.sites import SiteProfile, profile_for_domain
+
+__all__ = ["CrawlTarget", "CrawlRecord", "crawl", "Crawler"]
+
+
+@dataclass(frozen=True, slots=True)
+class CrawlTarget:
+    """One domain to survey."""
+
+    domain: str
+    rank: int
+    group_index: int = 0  # 0: top-5K, 1: 5K–50K, 2: 50K–100K, 3: 100K–1M
+    category: str | None = None
+
+
+@dataclass(slots=True)
+class CrawlRecord:
+    """Survey result for one domain."""
+
+    target: CrawlTarget
+    visit: PageVisit
+    profile: SiteProfile
+
+    @property
+    def domain(self) -> str:
+        return self.target.domain
+
+    @property
+    def rank(self) -> int:
+        return self.target.rank
+
+    @property
+    def total_matches(self) -> int:
+        return len(self.visit.activations)
+
+    @property
+    def whitelist_matches(self) -> int:
+        return len(self.visit.whitelist_activations)
+
+    @property
+    def distinct_whitelist_filters(self) -> set[str]:
+        return self.visit.distinct_whitelist_filters
+
+    @property
+    def any_activation(self) -> bool:
+        return bool(self.visit.activations)
+
+
+class Crawler:
+    """A reusable crawler bound to one engine configuration.
+
+    ``profile_factory`` lets callers control how a target becomes a
+    :class:`SiteProfile` — the survey uses this to wire explicitly
+    whitelisted publishers to their restricted filters.  The default
+    factory is :func:`repro.web.sites.profile_for_domain`.
+    """
+
+    def __init__(self, engine: AdblockEngine, *,
+                 profile_factory=None, **browser_kwargs) -> None:
+        self.browser = InstrumentedBrowser(engine, **browser_kwargs)
+        self._profile_factory = profile_factory or (
+            lambda target: profile_for_domain(
+                target.domain, target.rank,
+                group_index=target.group_index,
+                category=target.category,
+            ))
+
+    def survey(self, targets: Iterable[CrawlTarget]) -> list[CrawlRecord]:
+        records = []
+        for target in targets:
+            profile = self._profile_factory(target)
+            visit = self.browser.visit(profile)
+            records.append(CrawlRecord(target=target, visit=visit,
+                                       profile=profile))
+        return records
+
+
+def crawl(engine: AdblockEngine,
+          targets: Sequence[CrawlTarget],
+          **browser_kwargs) -> list[CrawlRecord]:
+    """One-shot convenience: survey ``targets`` with ``engine``."""
+    return Crawler(engine, **browser_kwargs).survey(targets)

@@ -1,0 +1,109 @@
+"""A minimal DOM for the synthetic web substrate.
+
+Element-hiding filters match page elements by tag, id, class, and
+attributes (Section 2.1.2), so the DOM model carries exactly those,
+plus parent links for combinator matching and an ``ad_label`` marker the
+site generator uses to tag which elements are advertisements (ground
+truth for the perception study and for "did the ad actually render"
+checks in the survey).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator
+
+__all__ = ["Element", "Document"]
+
+
+@dataclass(eq=False)
+class Element:
+    """One DOM element.
+
+    ``attributes`` maps attribute name to value; ``class`` and ``id`` are
+    stored there too (``classes`` and convenience accessors derive from
+    it).  Equality is identity — two structurally identical elements in
+    different spots of the tree are different nodes.
+    """
+
+    tag: str
+    attributes: dict[str, str] = field(default_factory=dict)
+    children: list["Element"] = field(default_factory=list)
+    parent: "Element | None" = None
+    text: str = ""
+    ad_label: str | None = None  # ground-truth: which ad this element renders
+
+    @property
+    def classes(self) -> frozenset[str]:
+        return frozenset(self.attributes.get("class", "").split())
+
+    @property
+    def element_id(self) -> str | None:
+        return self.attributes.get("id")
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        return self.attributes.get(name, default)
+
+    def append(self, child: "Element") -> "Element":
+        """Attach ``child`` and return it (builder convenience)."""
+        child.parent = self
+        self.children.append(child)
+        return child
+
+    def new_child(self, tag: str, **attributes: str) -> "Element":
+        """Create, attach, and return a child element."""
+        attrs = {k.rstrip("_").replace("_", "-"): v
+                 for k, v in attributes.items()}
+        return self.append(Element(tag=tag, attributes=attrs))
+
+    def iter(self) -> Iterator["Element"]:
+        """Depth-first traversal including self."""
+        yield self
+        for child in self.children:
+            yield from child.iter()
+
+    def find_by_id(self, element_id: str) -> "Element | None":
+        for el in self.iter():
+            if el.element_id == element_id:
+                return el
+        return None
+
+    def find_by_class(self, class_name: str) -> list["Element"]:
+        return [el for el in self.iter() if class_name in el.classes]
+
+    def find_by_tag(self, tag: str) -> list["Element"]:
+        tag = tag.lower()
+        return [el for el in self.iter() if el.tag == tag]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        ident = f"#{self.element_id}" if self.element_id else ""
+        cls = "." + ".".join(sorted(self.classes)) if self.classes else ""
+        return f"<Element {self.tag}{ident}{cls}>"
+
+
+@dataclass(eq=False)
+class Document:
+    """A page's DOM: a root ``html`` element plus the page URL."""
+
+    url: str
+    root: Element = field(default_factory=lambda: Element(tag="html"))
+
+    def __post_init__(self) -> None:
+        if not self.root.children:
+            self.root.new_child("head")
+            self.root.new_child("body")
+
+    @property
+    def head(self) -> Element:
+        return self.root.children[0]
+
+    @property
+    def body(self) -> Element:
+        return self.root.children[1]
+
+    def all_elements(self) -> list[Element]:
+        return list(self.root.iter())
+
+    def ad_elements(self) -> list[Element]:
+        """Elements carrying ground-truth ad labels."""
+        return [el for el in self.root.iter() if el.ad_label is not None]

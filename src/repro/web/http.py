@@ -1,0 +1,197 @@
+"""Simulated HTTP layer: requests, responses, and server behaviours.
+
+The site survey and the parked-domain scan both interact with servers
+whose behaviour depends on request details the paper calls out
+explicitly (Section 4.2.3):
+
+* ParkingCrew domains return **403** when the ``User-Agent`` looks like
+  ``curl`` (anti-scraping);
+* Uniregistry domains require a cookie round-trip: the first visit sets a
+  cookie and redirects; only the second request (carrying the cookie)
+  returns the ad page with the sitekey signature;
+* sitekey-presenting servers return the key and signature in the
+  ``X-Adblock-Key`` response header and the ``data-adblockkey`` page
+  attribute.
+
+The classes here model just enough of HTTP for those behaviours: header
+multimaps are avoided (single-valued dicts with case-insensitive keys),
+cookies are a flat jar per client, and redirects are explicit status
+codes the client loop follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable
+
+from repro.web.url import URL, parse_url
+
+__all__ = [
+    "Headers",
+    "HttpRequest",
+    "HttpResponse",
+    "CookieJar",
+    "HttpClient",
+    "HttpError",
+    "TooManyRedirects",
+    "DEFAULT_USER_AGENT",
+    "CURL_USER_AGENT",
+]
+
+DEFAULT_USER_AGENT = ("Mozilla/5.0 (X11; Linux x86_64) AppleWebKit/537.36 "
+                      "(KHTML, like Gecko) Chrome/42.0 Safari/537.36")
+CURL_USER_AGENT = "curl/7.35.0"
+
+_MAX_REDIRECTS = 10
+
+
+class HttpError(RuntimeError):
+    """Raised for transport-level failures (unknown host, no handler)."""
+
+
+class TooManyRedirects(HttpError):
+    """The redirect chain exceeded the client's limit."""
+
+
+class Headers:
+    """A case-insensitive single-valued header map."""
+
+    def __init__(self, items: Iterable[tuple[str, str]] = ()) -> None:
+        self._data: dict[str, tuple[str, str]] = {}
+        for name, value in items:
+            self.set(name, value)
+
+    def set(self, name: str, value: str) -> None:
+        self._data[name.lower()] = (name, value)
+
+    def get(self, name: str, default: str | None = None) -> str | None:
+        entry = self._data.get(name.lower())
+        return entry[1] if entry else default
+
+    def __contains__(self, name: str) -> bool:
+        return name.lower() in self._data
+
+    def __iter__(self):
+        return iter(value for value in self._data.values())
+
+    def items(self) -> list[tuple[str, str]]:
+        return list(self._data.values())
+
+    def copy(self) -> "Headers":
+        return Headers(self.items())
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Headers({self.items()!r})"
+
+
+@dataclass(slots=True)
+class HttpRequest:
+    """One simulated HTTP request."""
+
+    url: URL
+    method: str = "GET"
+    headers: Headers = field(default_factory=Headers)
+    cookies: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def user_agent(self) -> str:
+        return self.headers.get("User-Agent", "")
+
+
+@dataclass(slots=True)
+class HttpResponse:
+    """One simulated HTTP response.
+
+    ``body`` is the page object for document requests (a
+    :class:`repro.web.dom.Document`) or an opaque string for subresources;
+    ``set_cookies`` is applied to the client jar; ``redirect_to`` (with a
+    3xx status) sends the client elsewhere.
+    """
+
+    status: int = 200
+    headers: Headers = field(default_factory=Headers)
+    body: object = ""
+    set_cookies: dict[str, str] = field(default_factory=dict)
+    redirect_to: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+    @property
+    def adblock_key_header(self) -> str | None:
+        """The ``X-Adblock-Key`` value: ``<base64 key>_<base64 sig>``."""
+        return self.headers.get("X-Adblock-Key")
+
+
+class CookieJar:
+    """Per-client cookie storage, scoped by registered domain."""
+
+    def __init__(self) -> None:
+        self._by_domain: dict[str, dict[str, str]] = {}
+
+    def for_host(self, host: str) -> dict[str, str]:
+        from repro.web.url import registered_domain
+
+        return dict(self._by_domain.get(registered_domain(host), {}))
+
+    def store(self, host: str, cookies: dict[str, str]) -> None:
+        from repro.web.url import registered_domain
+
+        if not cookies:
+            return
+        self._by_domain.setdefault(registered_domain(host), {}).update(cookies)
+
+    def clear(self) -> None:
+        self._by_domain.clear()
+
+
+#: A server handler: request -> response.
+Handler = Callable[[HttpRequest], HttpResponse]
+
+
+class HttpClient:
+    """A simulated HTTP client bound to a resolver of host -> handler.
+
+    ``resolver`` plays DNS + network: given a hostname it returns the
+    server handler, or ``None`` for unknown hosts (NXDOMAIN).  The client
+    follows redirects (up to ``max_redirects``) and carries cookies —
+    both behaviours the parked-domain scan depends on.
+    """
+
+    def __init__(
+        self,
+        resolver: Callable[[str], Handler | None],
+        user_agent: str = DEFAULT_USER_AGENT,
+        max_redirects: int = _MAX_REDIRECTS,
+    ) -> None:
+        self._resolver = resolver
+        self.user_agent = user_agent
+        self.max_redirects = max_redirects
+        self.jar = CookieJar()
+
+    def get(self, url: str | URL, *,
+            extra_headers: Iterable[tuple[str, str]] = ()) -> HttpResponse:
+        """GET ``url``, following redirects, storing cookies.
+
+        Raises :class:`HttpError` when the host does not resolve and
+        :class:`TooManyRedirects` on redirect loops.
+        """
+        target = parse_url(url) if isinstance(url, str) else url
+        for _ in range(self.max_redirects + 1):
+            handler = self._resolver(target.host)
+            if handler is None:
+                raise HttpError(f"cannot resolve host {target.host!r}")
+            headers = Headers([("User-Agent", self.user_agent),
+                               ("Host", target.host)])
+            for name, value in extra_headers:
+                headers.set(name, value)
+            request = HttpRequest(url=target, headers=headers,
+                                  cookies=self.jar.for_host(target.host))
+            response = handler(request)
+            self.jar.store(target.host, response.set_cookies)
+            if 300 <= response.status < 400 and response.redirect_to:
+                target = parse_url(response.redirect_to)
+                continue
+            return response
+        raise TooManyRedirects(f"redirect limit exceeded fetching {target}")

@@ -1,0 +1,55 @@
+"""Shared fixtures.
+
+The expensive artifacts — the 989-revision history and a scaled-down
+survey — are built once per session.  Tests that need paper-scale
+numbers assert on ratios and orderings, not absolute survey counts, so
+the scaled samples are sufficient.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.study import AcceptableAdsStudy, StudyConfig
+from repro.history.generator import WhitelistHistory, generate_history
+from repro.measurement.survey import SurveyConfig
+
+#: Small RSA keys keep history generation fast; every sitekey code path
+#: is identical at any size.
+TEST_KEY_BITS = 128
+
+
+@pytest.fixture(scope="session")
+def history() -> WhitelistHistory:
+    return generate_history(seed=2015, key_bits=TEST_KEY_BITS)
+
+
+@pytest.fixture(scope="session")
+def study(history: WhitelistHistory) -> AcceptableAdsStudy:
+    config = StudyConfig(
+        seed=2015,
+        key_bits=TEST_KEY_BITS,
+        survey=SurveyConfig(top_n=600, stratum_size=100),
+        zone_scale_divisor=20_000,
+        zone_noise_domains=200,
+        perception_respondents=305,
+    )
+    instance = AcceptableAdsStudy(config)
+    # Share the session history instead of regenerating it.
+    instance.__dict__["history"] = history
+    return instance
+
+
+@pytest.fixture(scope="session")
+def whitelist(history: WhitelistHistory):
+    return history.tip_filter_list()
+
+
+@pytest.fixture(scope="session")
+def site_survey(study: AcceptableAdsStudy):
+    return study.site_survey
+
+
+@pytest.fixture(scope="session")
+def perception(study: AcceptableAdsStudy):
+    return study.perception

@@ -1,0 +1,109 @@
+"""Tests for personalised acceptability policies (Section 6 extension)."""
+
+import pytest
+
+from repro.core.policy import (
+    CLASS_BLOCKING_FILTERS,
+    derive_policy,
+    policy_disagreement,
+    policy_filter_list,
+)
+from repro.perception.ads import AdClass
+from repro.perception.respondents import Respondent
+from repro.perception.survey import run_perception_survey
+
+
+@pytest.fixture(scope="module")
+def small_result():
+    return run_perception_survey(respondents=60, seed=11)
+
+
+class TestDerivePolicy:
+    def test_policy_has_score_per_class(self, small_result):
+        policy = derive_policy(small_result, respondent_id=0)
+        assert set(policy.scores) == set(AdClass)
+
+    def test_deterministic(self, small_result):
+        a = derive_policy(small_result, respondent_id=3)
+        b = derive_policy(small_result, respondent_id=3)
+        assert a.accepted == b.accepted
+
+    def test_content_ads_usually_rejected(self, small_result):
+        rejections = sum(
+            1 for rid in range(60)
+            if not derive_policy(small_result, rid).accepts(
+                AdClass.CONTENT))
+        # Content/grid ads fail the "clearly distinguished" criterion
+        # for almost everyone (the paper's one point of agreement).
+        assert rejections > 45
+
+    def test_banner_ads_usually_accepted(self, small_result):
+        acceptances = sum(
+            1 for rid in range(60)
+            if derive_policy(small_result, rid).accepts(AdClass.BANNER))
+        assert acceptances > 30
+
+    def test_threshold_monotone(self, small_result):
+        lax = derive_policy(small_result, 5, threshold=-2.0)
+        strict = derive_policy(small_result, 5, threshold=2.0)
+        assert strict.accepted <= lax.accepted
+
+    def test_annoyed_user_rejects_more(self):
+        def population(annoyance):
+            return [Respondent(respondent_id=0, browser="chrome",
+                               uses_adblock=True, annoyance=annoyance,
+                               discernment=0.0, acquiescence=0.0,
+                               noise_scale=0.6)]
+
+        calm = run_perception_survey(seed=5,
+                                     population=population(-1.5))
+        angry = run_perception_survey(seed=5,
+                                      population=population(1.5))
+        calm_policy = derive_policy(calm, 0)
+        angry_policy = derive_policy(angry, 0)
+        assert len(angry_policy.accepted) <= len(calm_policy.accepted)
+
+
+class TestPolicyFilterList:
+    def test_accept_everything_produces_empty_list(self, small_result):
+        policy = derive_policy(small_result, 0, threshold=-10.0)
+        assert policy.accepts_everything
+        assert len(policy_filter_list(policy)) == 0
+
+    def test_reject_everything_covers_all_classes(self, small_result):
+        policy = derive_policy(small_result, 0, threshold=10.0)
+        assert policy.rejects_everything
+        flist = policy_filter_list(policy)
+        texts = set(flist.filter_texts())
+        for filters in CLASS_BLOCKING_FILTERS.values():
+            assert set(filters) <= texts
+
+    def test_all_policy_filters_parse(self):
+        from repro.filters.parser import InvalidFilter, parse_filter
+
+        for filters in CLASS_BLOCKING_FILTERS.values():
+            for text in filters:
+                assert not isinstance(parse_filter(text), InvalidFilter)
+
+    def test_policy_list_reblocks_content_ads(self, small_result):
+        from repro.filters.engine import AdblockEngine, Verdict
+        from repro.filters.options import ContentType
+
+        policy = derive_policy(small_result, 0, threshold=10.0)
+        engine = AdblockEngine()
+        engine.subscribe(policy_filter_list(policy))
+        decision = engine.check_request(
+            "http://cdn.taboola.com/libtrc/loader.js",
+            ContentType.SCRIPT, "www.viralnova.com", "cdn.taboola.com")
+        assert decision.verdict is Verdict.BLOCK
+
+
+class TestDisagreement:
+    def test_majority_disagrees_with_global_whitelist(self, small_result):
+        fraction = policy_disagreement(small_result)
+        # The paper's thesis: one policy cannot fit the population.
+        assert fraction > 0.7
+
+    def test_disagreement_bounded(self, small_result):
+        fraction = policy_disagreement(small_result)
+        assert 0.0 <= fraction <= 1.0

@@ -1,0 +1,37 @@
+"""Tests for the Section 8 transparency findings."""
+
+from repro.core.transparency import collect_findings
+
+
+class TestFindings:
+    def test_undocumented_counts(self, study):
+        findings = collect_findings(study)
+        assert findings.undocumented_groups == 61
+        assert findings.undocumented_filters >= 150
+
+    def test_opaque_scope(self, study):
+        findings = collect_findings(study)
+        assert findings.unrestricted_filters == 156
+        assert findings.sitekey_filters == 25
+        assert findings.opaque_scope_filters == 181
+
+    def test_sitekey_domains_scaled(self, study):
+        findings = collect_findings(study)
+        # The scaled zone scan extrapolates back near the paper's 2.68M.
+        assert findings.sitekey_domains_lower_bound > 2_000_000
+
+    def test_hygiene_numbers(self, study):
+        findings = collect_findings(study)
+        assert findings.duplicate_filters == 35
+        assert findings.malformed_filters == 8
+        assert findings.truncated_filters == 8
+
+    def test_large_publishers_include_named_sites(self, study):
+        findings = collect_findings(study)
+        assert "google.com" in findings.large_whitelisted_publishers
+        assert "reddit.com" in findings.large_whitelisted_publishers
+
+    def test_large_publisher_count_near_table2(self, study):
+        findings = collect_findings(study)
+        # Table 2: 167 whitelisted e2LDs inside the top 1,000.
+        assert abs(len(findings.large_whitelisted_publishers) - 167) <= 5

@@ -1,0 +1,139 @@
+"""Unit tests for scope classification (Figure 4 / Section 4.2)."""
+
+from repro.filters.classify import (
+    ScopeClass,
+    classify_filter,
+    classify_whitelist,
+    explicit_domains,
+)
+from repro.filters.filterlist import parse_filter_list
+from repro.filters.parser import parse_filter
+
+
+class TestClassifyFilter:
+    def test_domain_restricted_request(self):
+        flt = parse_filter("@@||adzerk.net/reddit/$domain=reddit.com")
+        assert classify_filter(flt) is ScopeClass.RESTRICTED
+
+    def test_restricted_element_exception(self):
+        flt = parse_filter("reddit.com#@##ad_main")
+        assert classify_filter(flt) is ScopeClass.RESTRICTED
+
+    def test_elemhide_pattern_restriction(self):
+        flt = parse_filter("@@||ask.com^$elemhide")
+        assert classify_filter(flt) is ScopeClass.RESTRICTED
+
+    def test_unrestricted_request(self):
+        flt = parse_filter("@@||pagefair.net^$third-party")
+        assert classify_filter(flt) is ScopeClass.UNRESTRICTED
+
+    def test_negated_domains_still_unrestricted(self):
+        flt = parse_filter("@@||g.com/ads$domain=~a.com|~b.com")
+        assert classify_filter(flt) is ScopeClass.UNRESTRICTED
+
+    def test_unrestricted_element_exception(self):
+        flt = parse_filter("#@##influads_block")
+        assert classify_filter(flt) is ScopeClass.UNRESTRICTED
+
+    def test_sitekey(self):
+        flt = parse_filter("@@$sitekey=MFwwDQ,document")
+        assert classify_filter(flt) is ScopeClass.SITEKEY
+
+    def test_sitekey_beats_domain_restriction(self):
+        flt = parse_filter("@@||x.com^$sitekey=KEY,domain=a.com")
+        assert classify_filter(flt) is ScopeClass.SITEKEY
+
+    def test_blocking_filter_not_an_exception(self):
+        flt = parse_filter("||adzerk.net^")
+        assert classify_filter(flt) is ScopeClass.NOT_EXCEPTION
+
+    def test_comment_not_an_exception(self):
+        flt = parse_filter("! comment")
+        assert classify_filter(flt) is ScopeClass.NOT_EXCEPTION
+
+
+SMALL_WHITELIST = """! test whitelist
+@@||adzerk.net/reddit/$subdocument,domain=reddit.com
+reddit.com#@##ad_main
+@@||google.com/afs/$script,domain=maps.google.com|google.co.uk
+@@||pagefair.net^$third-party
+@@||tracking.admarketplace.net^$third-party
+#@##influads_block
+@@$sitekey=AAAA,document
+@@$sitekey=AAAA,elemhide
+@@$sitekey=BBBB,document
+"""
+
+
+class TestClassifyWhitelist:
+    def test_counts(self):
+        report = classify_whitelist(parse_filter_list(SMALL_WHITELIST))
+        assert report.total_filters == 9
+        assert report.restricted == 3
+        assert report.unrestricted == 3
+        assert report.sitekey_filters == 3
+
+    def test_distinct_sitekeys(self):
+        report = classify_whitelist(parse_filter_list(SMALL_WHITELIST))
+        assert report.sitekeys == {"AAAA", "BBBB"}
+
+    def test_fq_domains(self):
+        report = classify_whitelist(parse_filter_list(SMALL_WHITELIST))
+        assert report.fq_domains == {
+            "reddit.com", "maps.google.com", "google.co.uk"}
+
+    def test_e2ld_reduction(self):
+        report = classify_whitelist(parse_filter_list(SMALL_WHITELIST))
+        assert report.effective_second_level_domains == {
+            "reddit.com", "google.com", "google.co.uk"}
+
+    def test_unrestricted_element_counted(self):
+        report = classify_whitelist(parse_filter_list(SMALL_WHITELIST))
+        assert report.unrestricted_element_filters == 1
+
+    def test_restricted_fraction(self):
+        report = classify_whitelist(parse_filter_list(SMALL_WHITELIST))
+        assert abs(report.restricted_fraction - 3 / 9) < 1e-9
+
+    def test_subdomain_count(self):
+        report = classify_whitelist(parse_filter_list(SMALL_WHITELIST))
+        assert report.subdomain_count("google.com") == 1
+
+
+class TestExplicitDomains:
+    def test_union_of_restricted_domains(self):
+        flist = parse_filter_list(SMALL_WHITELIST)
+        domains = explicit_domains(flist.filters)
+        assert "reddit.com" in domains
+        assert "maps.google.com" in domains
+
+    def test_unrestricted_contribute_nothing(self):
+        flist = parse_filter_list("@@||pagefair.net^$third-party")
+        assert explicit_domains(flist.filters) == set()
+
+
+class TestPaperScaleWhitelist:
+    """Scope properties of the generated Rev-988 whitelist."""
+
+    def test_sitekey_composition(self, study):
+        assert study.scope.sitekey_filters == 25
+        assert len(study.scope.sitekeys) == 4
+
+    def test_unrestricted_count(self, study):
+        assert study.scope.unrestricted == 156
+
+    def test_single_unrestricted_element_exception(self, study):
+        assert study.scope.unrestricted_element_filters == 1
+
+    def test_restricted_majority(self, study):
+        assert study.scope.restricted_fraction > 0.85
+
+    def test_fq_domain_count_near_paper(self, study):
+        assert 3_300 <= len(study.scope.fq_domains) <= 3_700
+
+    def test_e2ld_count_near_paper(self, study):
+        e2lds = study.scope.effective_second_level_domains
+        assert 1_900 <= len(e2lds) <= 2_050
+
+    def test_about_subdomain_count(self, study):
+        assert study.scope.subdomain_count("about.com") >= 1_044

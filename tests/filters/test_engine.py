@@ -1,0 +1,201 @@
+"""Unit tests for the blocking/exception decision engine."""
+
+import pytest
+
+from repro.filters.engine import AdblockEngine, Verdict
+from repro.filters.filterlist import parse_filter_list
+from repro.filters.options import ContentType
+from repro.web.dom import Document
+
+
+def make_engine(blocking: str = "", exceptions: str = "",
+                record: bool = False) -> AdblockEngine:
+    engine = AdblockEngine(record=record)
+    if blocking:
+        engine.subscribe(parse_filter_list(blocking, name="easylist"))
+    if exceptions:
+        engine.subscribe(parse_filter_list(exceptions, name="whitelist"))
+    return engine
+
+
+class TestRequestDecisions:
+    def test_blocking_filter_blocks(self):
+        engine = make_engine("||adzerk.net^$third-party")
+        decision = engine.check_request(
+            "http://static.adzerk.net/ads.html", ContentType.SUBDOCUMENT,
+            "reddit.com", "static.adzerk.net")
+        assert decision.verdict is Verdict.BLOCK
+
+    def test_exception_overrides_blocking(self):
+        engine = make_engine(
+            "||adzerk.net^$third-party",
+            "@@||adzerk.net/reddit/$subdocument,domain=reddit.com")
+        decision = engine.check_request(
+            "http://static.adzerk.net/reddit/ads.html",
+            ContentType.SUBDOCUMENT, "reddit.com", "static.adzerk.net")
+        assert decision.verdict is Verdict.ALLOW
+        assert decision.blocking and decision.exceptions
+
+    def test_exception_is_domain_scoped(self):
+        engine = make_engine(
+            "||adzerk.net^$third-party",
+            "@@||adzerk.net/reddit/$subdocument,domain=reddit.com")
+        decision = engine.check_request(
+            "http://static.adzerk.net/reddit/ads.html",
+            ContentType.SUBDOCUMENT, "other.com", "static.adzerk.net")
+        assert decision.verdict is Verdict.BLOCK
+
+    def test_no_match_passes_through(self):
+        engine = make_engine("||adzerk.net^")
+        decision = engine.check_request(
+            "http://benign.com/app.js", ContentType.SCRIPT,
+            "x.com", "benign.com")
+        assert decision.verdict is Verdict.NO_MATCH
+
+    def test_first_party_not_blocked_by_third_party_filter(self):
+        engine = make_engine("||adzerk.net^$third-party")
+        decision = engine.check_request(
+            "http://adzerk.net/self.js", ContentType.SCRIPT,
+            "adzerk.net", "adzerk.net")
+        assert decision.verdict is Verdict.NO_MATCH
+
+    def test_content_type_gating(self):
+        engine = make_engine("||tracker.com^$image")
+        blocked = engine.check_request(
+            "http://tracker.com/px.gif", ContentType.IMAGE,
+            "x.com", "tracker.com")
+        passed = engine.check_request(
+            "http://tracker.com/lib.js", ContentType.SCRIPT,
+            "x.com", "tracker.com")
+        assert blocked.verdict is Verdict.BLOCK
+        assert passed.verdict is Verdict.NO_MATCH
+
+
+class TestDocumentPrivileges:
+    def test_document_exception_allows_everything(self):
+        engine = make_engine(
+            "||ads.net^",
+            "@@||special.com^$document")
+        privileges = engine.document_privileges(
+            "http://special.com/", "special.com")
+        assert privileges.allow_all
+        decision = engine.check_request(
+            "http://ads.net/x.js", ContentType.SCRIPT,
+            "special.com", "ads.net", privileges=privileges)
+        assert decision.verdict is Verdict.ALLOW
+
+    def test_no_privileges_without_matching_filter(self):
+        engine = make_engine("||ads.net^", "@@||special.com^$document")
+        privileges = engine.document_privileges(
+            "http://other.com/", "other.com")
+        assert not privileges.allow_all
+
+    def test_sitekey_document_privilege(self):
+        engine = make_engine("||ads.net^", "@@$sitekey=KEYA,document")
+        with_key = engine.document_privileges(
+            "http://parked.com/", "parked.com", sitekey="KEYA")
+        without = engine.document_privileges(
+            "http://parked.com/", "parked.com")
+        wrong = engine.document_privileges(
+            "http://parked.com/", "parked.com", sitekey="KEYB")
+        assert with_key.allow_all
+        assert not without.allow_all
+        assert not wrong.allow_all
+
+    def test_elemhide_privilege_disables_hiding_only(self):
+        engine = make_engine("||ads.net^\n##.ad", "@@||ask.com^$elemhide")
+        privileges = engine.document_privileges(
+            "http://ask.com/", "ask.com")
+        assert privileges.disable_elemhide and not privileges.allow_all
+        # Request blocking still applies.
+        decision = engine.check_request(
+            "http://ads.net/x.gif", ContentType.IMAGE,
+            "ask.com", "ads.net", privileges=privileges)
+        assert decision.verdict is Verdict.BLOCK
+
+
+class TestElementHiding:
+    def _page_with_ad(self):
+        doc = Document(url="http://x.com/")
+        ad = doc.body.new_child("div", class_="ad")
+        return doc, ad
+
+    def test_element_hidden(self):
+        engine = make_engine("##.ad")
+        doc, ad = self._page_with_ad()
+        hidden = engine.hidden_elements(doc.all_elements(), "x.com")
+        assert hidden == [ad]
+
+    def test_element_exception_unhides(self):
+        engine = make_engine("##.ad", "x.com#@#.ad")
+        doc, _ = self._page_with_ad()
+        assert engine.hidden_elements(doc.all_elements(), "x.com") == []
+
+    def test_element_exception_scoped_to_domain(self):
+        engine = make_engine("##.ad", "x.com#@#.ad")
+        doc, ad = self._page_with_ad()
+        assert engine.hidden_elements(doc.all_elements(), "y.com") == [ad]
+
+    def test_domain_scoped_hiding(self):
+        engine = make_engine("reddit.com###siteTable_organic")
+        doc = Document(url="http://reddit.com/")
+        ad = doc.body.new_child("div", id="siteTable_organic")
+        assert engine.hidden_elements(doc.all_elements(),
+                                      "reddit.com") == [ad]
+        assert engine.hidden_elements(doc.all_elements(),
+                                      "example.com") == []
+
+    def test_elemhide_privilege_suppresses_hiding(self):
+        engine = make_engine("##.ad", "@@||x.com^$elemhide")
+        doc, _ = self._page_with_ad()
+        privileges = engine.document_privileges("http://x.com/", "x.com")
+        assert engine.hidden_elements(doc.all_elements(), "x.com",
+                                      privileges=privileges) == []
+
+
+class TestActivationRecording:
+    def test_activations_recorded_when_enabled(self):
+        engine = make_engine("||ads.net^",
+                             "@@||ads.net^$domain=x.com", record=True)
+        engine.check_request("http://ads.net/a.js", ContentType.SCRIPT,
+                             "x.com", "ads.net")
+        kinds = {(a.is_exception, a.list_name) for a in engine.activations}
+        assert (False, "easylist") in kinds
+        assert (True, "whitelist") in kinds
+
+    def test_needless_exception_flagged(self):
+        # gstatic scenario: exception fires with no blocking counterpart.
+        engine = make_engine("||unrelated.net^",
+                             "@@||gstatic.com^$third-party", record=True)
+        engine.check_request("http://fonts.gstatic.com/f.woff",
+                             ContentType.OTHER, "x.com",
+                             "fonts.gstatic.com")
+        exceptions = [a for a in engine.activations if a.is_exception]
+        assert exceptions and all(a.needless for a in exceptions)
+
+    def test_not_recorded_when_disabled(self):
+        engine = make_engine("||ads.net^", record=False)
+        engine.check_request("http://ads.net/a.js", ContentType.SCRIPT,
+                             "x.com", "ads.net")
+        assert engine.activations == []
+
+    def test_clear_activations(self):
+        engine = make_engine("||ads.net^", record=True)
+        engine.check_request("http://ads.net/a.js", ContentType.SCRIPT,
+                             "x.com", "ads.net")
+        engine.clear_activations()
+        assert engine.activations == []
+
+
+class TestSubscriptions:
+    def test_subscriptions_listed(self):
+        engine = make_engine("||a.com^", "@@||a.com^$domain=x.com")
+        assert [s.name for s in engine.subscriptions] == [
+            "easylist", "whitelist"]
+
+    def test_list_attribution(self):
+        engine = make_engine("||a.com^", "@@||a.com^$domain=x.com")
+        decision = engine.check_request(
+            "http://a.com/x", ContentType.IMAGE, "x.com", "a.com")
+        assert engine.list_name_for(decision.blocking[0]) == "easylist"
+        assert engine.list_name_for(decision.exceptions[0]) == "whitelist"

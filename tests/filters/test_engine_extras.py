@@ -1,0 +1,85 @@
+"""Tests for the engine's stylesheet generation and DNT handling."""
+
+from repro.filters.engine import AdblockEngine, Verdict
+from repro.filters.filterlist import parse_filter_list
+from repro.filters.options import ContentType
+
+
+def engine_with(blocking: str = "", exceptions: str = "") -> AdblockEngine:
+    engine = AdblockEngine()
+    if blocking:
+        engine.subscribe(parse_filter_list(blocking, name="easylist"))
+    if exceptions:
+        engine.subscribe(parse_filter_list(exceptions, name="whitelist"))
+    return engine
+
+
+class TestElemhideStylesheet:
+    def test_generic_selectors_included(self):
+        engine = engine_with("##.banner-ad\n###ad_top")
+        css = engine.elemhide_stylesheet("any.example")
+        assert ".banner-ad" in css
+        assert "#ad_top" in css
+        assert "display: none !important" in css
+
+    def test_domain_scoped_selector(self):
+        engine = engine_with("reddit.com###siteTable_organic")
+        assert "#siteTable_organic" in engine.elemhide_stylesheet(
+            "reddit.com")
+        assert engine.elemhide_stylesheet("other.com") == ""
+
+    def test_exception_removes_selector(self):
+        engine = engine_with("##.banner-ad", "x.com#@#.banner-ad")
+        assert engine.elemhide_stylesheet("x.com") == ""
+        assert ".banner-ad" in engine.elemhide_stylesheet("y.com")
+
+    def test_privileges_empty_stylesheet(self):
+        engine = engine_with("##.banner-ad", "@@||ask.com^$elemhide")
+        privileges = engine.document_privileges("http://ask.com/",
+                                                "ask.com")
+        assert engine.elemhide_stylesheet(
+            "ask.com", privileges=privileges) == ""
+
+    def test_duplicate_selectors_deduplicated(self):
+        engine = engine_with("##.banner-ad\na.com##.banner-ad")
+        css = engine.elemhide_stylesheet("a.com")
+        assert css.count(".banner-ad") == 1
+
+    def test_empty_engine_empty_stylesheet(self):
+        assert AdblockEngine().elemhide_stylesheet("x.com") == ""
+
+
+class TestDoNotTrack:
+    def test_dnt_requested_by_matching_filter(self):
+        engine = engine_with("||tracker.com^$donottrack")
+        assert engine.should_send_dnt(
+            "http://tracker.com/t.js", ContentType.SCRIPT,
+            "page.com", "tracker.com")
+
+    def test_no_dnt_without_match(self):
+        engine = engine_with("||tracker.com^$donottrack")
+        assert not engine.should_send_dnt(
+            "http://benign.com/x.js", ContentType.SCRIPT,
+            "page.com", "benign.com")
+
+    def test_dnt_exception_cancels(self):
+        engine = engine_with("||tracker.com^$donottrack",
+                             "@@||tracker.com^$donottrack")
+        assert not engine.should_send_dnt(
+            "http://tracker.com/t.js", ContentType.SCRIPT,
+            "page.com", "tracker.com")
+
+    def test_dnt_filters_do_not_block(self):
+        engine = engine_with("||tracker.com^$donottrack")
+        decision = engine.check_request(
+            "http://tracker.com/t.js", ContentType.SCRIPT,
+            "page.com", "tracker.com")
+        assert decision.verdict is Verdict.NO_MATCH
+
+    def test_dnt_exceptions_do_not_allow(self):
+        engine = engine_with("||tracker.com^",
+                             "@@||tracker.com^$donottrack")
+        decision = engine.check_request(
+            "http://tracker.com/t.js", ContentType.SCRIPT,
+            "page.com", "tracker.com")
+        assert decision.verdict is Verdict.BLOCK

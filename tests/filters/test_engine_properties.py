@@ -1,0 +1,124 @@
+"""Metamorphic property tests for the decision engine (hypothesis).
+
+These express ABP's semantics as monotonicity laws: growing the
+whitelist can only liberalise decisions, growing the blacklist can only
+restrict them, and exceptions always dominate blocking.
+"""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.engine import AdblockEngine, Verdict
+from repro.filters.filterlist import parse_filter_list
+from repro.filters.options import ContentType
+
+_LABEL = st.text(alphabet=string.ascii_lowercase, min_size=2,
+                 max_size=8)
+_DOMAIN = st.builds(lambda a: f"{a}.com", _LABEL)
+
+_BLOCKING = st.builds(lambda d: f"||{d}^$third-party", _DOMAIN)
+_EXCEPTION = st.one_of(
+    st.builds(lambda d: f"@@||{d}^$third-party", _DOMAIN),
+    st.builds(lambda d, p: f"@@||{d}^$third-party,domain={p}",
+              _DOMAIN, _DOMAIN),
+)
+_REQUEST = st.builds(
+    lambda d, path: (f"http://{d}/{path}", d),
+    _DOMAIN, st.text(alphabet=string.ascii_lowercase + "/", max_size=10))
+
+_RANK = {Verdict.BLOCK: 0, Verdict.NO_MATCH: 1, Verdict.ALLOW: 2}
+
+
+def _engine(blocking: list[str], exceptions: list[str]) -> AdblockEngine:
+    engine = AdblockEngine()
+    if blocking:
+        engine.subscribe(parse_filter_list("\n".join(blocking),
+                                           name="easylist"))
+    if exceptions:
+        engine.subscribe(parse_filter_list("\n".join(exceptions),
+                                           name="whitelist"))
+    return engine
+
+
+def _decide(engine: AdblockEngine, request, page_host="page.example"):
+    url, host = request
+    return engine.check_request(url, ContentType.IMAGE, page_host,
+                                host).verdict
+
+
+class TestMonotonicity:
+    @given(st.lists(_BLOCKING, max_size=5),
+           st.lists(_EXCEPTION, max_size=5),
+           _EXCEPTION, _REQUEST)
+    @settings(max_examples=120, deadline=None)
+    def test_adding_exception_never_restricts(self, blocking, exceptions,
+                                              extra, request):
+        before = _decide(_engine(blocking, exceptions), request)
+        after = _decide(_engine(blocking, exceptions + [extra]), request)
+        assert _RANK[after] >= _RANK[before]
+
+    @given(st.lists(_BLOCKING, max_size=5),
+           st.lists(_EXCEPTION, max_size=5),
+           _BLOCKING, _REQUEST)
+    @settings(max_examples=120, deadline=None)
+    def test_adding_blocking_never_liberalises(self, blocking,
+                                               exceptions, extra,
+                                               request):
+        before = _decide(_engine(blocking, exceptions), request)
+        after = _decide(_engine(blocking + [extra], exceptions), request)
+        if before is Verdict.ALLOW:
+            assert after is Verdict.ALLOW  # exceptions keep dominating
+        else:
+            assert _RANK[after] <= _RANK[before]
+
+    @given(st.lists(_BLOCKING, min_size=1, max_size=5),
+           st.lists(_EXCEPTION, max_size=5), _REQUEST)
+    @settings(max_examples=120, deadline=None)
+    def test_subscribing_twice_is_idempotent(self, blocking, exceptions,
+                                             request):
+        once = _decide(_engine(blocking, exceptions), request)
+        twice = _decide(_engine(blocking + blocking,
+                                exceptions + exceptions), request)
+        assert once is twice
+
+
+class TestDominance:
+    @given(_DOMAIN, _REQUEST)
+    @settings(max_examples=100, deadline=None)
+    def test_exception_always_beats_blocking(self, domain, request):
+        url, host = request
+        engine = _engine([f"||{host}^"], [f"@@||{host}^"])
+        assert _decide(engine, request) is Verdict.ALLOW
+
+    @given(st.lists(_BLOCKING, min_size=1, max_size=6), _REQUEST)
+    @settings(max_examples=100, deadline=None)
+    def test_document_privilege_allows_everything(self, blocking,
+                                                  request):
+        engine = _engine(blocking, ["@@||page.example^$document"])
+        privileges = engine.document_privileges(
+            "http://page.example/", "page.example")
+        url, host = request
+        decision = engine.check_request(
+            url, ContentType.IMAGE, "page.example", host,
+            privileges=privileges)
+        assert decision.verdict is Verdict.ALLOW
+
+
+class TestDecisionConsistency:
+    @given(st.lists(_BLOCKING, max_size=6),
+           st.lists(_EXCEPTION, max_size=6), _REQUEST)
+    @settings(max_examples=150, deadline=None)
+    def test_verdict_matches_filter_sets(self, blocking, exceptions,
+                                         request):
+        engine = _engine(blocking, exceptions)
+        url, host = request
+        decision = engine.check_request(url, ContentType.IMAGE,
+                                        "page.example", host)
+        if decision.exceptions:
+            assert decision.verdict is Verdict.ALLOW
+        elif decision.blocking:
+            assert decision.verdict is Verdict.BLOCK
+        else:
+            assert decision.verdict is Verdict.NO_MATCH

@@ -1,0 +1,93 @@
+"""Unit tests for filter-list parsing and serialisation."""
+
+from repro.filters.filterlist import FilterList, parse_filter_list
+from repro.filters.parser import Comment, InvalidFilter
+
+SAMPLE = """[Adblock Plus 2.0]
+! Title: Test list
+! Version: 201504280000
+! An ordinary comment
+||adzerk.net^$third-party
+@@||adzerk.net/reddit/$subdocument,domain=reddit.com
+reddit.com#@##ad_main
+##.banner-ad
+!A7
+@@||kayak.com^$elemhide
+||broken$nonsense-option
+"""
+
+
+class TestParsing:
+    def test_metadata_extracted(self):
+        flist = parse_filter_list(SAMPLE, name="test")
+        assert flist.metadata["title"] == "Test list"
+        assert flist.metadata["version"] == "201504280000"
+        assert flist.metadata["header"] == "[Adblock Plus 2.0]"
+
+    def test_ordinary_comments_kept_as_entries(self):
+        flist = parse_filter_list(SAMPLE)
+        bodies = [c.body for c in flist.comments]
+        assert "An ordinary comment" in bodies
+        assert "A7" in bodies
+
+    def test_active_filter_count(self):
+        flist = parse_filter_list(SAMPLE)
+        assert len(flist) == 5  # broken one is invalid, comments skipped
+
+    def test_request_and_element_views(self):
+        flist = parse_filter_list(SAMPLE)
+        assert len(flist.request_filters) == 3
+        assert len(flist.element_filters) == 2
+
+    def test_invalid_filters_preserved(self):
+        flist = parse_filter_list(SAMPLE)
+        assert len(flist.invalid_filters) == 1
+        assert "nonsense-option" in flist.invalid_filters[0].error
+
+    def test_exception_view(self):
+        flist = parse_filter_list(SAMPLE)
+        texts = {f.text for f in flist.exception_filters}
+        assert "@@||kayak.com^$elemhide" in texts
+        assert "reddit.com#@##ad_main" in texts
+        assert "||adzerk.net^$third-party" not in texts
+
+    def test_blank_lines_skipped(self):
+        flist = parse_filter_list("\n\n||x.com^\n\n")
+        assert len(flist) == 1
+        assert not flist.invalid_filters
+
+    def test_order_preserved(self):
+        flist = parse_filter_list(SAMPLE)
+        texts = [e.text for e in flist.entries]
+        a7 = texts.index("!A7")
+        assert texts[a7 + 1] == "@@||kayak.com^$elemhide"
+
+
+class TestMutation:
+    def test_add_returns_parsed_entry(self):
+        flist = FilterList(name="x")
+        entry = flist.add("! hello")
+        assert isinstance(entry, Comment)
+
+    def test_extend(self):
+        flist = FilterList()
+        flist.extend(["||a.com^", "||b.com^"])
+        assert len(flist) == 2
+
+    def test_filter_texts(self):
+        flist = FilterList()
+        flist.extend(["||a.com^", "! c", "||b.com^"])
+        assert flist.filter_texts() == ["||a.com^", "||b.com^"]
+
+
+class TestRoundTrip:
+    def test_to_text_reparses_equivalently(self):
+        flist = parse_filter_list(SAMPLE, name="test")
+        reparsed = parse_filter_list(flist.to_text(), name="test")
+        assert flist.filter_texts() == reparsed.filter_texts()
+        assert reparsed.metadata["title"] == "Test list"
+
+    def test_invalid_entries_survive_round_trip(self):
+        flist = parse_filter_list(SAMPLE)
+        reparsed = parse_filter_list(flist.to_text())
+        assert len(reparsed.invalid_filters) == len(flist.invalid_filters)

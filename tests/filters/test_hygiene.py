@@ -1,0 +1,64 @@
+"""Unit tests for the Section 8 hygiene audit."""
+
+from repro.filters.filterlist import parse_filter_list
+from repro.filters.hygiene import TRUNCATION_LENGTH, audit
+
+
+class TestDuplicates:
+    def test_duplicate_counted_once_per_surplus_copy(self):
+        flist = parse_filter_list("||a.com^\n||a.com^\n||a.com^\n||b.com^")
+        report = audit(flist)
+        assert report.duplicate_filter_count == 2
+        assert report.duplicates == {"||a.com^": 3}
+
+    def test_clean_list(self):
+        report = audit(parse_filter_list("||a.com^\n||b.com^"))
+        assert report.clean
+
+
+class TestMalformed:
+    def test_malformed_detected(self):
+        report = audit(parse_filter_list("||a.com^$junk-option"))
+        assert report.malformed_count == 1
+
+    def test_blank_lines_not_malformed(self):
+        report = audit(parse_filter_list("||a.com^\n\n\n"))
+        assert report.malformed_count == 0
+
+
+class TestTruncation:
+    def test_truncated_filter_detected(self):
+        long_line = "@@||g.com/ads$domain=" + "x" * TRUNCATION_LENGTH
+        truncated = long_line[:TRUNCATION_LENGTH - 1] + "|"
+        report = audit(parse_filter_list(truncated))
+        assert report.truncated_count == 1
+        # A truncated domain list is also malformed.
+        assert report.malformed_count == 1
+
+    def test_normal_length_not_flagged(self):
+        report = audit(parse_filter_list("@@||g.com/ads$domain=a.com"))
+        assert report.truncated_count == 0
+
+
+class TestDeprecatedOptions:
+    def test_deprecated_uses_counted(self):
+        flist = parse_filter_list("||a.com^$background\n||b.com^$xbl,ping")
+        report = audit(flist)
+        assert report.deprecated_options["background"] == 1
+        assert report.deprecated_options["xbl"] == 1
+        assert report.deprecated_options["ping"] == 1
+
+
+class TestGeneratedWhitelist:
+    """The paper's exact hygiene defects in the generated tip."""
+
+    def test_35_duplicates(self, study):
+        assert study.hygiene.duplicate_filter_count == 35
+
+    def test_8_malformed_all_truncated(self, study):
+        assert study.hygiene.malformed_count == 8
+        assert study.hygiene.truncated_count == 8
+
+    def test_truncated_exactly_at_limit(self, study):
+        assert all(len(text) == TRUNCATION_LENGTH
+                   for text in study.hygiene.truncated)

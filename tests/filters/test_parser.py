@@ -1,0 +1,201 @@
+"""Unit tests for the filter-line parser, on the paper's own examples."""
+
+from repro.filters.options import ContentType, TriState
+from repro.filters.parser import (
+    Comment,
+    ElementFilter,
+    InvalidFilter,
+    RequestFilter,
+    parse_filter,
+)
+
+
+class TestBlockingFilters:
+    def test_adzerk_blocking_filter(self):
+        flt = parse_filter("||adzerk.net^$third-party")
+        assert isinstance(flt, RequestFilter)
+        assert not flt.is_exception
+        assert flt.options.third_party is TriState.YES
+
+    def test_plain_url_filter(self):
+        flt = parse_filter("http://example.com/ads/advert777.gif")
+        assert isinstance(flt, RequestFilter)
+        assert flt.matches("http://example.com/ads/advert777.gif",
+                           ContentType.IMAGE, "x.com", "example.com")
+
+    def test_filter_without_options(self):
+        flt = parse_filter("/ad-frame/")
+        assert isinstance(flt, RequestFilter)
+        assert flt.options.raw == ""
+
+
+class TestExceptionFilters:
+    def test_reddit_adzerk_exception(self):
+        flt = parse_filter("@@||adzerk.net/reddit/$subdocument,document,"
+                           "domain=reddit.com")
+        assert isinstance(flt, RequestFilter)
+        assert flt.is_exception
+        assert flt.restricted_domains == ("reddit.com",)
+        assert flt.matches(
+            "http://static.adzerk.net/reddit/ads.html",
+            ContentType.SUBDOCUMENT, "reddit.com", "static.adzerk.net")
+        assert not flt.matches(
+            "http://static.adzerk.net/reddit/ads.html",
+            ContentType.SUBDOCUMENT, "evil.com", "static.adzerk.net")
+
+    def test_doubleclick_references_example(self):
+        flt = parse_filter("@@||g.doubleclick.net/pagead/$subdocument,"
+                           "domain=references.net")
+        assert isinstance(flt, RequestFilter)
+        assert flt.is_exception
+        assert flt.restricted_domains == ("references.net",)
+
+    def test_golem_two_domain_filter(self):
+        flt = parse_filter(
+            "@@||google.com/ads/search/module/ads/*/search.js"
+            "$domain=suche.golem.de|www.google.com")
+        assert flt.restricted_domains == ("suche.golem.de",
+                                          "www.google.com")
+
+    def test_elemhide_privilege_filter_is_pattern_restricted(self):
+        flt = parse_filter("@@||ask.com^$elemhide")
+        assert isinstance(flt, RequestFilter)
+        assert flt.is_domain_restricted
+        assert flt.restricted_domains == ("ask.com",)
+
+    def test_mixed_privilege_and_content_not_pattern_restricted(self):
+        flt = parse_filter("@@||x.com^$script,elemhide")
+        assert flt.restricted_domains == ()
+
+
+class TestElementFilters:
+    def test_element_hide(self):
+        flt = parse_filter("##.banner-ad")
+        assert isinstance(flt, ElementFilter)
+        assert not flt.is_exception
+        assert not flt.is_domain_restricted
+
+    def test_reddit_element_exception(self):
+        flt = parse_filter("reddit.com#@##ad_main")
+        assert isinstance(flt, ElementFilter)
+        assert flt.is_exception
+        assert flt.domains_include == ("reddit.com",)
+
+    def test_site_table_organic_example(self):
+        flt = parse_filter("reddit.com###siteTable_organic")
+        assert isinstance(flt, ElementFilter)
+        assert not flt.is_exception
+        assert flt.selector.matches
+        assert flt.applies_on_domain("reddit.com")
+        assert not flt.applies_on_domain("example.com")
+
+    def test_multi_domain_element_filter(self):
+        flt = parse_filter("mnn.com,streamtuner.me###adv")
+        assert flt.domains_include == ("mnn.com", "streamtuner.me")
+
+    def test_negated_element_domain(self):
+        flt = parse_filter("example.com,~sub.example.com##.ad")
+        assert flt.applies_on_domain("example.com")
+        assert not flt.applies_on_domain("sub.example.com")
+
+    def test_unrestricted_element_exception(self):
+        # The whitelist's sole unrestricted element exception.
+        flt = parse_filter("#@##influads_block")
+        assert isinstance(flt, ElementFilter)
+        assert flt.is_exception
+        assert not flt.is_domain_restricted
+
+    def test_adunit_class_exception(self):
+        flt = parse_filter("references.net#@#.adunit")
+        assert isinstance(flt, ElementFilter)
+        assert flt.is_exception
+        assert flt.domains_include == ("references.net",)
+
+
+class TestSitekeyFilters:
+    def test_pure_sitekey_filter(self):
+        flt = parse_filter("@@$sitekey=MFwwDQYJKwEAAQ,document")
+        assert isinstance(flt, RequestFilter)
+        assert flt.is_sitekey
+        assert flt.pattern is None
+        assert flt.options.sitekeys == ("MFwwDQYJKwEAAQ",)
+
+    def test_sitekey_with_base64_punctuation(self):
+        flt = parse_filter("@@$sitekey=MFww+DQ/YJKwEAAQ==,document")
+        assert isinstance(flt, RequestFilter)
+        assert flt.options.sitekeys == ("MFww+DQ/YJKwEAAQ==",)
+
+    def test_sitekey_matching_requires_key(self):
+        flt = parse_filter("@@$sitekey=KEY1,document")
+        assert flt.matches("http://any.com/", ContentType.DOCUMENT,
+                           "any.com", "any.com", sitekey="KEY1")
+        assert not flt.matches("http://any.com/", ContentType.DOCUMENT,
+                               "any.com", "any.com", sitekey="KEY2")
+        assert not flt.matches("http://any.com/", ContentType.DOCUMENT,
+                               "any.com", "any.com")
+
+    def test_sitekey_on_blocking_filter_invalid(self):
+        flt = parse_filter("||x.com^$sitekey=KEY")
+        assert isinstance(flt, InvalidFilter)
+
+
+class TestComments:
+    def test_plain_comment(self):
+        flt = parse_filter("! Some comment")
+        assert isinstance(flt, Comment)
+        assert flt.body == "Some comment"
+        assert flt.a_group is None
+
+    def test_a_group_marker(self):
+        flt = parse_filter("!A29")
+        assert isinstance(flt, Comment)
+        assert flt.a_group == 29
+
+    def test_forum_link_detection(self):
+        flt = parse_filter("! PageFair - https://adblockplus.org/forum/"
+                           "viewtopic.php?f=12&t=2023")
+        assert flt.forum_link is not None
+
+    def test_header_treated_as_metadata_comment(self):
+        flt = parse_filter("[Adblock Plus 2.0]")
+        assert isinstance(flt, Comment)
+
+
+class TestInvalidFilters:
+    def test_blank_line(self):
+        assert isinstance(parse_filter("   "), InvalidFilter)
+
+    def test_unknown_option(self):
+        flt = parse_filter("||x.com^$bogus-option")
+        assert isinstance(flt, InvalidFilter)
+        assert "bogus-option" in flt.error
+
+    def test_truncated_domain_list(self):
+        flt = parse_filter("@@||g.com/ads$domain=a.com|")
+        assert isinstance(flt, InvalidFilter)
+
+    def test_document_on_blocking_filter_invalid(self):
+        assert isinstance(parse_filter("||x.com^$document"), InvalidFilter)
+
+    def test_empty_filter(self):
+        assert isinstance(parse_filter("@@"), InvalidFilter)
+
+    def test_bad_regex(self):
+        assert isinstance(parse_filter("/[unclosed/"), InvalidFilter)
+
+    def test_parse_never_raises(self):
+        for junk in ("$$$", "@@$", "##", "a#@#", "|||", "~", "@@$foo=bar"):
+            parse_filter(junk)  # must not raise
+
+
+class TestOptionSplitting:
+    def test_dollar_in_pattern_kept_when_tail_not_options(self):
+        flt = parse_filter("http://x.com/page$ref/ads")
+        assert isinstance(flt, RequestFilter)
+        assert flt.pattern_text == "http://x.com/page$ref/ads"
+
+    def test_last_dollar_splits(self):
+        flt = parse_filter("||x.com/a$b$script")
+        assert isinstance(flt, RequestFilter)
+        assert flt.pattern_text == "||x.com/a$b"
+        assert flt.options.include_types == ContentType.SCRIPT

@@ -1,0 +1,166 @@
+"""Unit tests for request-pattern compilation (Appendix A.1)."""
+
+import pytest
+
+from repro.filters.pattern import (
+    PatternError,
+    compile_pattern,
+    extract_keyword,
+)
+
+
+def matches(pattern: str, url: str, **kwargs) -> bool:
+    return compile_pattern(pattern, **kwargs).matches(url)
+
+
+class TestPlainPatterns:
+    def test_literal_substring(self):
+        assert matches("ads/banner", "http://x.com/ads/banner.gif")
+
+    def test_implicit_wildcards_both_ends(self):
+        assert matches("/ad-frame/", "http://x.com/a/ad-frame/b.gif")
+
+    def test_non_match(self):
+        assert not matches("/ad-frame/", "http://x.com/content/")
+
+    def test_case_insensitive_by_default(self):
+        assert matches("ADS", "http://x.com/ads/1")
+
+    def test_match_case(self):
+        assert not matches("ADS", "http://x.com/ads/1", match_case=True)
+        assert matches("ADS", "http://x.com/ADS/1", match_case=True)
+
+
+class TestWildcards:
+    def test_star_matches_any_run(self):
+        assert matches("ads/*/banner", "http://x.com/ads/2015/04/banner")
+
+    def test_star_matches_empty(self):
+        assert matches("ads*banner", "http://x.com/adsbanner")
+
+    def test_adjacent_stars_collapse(self):
+        pattern = compile_pattern("a**b")
+        assert pattern.matches("http://x.com/a123b")
+
+    def test_paper_google_module_pattern(self):
+        pattern = "||google.com/ads/search/module/ads/*/search.js"
+        assert matches(pattern,
+                       "http://www.google.com/ads/search/module/ads/"
+                       "v3/search.js")
+
+
+class TestAnchors:
+    def test_start_anchor(self):
+        assert matches("|http://example.com", "http://example.com/x")
+        assert not matches("|example.com", "http://example.com/")
+
+    def test_end_anchor(self):
+        assert matches("ad.jpg|", "http://e.com/ad.jpg")
+        assert not matches("ad.jpg|", "http://e.com/ad.jpg.exe")
+
+    def test_paper_example_end_anchor(self):
+        # ||example.com/ad.jpg| matches https variant but not .exe
+        pattern = "||example.com/ad.jpg|"
+        assert matches(pattern, "https://example.com/ad.jpg")
+        assert matches(pattern, "http://good.example.com/ad.jpg")
+        assert not matches(pattern, "https://example.com/ad.jpg.exe")
+
+
+class TestExtendedAnchor:
+    def test_matches_domain_and_subdomains(self):
+        assert matches("||adzerk.net^", "http://adzerk.net/x")
+        assert matches("||adzerk.net^", "http://static.adzerk.net/x")
+
+    def test_multiple_schemes(self):
+        assert matches("||adzerk.net^", "https://adzerk.net/")
+        assert matches("||adzerk.net^", "ws://adzerk.net/")
+
+    def test_does_not_match_mid_label(self):
+        assert not matches("||adzerk.net^", "http://notadzerk.net/")
+
+    def test_matches_at_label_boundary_only(self):
+        assert matches("||zerk.net^", "http://a.zerk.net/")
+        assert not matches("||zerk.net^", "http://adzerk.net/")
+
+    def test_anchored_hostname_extracted(self):
+        pattern = compile_pattern("||adzerk.net^$x"[:-2])
+        assert pattern.anchored_hostname == "adzerk.net"
+
+    def test_no_hostname_for_plain_patterns(self):
+        assert compile_pattern("/ads/").anchored_hostname is None
+
+
+class TestSeparator:
+    def test_separator_matches_slash(self):
+        assert matches("||e.com^path", "http://e.com/path")
+
+    def test_separator_matches_end_of_url(self):
+        assert matches("||adzerk.net^", "http://adzerk.net")
+
+    def test_separator_matches_colon_and_query(self):
+        assert matches("e.com^", "http://e.com:8000/")
+        assert matches("q^", "http://x.com/q?a=1")
+
+    def test_separator_rejects_word_chars(self):
+        assert not matches("||e.com^", "http://e.comx/")
+        # - . % and _ are NOT separators
+        assert not matches("ads^", "http://x.com/ads-top/")
+        assert not matches("ads^", "http://x.com/ads.gif")
+        assert not matches("ads^", "http://x.com/ads%20/")
+
+    def test_paper_www_google_example(self):
+        # ||^www.google.com^ style separator use around the host
+        assert matches("||www.google.com^", "http://www.google.com/#q=foo")
+        assert not matches("||www.google.com^", "http://scholar.google.com")
+
+
+class TestRegexPatterns:
+    def test_raw_regex(self):
+        assert matches("/ad[0-9]+/", "http://x.com/ad123")
+
+    def test_raw_regex_no_implicit_wildcard_semantics(self):
+        assert not matches("/^http://only/", "http://x.com/http://only")
+
+    def test_bad_regex_raises(self):
+        with pytest.raises(PatternError):
+            compile_pattern("/[unclosed/")
+
+    def test_is_regex_flag(self):
+        assert compile_pattern("/x/").is_regex
+        assert not compile_pattern("x").is_regex
+
+
+class TestKeywordExtraction:
+    def test_anchored_host_keyword(self):
+        assert extract_keyword("||adzerk.net^$third-party".split("$")[0]) \
+            == "adzerk"
+
+    def test_regex_has_no_keyword(self):
+        assert extract_keyword("/ads[0-9]/") == ""
+
+    def test_common_tokens_skipped(self):
+        # "www" and "com" are too common to be useful bucket keys.
+        assert extract_keyword("||www.com^") == ""
+
+    def test_wildcard_adjacent_token_not_used(self):
+        # "banner" touches a wildcard, so a URL token could extend it.
+        keyword = extract_keyword("banner*")
+        assert keyword == ""
+
+    def test_longest_token_wins(self):
+        assert extract_keyword("||googleadservices.com^") == (
+            "googleadservices")
+
+    def test_keyword_is_token_of_matching_urls(self):
+        import re
+
+        pattern = "||stats.g.doubleclick.net^"
+        keyword = extract_keyword(pattern)
+        url = "http://stats.g.doubleclick.net/dc.js"
+        assert compile_pattern(pattern).matches(url)
+        assert keyword in re.findall(r"[a-z0-9%]{3,}", url)
+
+    def test_unanchored_leading_token_not_used(self):
+        # Pattern "ads/x^" could match ".../myads/x" where "ads" is not
+        # a URL token, so it must not become the keyword.
+        assert extract_keyword("ads/x^") != "ads"

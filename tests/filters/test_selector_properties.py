@@ -1,0 +1,93 @@
+"""Property-based tests for the CSS selector subset (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.filters.selectors import SelectorError, parse_selector
+from repro.web.dom import Element
+
+_IDENT = st.text(alphabet=string.ascii_lowercase, min_size=1, max_size=8)
+
+
+@st.composite
+def _simple(draw):
+    kind = draw(st.sampled_from(["tag", "id", "class", "attr"]))
+    name = draw(_IDENT)
+    if kind == "tag":
+        return name, ("tag", name)
+    if kind == "id":
+        return f"#{name}", ("id", name)
+    if kind == "class":
+        return f".{name}", ("class", name)
+    value = draw(_IDENT)
+    return f'[{name}="{value}"]', ("attr", name, value)
+
+
+def _element_matching(spec) -> Element:
+    if spec[0] == "tag":
+        return Element(tag=spec[1])
+    if spec[0] == "id":
+        return Element(tag="div", attributes={"id": spec[1]})
+    if spec[0] == "class":
+        return Element(tag="div", attributes={"class": spec[1]})
+    return Element(tag="div", attributes={spec[1]: spec[2]})
+
+
+class TestGeneratedSelectors:
+    @given(_simple())
+    @settings(max_examples=200)
+    def test_simple_selector_matches_constructed_element(self, pair):
+        text, spec = pair
+        selector = parse_selector(text)
+        assert selector.matches(_element_matching(spec))
+
+    @given(_simple(), _simple())
+    @settings(max_examples=200)
+    def test_descendant_combinator(self, outer, inner):
+        outer_text, outer_spec = outer
+        inner_text, inner_spec = inner
+        parent = _element_matching(outer_spec)
+        child = parent.append(_element_matching(inner_spec))
+        selector = parse_selector(f"{outer_text} {inner_text}")
+        assert selector.matches(child)
+
+    @given(_simple(), _simple())
+    @settings(max_examples=200)
+    def test_child_combinator(self, outer, inner):
+        outer_text, outer_spec = outer
+        inner_text, inner_spec = inner
+        parent = _element_matching(outer_spec)
+        child = parent.append(_element_matching(inner_spec))
+        assert parse_selector(f"{outer_text} > {inner_text}").matches(
+            child)
+
+    @given(st.lists(_simple(), min_size=1, max_size=4))
+    @settings(max_examples=150)
+    def test_selector_list_matches_any_member(self, pairs):
+        text = ", ".join(t for t, _ in pairs)
+        selector = parse_selector(text)
+        for _, spec in pairs:
+            assert selector.matches(_element_matching(spec))
+
+    @given(_simple())
+    @settings(max_examples=150)
+    def test_no_match_against_unrelated_element(self, pair):
+        text, spec = pair
+        selector = parse_selector(text)
+        other = Element(tag="zzz-unrelated",
+                        attributes={"id": "zz", "class": "zz"})
+        if spec[0] == "tag" and spec[1] == "zzz-unrelated":
+            return
+        if spec[0] in ("id", "class") and spec[1] == "zz":
+            return
+        assert not selector.matches(other)
+
+    @given(st.text(max_size=30))
+    @settings(max_examples=300)
+    def test_parser_total(self, text):
+        try:
+            parse_selector(text)
+        except SelectorError:
+            pass

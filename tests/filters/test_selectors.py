@@ -1,0 +1,155 @@
+"""Unit tests for the CSS selector subset (element hiding)."""
+
+import pytest
+
+from repro.filters.selectors import SelectorError, parse_selector
+from repro.web.dom import Element
+
+
+def el(tag="div", parent=None, **attrs) -> Element:
+    attributes = {k.rstrip("_").replace("_", "-"): v
+                  for k, v in attrs.items()}
+    element = Element(tag=tag, attributes=attributes)
+    if parent is not None:
+        parent.append(element)
+    return element
+
+
+class TestSimpleSelectors:
+    def test_id_selector(self):
+        sel = parse_selector("#siteTable_organic")
+        assert sel.matches(el(id="siteTable_organic"))
+        assert not sel.matches(el(id="other"))
+
+    def test_class_selector(self):
+        sel = parse_selector(".ButtonAd")
+        assert sel.matches(el(class_="ButtonAd big"))
+        assert not sel.matches(el(class_="Button"))
+
+    def test_tag_selector(self):
+        sel = parse_selector("iframe")
+        assert sel.matches(el(tag="iframe"))
+        assert not sel.matches(el(tag="div"))
+
+    def test_tag_selector_case_insensitive(self):
+        assert parse_selector("IFRAME").matches(el(tag="iframe"))
+
+    def test_universal_selector(self):
+        sel = parse_selector("*")
+        assert sel.matches(el(tag="span"))
+
+    def test_missing_id_does_not_match(self):
+        assert not parse_selector("#x").matches(el())
+
+
+class TestAttributeSelectors:
+    def test_presence(self):
+        sel = parse_selector("[data-ad]")
+        assert sel.matches(el(data_ad=""))
+        assert not sel.matches(el())
+
+    def test_exact_value(self):
+        sel = parse_selector('[name="ad_main"]')
+        assert sel.matches(el(name="ad_main"))
+        assert not sel.matches(el(name="ad_mainx"))
+
+    def test_prefix(self):
+        sel = parse_selector('[src^="http://static"]')
+        assert sel.matches(el(src="http://static.adzerk.net/x"))
+        assert not sel.matches(el(src="https://static.adzerk.net"))
+
+    def test_suffix(self):
+        sel = parse_selector('[src$=".gif"]')
+        assert sel.matches(el(src="/ad.gif"))
+        assert not sel.matches(el(src="/ad.gif.exe"))
+
+    def test_contains(self):
+        sel = parse_selector('[class*="ad"]')
+        assert sel.matches(el(class_="header-ads"))
+
+    def test_word_match(self):
+        sel = parse_selector('[class~="promoted"]')
+        assert sel.matches(el(class_="grid promoted item"))
+        assert not sel.matches(el(class_="promoteditem"))
+
+    def test_unquoted_value(self):
+        sel = parse_selector("[id=adbar]")
+        assert sel.matches(el(id="adbar"))
+
+
+class TestCompoundSelectors:
+    def test_tag_and_class(self):
+        sel = parse_selector("div.ad")
+        assert sel.matches(el(tag="div", class_="ad"))
+        assert not sel.matches(el(tag="span", class_="ad"))
+
+    def test_class_and_attribute(self):
+        sel = parse_selector('.unit[data-slot="top"]')
+        assert sel.matches(el(class_="unit", data_slot="top"))
+        assert not sel.matches(el(class_="unit"))
+
+    def test_tag_must_come_first(self):
+        with pytest.raises(SelectorError):
+            parse_selector("[data-x]div")
+
+
+class TestCombinators:
+    def test_descendant(self):
+        grandparent = el(class_="sidebar")
+        parent = el(parent=grandparent)
+        child = el(parent=parent, class_="ad")
+        sel = parse_selector(".sidebar .ad")
+        assert sel.matches(child)
+        assert not sel.matches(el(class_="ad"))
+
+    def test_child(self):
+        parent = el(class_="sidebar")
+        child = el(parent=parent, class_="ad")
+        sel = parse_selector(".sidebar > .ad")
+        assert sel.matches(child)
+
+    def test_child_rejects_deeper_descendant(self):
+        grandparent = el(class_="sidebar")
+        middle = el(parent=grandparent)
+        child = el(parent=middle, class_="ad")
+        assert not parse_selector(".sidebar > .ad").matches(child)
+        assert parse_selector(".sidebar .ad").matches(child)
+
+    def test_three_level_chain(self):
+        a = el(id="page")
+        b = el(parent=a, class_="main")
+        c = el(parent=b, tag="img")
+        assert parse_selector("#page .main img").matches(c)
+
+    def test_dangling_combinator_rejected(self):
+        with pytest.raises(SelectorError):
+            parse_selector(".a >")
+        with pytest.raises(SelectorError):
+            parse_selector("> .a")
+
+
+class TestSelectorLists:
+    def test_comma_separated(self):
+        sel = parse_selector("#a, .b")
+        assert sel.matches(el(id="a"))
+        assert sel.matches(el(class_="b"))
+        assert not sel.matches(el(id="c"))
+
+    def test_select_filters_iterable(self):
+        elements = [el(id="a"), el(id="b"), el(class_="b")]
+        sel = parse_selector("#a, .b")
+        assert sel.select(elements) == [elements[0], elements[2]]
+
+    def test_empty_selector_rejected(self):
+        with pytest.raises(SelectorError):
+            parse_selector("")
+        with pytest.raises(SelectorError):
+            parse_selector("   ")
+
+    def test_empty_list_member_rejected(self):
+        with pytest.raises(SelectorError):
+            parse_selector("#a, ,#b")
+
+    def test_garbage_rejected(self):
+        with pytest.raises(SelectorError):
+            parse_selector("###")

@@ -1,0 +1,93 @@
+"""Unit tests for Section 7's A-filter mining."""
+
+from datetime import date
+
+from repro.history.afilters import mine_a_filters
+from repro.history.repository import Repository
+
+
+def small_repo():
+    repo = Repository()
+    repo.commit(date(2013, 6, 1), "Updated whitelists.",
+                added=["!A1", "@@||one.com^$elemhide",
+                       "@@||two.com^$elemhide"])
+    repo.commit(date(2013, 7, 1),
+                "Whitelist x https://adblockplus.org/forum/"
+                "viewtopic.php?f=12&t=99",
+                added=["! vetted group", "@@||vetted.com^$elemhide"])
+    repo.commit(date(2014, 1, 1), "Updated whitelists.",
+                added=["!A2", "@@||three.com^$elemhide"])
+    repo.commit(date(2014, 6, 1), "Updated whitelists.",
+                removed=["!A1", "@@||one.com^$elemhide",
+                         "@@||two.com^$elemhide"])
+    repo.commit(date(2014, 7, 1), "Updated whitelists.",
+                added=["!A3", "@@||one.com^$elemhide",
+                       "@@||two.com^$elemhide"])
+    return repo
+
+
+class TestMining:
+    def test_groups_found(self):
+        report = mine_a_filters(small_repo())
+        assert set(report.groups) == {1, 2, 3}
+
+    def test_vetted_group_not_mistaken_for_a_group(self):
+        report = mine_a_filters(small_repo())
+        all_filters = {f for g in report.groups.values()
+                       for f in g.filters}
+        assert "@@||vetted.com^$elemhide" not in all_filters
+
+    def test_group_contents_positional(self):
+        report = mine_a_filters(small_repo())
+        assert report.groups[1].filters == (
+            "@@||one.com^$elemhide", "@@||two.com^$elemhide")
+
+    def test_removal_tracked(self):
+        report = mine_a_filters(small_repo())
+        assert report.groups[1].removed_rev == 3
+        assert report.groups[2].active
+
+    def test_readdition_detected(self):
+        report = mine_a_filters(small_repo())
+        assert report.groups[1].readded_as == 3
+
+    def test_disclosure_flag(self):
+        report = mine_a_filters(small_repo())
+        assert not report.groups[1].publicly_disclosed
+        assert len(report.undisclosed) == 3
+
+
+class TestPaperScale:
+    def test_61_groups_added(self, study):
+        assert study.a_filters.total_added == 61
+
+    def test_5_groups_removed(self, study):
+        assert len(study.a_filters.removed) == 5
+
+    def test_a7_readded_as_a28(self, study):
+        readded = {(g.number, g.readded_as)
+                   for g in study.a_filters.readded}
+        assert (7, 28) in readded
+
+    def test_none_publicly_disclosed(self, study):
+        assert len(study.a_filters.undisclosed) == 61
+
+    def test_commit_message_fingerprint(self, study):
+        messages = {g.commit_message for g in
+                    study.a_filters.groups.values()}
+        assert "Updated whitelists." in messages
+        assert "Added new whitelists." in messages
+
+    def test_known_special_groups(self, study):
+        groups = study.a_filters.groups
+        assert any("ask.com" in f for f in groups[6].filters)
+        assert any("comcast" in f for f in groups[29].filters)
+        assert any("kayak.com.au" in f for f in groups[46].filters)
+        assert any("twcc.com" in f for f in groups[50].filters)
+
+    def test_a59_contains_unrestricted_adsense(self, study):
+        assert "@@||google.com/adsense/search/ads.js$script" in \
+            study.a_filters.groups[59].filters
+
+    def test_active_groups_at_tip(self, study):
+        assert len(study.a_filters.active) == 56

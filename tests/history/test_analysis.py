@@ -1,0 +1,130 @@
+"""Unit tests for history analyses (Table 1 / Figure 3 machinery)."""
+
+from datetime import date
+
+import pytest
+
+from repro.history.analysis import (
+    growth_series,
+    update_cadence,
+    yearly_activity,
+)
+from repro.history.repository import Repository
+
+
+def build(*commits):
+    repo = Repository()
+    for when, added, removed in commits:
+        repo.commit(when, "m", added=added, removed=removed)
+    return repo
+
+
+class TestYearlyActivity:
+    def test_filters_counted_excluding_comments(self):
+        repo = build((date(2012, 1, 1), ["! c", "||a.com^"], []))
+        row = yearly_activity(repo)[0]
+        assert row.filters_added == 1
+
+    def test_modification_counts_both_sides(self):
+        repo = build(
+            (date(2012, 1, 1), ["@@||x.com^$domain=a.com"], []),
+            (date(2012, 2, 1), ["@@||x.com/v2/$domain=a.com"],
+             ["@@||x.com^$domain=a.com"]),
+        )
+        row = yearly_activity(repo)[0]
+        assert row.filters_added == 2
+        assert row.filters_removed == 1
+
+    def test_domain_first_appearance_counted_once(self):
+        repo = build(
+            (date(2012, 1, 1), ["@@||x.com^$domain=a.com"], []),
+            (date(2012, 2, 1), ["@@||y.com^$domain=a.com"], []),
+        )
+        row = yearly_activity(repo)[0]
+        assert row.domains_added == 1
+
+    def test_domain_removed_when_last_reference_gone(self):
+        repo = build(
+            (date(2012, 1, 1), ["@@||x.com^$domain=a.com",
+                                "@@||y.com^$domain=a.com"], []),
+            (date(2012, 2, 1), [], ["@@||x.com^$domain=a.com"]),
+            (date(2012, 3, 1), [], ["@@||y.com^$domain=a.com"]),
+        )
+        row = yearly_activity(repo)[0]
+        assert row.domains_removed == 1
+
+    def test_same_revision_modification_keeps_domain(self):
+        repo = build(
+            (date(2012, 1, 1), ["@@||x.com^$domain=a.com"], []),
+            (date(2012, 2, 1), ["@@||x.com/v2/$domain=a.com"],
+             ["@@||x.com^$domain=a.com"]),
+        )
+        row = yearly_activity(repo)[0]
+        assert row.domains_removed == 0
+
+    def test_readdition_not_counted_as_new_domain(self):
+        repo = build(
+            (date(2012, 1, 1), ["@@||x.com^$domain=a.com"], []),
+            (date(2013, 1, 1), [], ["@@||x.com^$domain=a.com"]),
+            (date(2014, 1, 1), ["@@||x.com^$domain=a.com"], []),
+        )
+        rows = {r.year: r for r in yearly_activity(repo)}
+        assert rows[2012].domains_added == 1
+        assert rows[2013].domains_removed == 1
+        assert rows[2014].domains_added == 0
+
+    def test_element_filter_domains_counted(self):
+        repo = build((date(2012, 1, 1), ["a.com#@#.ad"], []))
+        assert yearly_activity(repo)[0].domains_added == 1
+
+    def test_years_sorted(self):
+        repo = build(
+            (date(2011, 12, 1), ["||a.com^"], []),
+            (date(2013, 1, 1), ["||b.com^"], []),
+        )
+        assert [r.year for r in yearly_activity(repo)] == [2011, 2013]
+
+
+class TestGrowthSeries:
+    def test_cumulative_counts(self):
+        repo = build(
+            (date(2012, 1, 1), ["||a.com^", "||b.com^"], []),
+            (date(2012, 2, 1), ["||c.com^"], ["||a.com^"]),
+        )
+        series = growth_series(repo)
+        assert [p.filters for p in series] == [2, 2]
+
+    def test_comments_not_counted(self):
+        repo = build((date(2012, 1, 1), ["! x", "||a.com^"], []))
+        assert growth_series(repo)[0].filters == 1
+
+    def test_final_point_matches_tip(self, history):
+        series = growth_series(history.repository)
+        assert series[-1].filters == 5_936
+
+    def test_monotone_revision_numbers(self, history):
+        series = growth_series(history.repository)
+        assert [p.rev for p in series] == list(range(989))
+
+    def test_google_jump_visible(self, history):
+        series = growth_series(history.repository)
+        delta = series[200].filters - series[199].filters
+        assert delta >= 1_262
+
+
+class TestCadence:
+    def test_paper_scale_cadence(self, history):
+        cadence = update_cadence(history.repository)
+        # "updated every 1.5 days, adding or modifying 11.4 filters"
+        assert 1.0 <= cadence.days_per_update <= 2.0
+        assert 9.0 <= cadence.changes_per_update <= 14.0
+
+    def test_since_filter(self, history):
+        cadence = update_cadence(history.repository,
+                                 since=date(2014, 1, 1))
+        assert cadence.updates < 989
+
+    def test_requires_two_changesets(self):
+        repo = build((date(2012, 1, 1), ["||a.com^"], []))
+        with pytest.raises(ValueError):
+            update_cadence(repo)

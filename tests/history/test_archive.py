@@ -1,0 +1,104 @@
+"""Unit tests for history archiving."""
+
+import io
+from datetime import date
+
+import pytest
+
+from repro.history.archive import (
+    ArchiveError,
+    dump_repository,
+    load_repository,
+    read_repository,
+    save_repository,
+)
+from repro.history.repository import Repository
+
+
+def small_repo() -> Repository:
+    repo = Repository(name="test-list")
+    repo.commit(date(2011, 10, 3), "init",
+                added=["! c", "||a.com^", "@@||b.com^$domain=a.com"])
+    repo.commit(date(2012, 1, 1), "update",
+                added=["||c.com^"], removed=["||a.com^"])
+    return repo
+
+
+def round_trip(repo: Repository) -> Repository:
+    buffer = io.StringIO()
+    dump_repository(repo, buffer)
+    buffer.seek(0)
+    return read_repository(buffer)
+
+
+class TestRoundTrip:
+    def test_content_identical(self):
+        repo = small_repo()
+        loaded = round_trip(repo)
+        assert loaded.checkout(1) == repo.checkout(1)
+        assert loaded.name == "test-list"
+
+    def test_metadata_identical(self):
+        loaded = round_trip(small_repo())
+        assert loaded[0].message == "init"
+        assert loaded[1].when == date(2012, 1, 1)
+
+    def test_file_round_trip(self, tmp_path):
+        repo = small_repo()
+        path = save_repository(repo, tmp_path / "history.jsonl")
+        loaded = load_repository(path)
+        assert loaded.checkout(1) == repo.checkout(1)
+
+    def test_full_generated_history_round_trips(self, history, tmp_path):
+        path = save_repository(history.repository,
+                               tmp_path / "full.jsonl")
+        loaded = load_repository(path)
+        assert len(loaded) == 989
+        assert loaded.checkout(988) == history.repository.checkout(988)
+
+
+class TestFailureModes:
+    def test_empty_archive(self):
+        with pytest.raises(ArchiveError):
+            read_repository(io.StringIO(""))
+
+    def test_wrong_format(self):
+        with pytest.raises(ArchiveError):
+            read_repository(io.StringIO('{"format": "other"}\n'))
+
+    def test_wrong_version(self):
+        with pytest.raises(ArchiveError):
+            read_repository(io.StringIO(
+                '{"format": "repro-history", "version": 99}\n'))
+
+    def test_corrupt_json_line(self):
+        buffer = io.StringIO()
+        dump_repository(small_repo(), buffer)
+        text = buffer.getvalue() + "{not json\n"
+        with pytest.raises(ArchiveError):
+            read_repository(io.StringIO(text))
+
+    def test_inconsistent_removal_rejected(self):
+        text = ('{"format": "repro-history", "version": 1, "name": "x"}\n'
+                '{"rev": 0, "when": "2011-10-03", "message": "m", '
+                '"added": [], "removed": ["never-added"]}\n')
+        with pytest.raises(ArchiveError):
+            read_repository(io.StringIO(text))
+
+    def test_revision_mismatch_rejected(self):
+        text = ('{"format": "repro-history", "version": 1, "name": "x"}\n'
+                '{"rev": 5, "when": "2011-10-03", "message": "m", '
+                '"added": ["||a.com^"], "removed": []}\n')
+        with pytest.raises(ArchiveError):
+            read_repository(io.StringIO(text))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ArchiveError):
+            load_repository(tmp_path / "absent.jsonl")
+
+    def test_blank_lines_tolerated(self):
+        buffer = io.StringIO()
+        dump_repository(small_repo(), buffer)
+        text = buffer.getvalue().replace("\n", "\n\n")
+        loaded = read_repository(io.StringIO(text))
+        assert len(loaded) == 2

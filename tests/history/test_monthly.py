@@ -1,0 +1,44 @@
+"""Tests for the per-month activity slicing."""
+
+from datetime import date
+
+from repro.history.analysis import monthly_activity
+from repro.history.repository import Repository
+
+
+class TestMonthlyActivity:
+    def test_basic_slicing(self):
+        repo = Repository()
+        repo.commit(date(2013, 5, 1), "a", added=["||a.com^"])
+        repo.commit(date(2013, 5, 20), "b", added=["||b.com^", "! c"])
+        repo.commit(date(2013, 7, 1), "c", removed=["||a.com^"])
+        rows = monthly_activity(repo)
+        assert [(r.year, r.month) for r in rows] == [(2013, 5), (2013, 7)]
+        assert rows[0].revisions == 2
+        assert rows[0].filters_added == 2  # comment excluded
+        assert rows[1].filters_removed == 1
+        assert rows[1].net_change == -1
+
+    def test_months_sorted_across_years(self):
+        repo = Repository()
+        repo.commit(date(2012, 12, 1), "a", added=["||a.com^"])
+        repo.commit(date(2013, 1, 1), "b", added=["||b.com^"])
+        rows = monthly_activity(repo)
+        assert [(r.year, r.month) for r in rows] == [(2012, 12), (2013, 1)]
+
+    def test_consistent_with_yearly(self, history):
+        from repro.history.analysis import yearly_activity
+
+        monthly = monthly_activity(history.repository)
+        yearly = {r.year: r for r in yearly_activity(history.repository)}
+        for year in (2011, 2013, 2015):
+            month_sum = sum(r.filters_added for r in monthly
+                            if r.year == year)
+            assert month_sum == yearly[year].filters_added
+
+    def test_google_jump_month_dominates_2013(self, history):
+        monthly = monthly_activity(history.repository)
+        in_2013 = [r for r in monthly if r.year == 2013]
+        peak = max(in_2013, key=lambda r: r.filters_added)
+        # The Rev-200 Google addition lands in one 2013 month.
+        assert peak.filters_added >= 1_262

@@ -1,0 +1,148 @@
+"""Unit tests for the Mercurial-like revision store."""
+
+from datetime import date
+
+import pytest
+
+from repro.history.repository import Repository, RepositoryError
+
+
+def repo_with(*changesets):
+    repo = Repository()
+    for i, (added, removed) in enumerate(changesets):
+        repo.commit(date(2013, 1, 1 + i), f"rev {i}",
+                    added=added, removed=removed)
+    return repo
+
+
+class TestCommit:
+    def test_commit_returns_changeset(self):
+        repo = Repository()
+        cs = repo.commit(date(2011, 10, 3), "init", added=["a"])
+        assert cs.rev == 0
+        assert cs.added == ("a",)
+
+    def test_removing_absent_line_rejected(self):
+        repo = Repository()
+        repo.commit(date(2011, 10, 3), "init", added=["a"])
+        with pytest.raises(RepositoryError):
+            repo.commit(date(2011, 10, 4), "bad", removed=["missing"])
+
+    def test_failed_commit_leaves_state_unchanged(self):
+        repo = repo_with((["a"], []))
+        with pytest.raises(RepositoryError):
+            repo.commit(date(2013, 2, 1), "bad",
+                        added=["b"], removed=["missing"])
+        assert len(repo) == 1
+        assert repo.checkout(0) == ["a"]
+
+    def test_dates_must_not_go_backwards(self):
+        repo = Repository()
+        repo.commit(date(2013, 5, 1), "a", added=["x"])
+        with pytest.raises(RepositoryError):
+            repo.commit(date(2013, 4, 30), "b", added=["y"])
+
+    def test_same_day_commits_allowed(self):
+        repo = Repository()
+        repo.commit(date(2013, 5, 1), "a", added=["x"])
+        repo.commit(date(2013, 5, 1), "b", added=["y"])
+        assert len(repo) == 2
+
+    def test_modification_in_one_commit(self):
+        repo = repo_with((["old"], []), (["new"], ["old"]))
+        assert repo.checkout(1) == ["new"]
+
+
+class TestCheckout:
+    def test_checkout_each_revision(self):
+        repo = repo_with((["a", "b"], []), (["c"], ["a"]), ([], ["b"]))
+        assert repo.checkout(0) == ["a", "b"]
+        assert repo.checkout(1) == ["b", "c"]
+        assert repo.checkout(2) == ["c"]
+
+    def test_checkout_is_a_copy(self):
+        repo = repo_with((["a"], []))
+        content = repo.checkout(0)
+        content.append("mutated")
+        assert repo.checkout(0) == ["a"]
+
+    def test_bad_revision_rejected(self):
+        repo = repo_with((["a"], []))
+        with pytest.raises(RepositoryError):
+            repo.checkout(5)
+        with pytest.raises(RepositoryError):
+            repo.checkout(-1)
+
+    def test_duplicate_lines_as_multiset(self):
+        repo = repo_with((["a", "a"], []), ([], ["a"]))
+        assert repo.checkout(0) == ["a", "a"]
+        assert repo.checkout(1) == ["a"]
+
+    def test_checkout_past_snapshot_boundary(self):
+        repo = Repository()
+        for i in range(150):  # crosses the 64-revision snapshot cadence
+            repo.commit(date(2013, 1, 1), f"rev {i}", added=[f"line{i}"])
+        assert len(repo.checkout(149)) == 150
+        assert repo.checkout(70) == [f"line{i}" for i in range(71)]
+        assert repo.checkout(64) == [f"line{i}" for i in range(65)]
+        assert repo.checkout(63) == [f"line{i}" for i in range(64)]
+
+
+class TestHistoryAccess:
+    def test_tip(self):
+        repo = repo_with((["a"], []), (["b"], []))
+        assert repo.tip.rev == 1
+
+    def test_empty_repo_has_no_tip(self):
+        with pytest.raises(RepositoryError):
+            Repository().tip
+
+    def test_log_order(self):
+        repo = repo_with((["a"], []), (["b"], []))
+        assert [c.rev for c in repo.log()] == [0, 1]
+
+    def test_getitem(self):
+        repo = repo_with((["a"], []))
+        assert repo[0].message == "rev 0"
+
+    def test_churn(self):
+        repo = repo_with((["a", "b"], []), (["c"], ["a"]))
+        assert repo[1].churn == 2
+
+    def test_revisions_in_year(self):
+        repo = Repository()
+        repo.commit(date(2012, 6, 1), "x", added=["a"])
+        repo.commit(date(2013, 6, 1), "y", added=["b"])
+        assert len(repo.revisions_in_year(2012)) == 1
+        assert repo.revisions_in_year(2014) == []
+
+    def test_rev_at_date(self):
+        repo = Repository()
+        repo.commit(date(2012, 6, 1), "x", added=["a"])
+        repo.commit(date(2013, 6, 1), "y", added=["b"])
+        assert repo.rev_at_date(date(2012, 12, 31)) == 0
+        assert repo.rev_at_date(date(2013, 6, 1)) == 1
+        assert repo.rev_at_date(date(2011, 1, 1)) is None
+
+
+class TestDiff:
+    def test_simple_diff(self):
+        repo = repo_with((["a", "b"], []), (["c"], ["a"]))
+        added, removed = repo.diff(0, 1)
+        assert added == ["c"]
+        assert removed == ["a"]
+
+    def test_add_then_remove_cancels(self):
+        repo = repo_with((["a"], []), (["temp"], []), ([], ["temp"]))
+        added, removed = repo.diff(0, 2)
+        assert added == []
+        assert removed == []
+
+    def test_diff_requires_ordering(self):
+        repo = repo_with((["a"], []), (["b"], []))
+        with pytest.raises(RepositoryError):
+            repo.diff(1, 0)
+
+    def test_diff_same_rev_empty(self):
+        repo = repo_with((["a"], []))
+        assert repo.diff(0, 0) == ([], [])

@@ -1,0 +1,89 @@
+"""Property-based tests for the revision store (hypothesis)."""
+
+from datetime import date, timedelta
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.history.repository import Repository
+
+_LINE = st.text(alphabet="abcdef|@^.", min_size=1, max_size=10).map(
+    lambda s: "@@||" + s)
+
+
+@st.composite
+def _changesets(draw):
+    """A random valid sequence of (added, removed) deltas."""
+    steps = draw(st.integers(min_value=1, max_value=120))
+    plan = []
+    working: list[str] = []
+    for _ in range(steps):
+        added = draw(st.lists(_LINE, max_size=4))
+        removable = draw(st.lists(
+            st.sampled_from(working), max_size=min(3, len(working)),
+        )) if working else []
+        # Removals must be satisfiable as a multiset.
+        removed = []
+        pool = list(working)
+        for line in removable:
+            if line in pool:
+                pool.remove(line)
+                removed.append(line)
+        plan.append((added, removed))
+        for line in removed:
+            working.remove(line)
+        working.extend(added)
+    return plan
+
+
+class TestRepositoryInvariants:
+    @given(_changesets())
+    @settings(max_examples=50, deadline=None)
+    def test_replay_equals_incremental(self, plan):
+        """checkout(i) must equal an independent replay of deltas 0..i."""
+        repo = Repository()
+        working: list[str] = []
+        start = date(2011, 10, 3)
+        for i, (added, removed) in enumerate(plan):
+            repo.commit(start + timedelta(days=i), "m",
+                        added=added, removed=removed)
+            for line in removed:
+                working.remove(line)
+            working.extend(added)
+        assert repo.checkout(len(plan) - 1) == working
+        # Spot-check interior revisions, including snapshot boundaries.
+        for rev in {0, len(plan) // 2, len(plan) - 1, 63, 64}:
+            if rev < len(plan):
+                repo.checkout(rev)
+
+    @given(_changesets())
+    @settings(max_examples=30, deadline=None)
+    def test_line_conservation(self, plan):
+        """len(content) == total added - total removed at every rev."""
+        repo = Repository()
+        start = date(2011, 10, 3)
+        for i, (added, removed) in enumerate(plan):
+            repo.commit(start + timedelta(days=i), "m",
+                        added=added, removed=removed)
+        running = 0
+        for changeset in repo.log():
+            running += len(changeset.added) - len(changeset.removed)
+            assert len(repo.checkout(changeset.rev)) == running
+
+    @given(_changesets())
+    @settings(max_examples=30, deadline=None)
+    def test_diff_applies_forward(self, plan):
+        """Applying diff(a, b) to checkout(a) reproduces checkout(b)."""
+        from collections import Counter
+
+        repo = Repository()
+        start = date(2011, 10, 3)
+        for i, (added, removed) in enumerate(plan):
+            repo.commit(start + timedelta(days=i), "m",
+                        added=added, removed=removed)
+        last = len(plan) - 1
+        mid = last // 2
+        added, removed = repo.diff(mid, last)
+        before = Counter(repo.checkout(mid))
+        after = Counter(repo.checkout(last))
+        assert before + Counter(added) - Counter(removed) == after

@@ -1,0 +1,45 @@
+"""Integration: analyses run identically on archived-and-reloaded history."""
+
+from repro.history.afilters import mine_a_filters
+from repro.history.analysis import growth_series, yearly_activity
+from repro.history.archive import load_repository, save_repository
+
+
+class TestAnalysesOnReloadedHistory:
+    def test_table1_identical(self, history, tmp_path):
+        path = save_repository(history.repository, tmp_path / "h.jsonl")
+        reloaded = load_repository(path)
+        original = yearly_activity(history.repository)
+        replayed = yearly_activity(reloaded)
+        assert [
+            (r.year, r.revisions, r.filters_added, r.filters_removed,
+             r.domains_added, r.domains_removed) for r in original
+        ] == [
+            (r.year, r.revisions, r.filters_added, r.filters_removed,
+             r.domains_added, r.domains_removed) for r in replayed
+        ]
+
+    def test_growth_identical(self, history, tmp_path):
+        path = save_repository(history.repository, tmp_path / "h.jsonl")
+        reloaded = load_repository(path)
+        assert [p.filters for p in growth_series(reloaded)] == \
+            [p.filters for p in growth_series(history.repository)]
+
+    def test_a_filters_identical(self, history, tmp_path):
+        path = save_repository(history.repository, tmp_path / "h.jsonl")
+        reloaded = load_repository(path)
+        original = mine_a_filters(history.repository)
+        replayed = mine_a_filters(reloaded)
+        assert set(original.groups) == set(replayed.groups)
+        for number, group in original.groups.items():
+            twin = replayed.groups[number]
+            assert group.filters == twin.filters
+            assert group.removed_rev == twin.removed_rev
+            assert group.readded_as == twin.readded_as
+
+    def test_archive_is_humanly_greppable(self, history, tmp_path):
+        """The archive is JSON-lines: standard text tooling works."""
+        path = save_repository(history.repository, tmp_path / "h.jsonl")
+        text = path.read_text()
+        assert text.count("\n") == 990  # header + 989 changesets
+        assert '"Updated whitelists."' in text

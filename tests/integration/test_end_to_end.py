@@ -1,0 +1,116 @@
+"""Integration tests across the full stack."""
+
+from repro.filters.engine import Verdict
+from repro.filters.options import ContentType
+from repro.measurement.survey import WHITELIST_NAME, build_engines
+from repro.web.browser import InstrumentedBrowser
+from repro.web.sites import PINNED_PROFILES
+from repro.web.url import parse_url
+
+
+class TestRedditScenario:
+    """Section 2's worked example, end to end on the generated lists."""
+
+    def test_adzerk_frame_allowed_on_reddit(self, history):
+        engine, _, _ = build_engines(history)
+        decision = engine.check_request(
+            "http://static.adzerk.net/ads.html?sr=reddit.com",
+            ContentType.SUBDOCUMENT, "www.reddit.com",
+            "static.adzerk.net")
+        assert decision.verdict is Verdict.ALLOW
+
+    def test_adzerk_blocked_elsewhere(self, history):
+        engine, _, _ = build_engines(history)
+        decision = engine.check_request(
+            "http://static.adzerk.net/ads.html?sr=other.com",
+            ContentType.SUBDOCUMENT, "www.other.com",
+            "static.adzerk.net")
+        assert decision.verdict is Verdict.BLOCK
+
+    def test_full_reddit_visit(self, history):
+        engine, _, _ = build_engines(history)
+        browser = InstrumentedBrowser(engine)
+        visit = browser.visit(PINNED_PROFILES["reddit.com"])
+        assert visit.blocked_count == 0
+        whitelists = {a.filter_text for a in visit.activations
+                      if a.list_name == WHITELIST_NAME}
+        assert whitelists
+
+    def test_reddit_sponsored_link_not_hidden(self, history):
+        engine, _, _ = build_engines(history)
+        browser = InstrumentedBrowser(engine)
+        visit = browser.visit(PINNED_PROFILES["reddit.com"])
+        hidden_ids = {el.element_id for el in visit.hidden}
+        assert "ad_main" not in hidden_ids
+
+
+class TestGstaticNeedlessActivation:
+    def test_gstatic_exception_always_needless(self, history):
+        engine, _, _ = build_engines(history)
+        engine.recording = True
+        engine.check_request(
+            "http://fonts.gstatic.com/s/roboto/v15/font.woff",
+            ContentType.OTHER, "www.youtube.com", "fonts.gstatic.com")
+        gstatic = [a for a in engine.activations
+                   if "gstatic" in a.filter_text]
+        assert gstatic
+        assert all(a.needless for a in gstatic)
+
+
+class TestWhitelistToggle:
+    def test_whitelist_flips_block_to_allow(self, history):
+        url = "http://stats.g.doubleclick.net/dc.js"
+        host = parse_url(url).host
+
+        with_wl, _, _ = build_engines(history, with_whitelist=True)
+        without, _, _ = build_engines(history, with_whitelist=False)
+        allowed = with_wl.check_request(url, ContentType.SCRIPT,
+                                        "www.toyota.com", host)
+        blocked = without.check_request(url, ContentType.SCRIPT,
+                                        "www.toyota.com", host)
+        assert allowed.verdict is Verdict.ALLOW
+        assert blocked.verdict is Verdict.BLOCK
+
+
+class TestHistoryToSurveyConsistency:
+    def test_survey_filters_exist_in_tip(self, study, site_survey):
+        tip = set(study.history.tip_lines())
+        from repro.measurement.stats import table4_top_filters
+
+        for row in table4_top_filters(site_survey.top5k, top=20):
+            assert row.filter_text in tip, row.filter_text
+
+    def test_bold_domains_are_directory_members(self, study, site_survey):
+        directory = study.history.publisher_directory
+        from repro.web.sites import PINNED_PROFILES as pinned
+
+        for record in site_survey.top5k:
+            if record.profile.is_whitelisted_publisher and \
+                    record.domain not in pinned:
+                assert (record.domain in directory
+                        or f"www.{record.domain}" in directory), \
+                    record.domain
+
+
+class TestParkedDomainThroughEngine:
+    def test_parked_page_fully_allowed_with_sitekey(self, history):
+        from repro.sitekey.parking import PARKING_SERVICES, \
+            ParkedDomainServer
+        from repro.sitekey.protocol import verify_presented_key
+        from repro.web.http import HttpClient
+
+        sedo = next(s for s in PARKING_SERVICES if s.name == "Sedo")
+        server = ParkedDomainServer(sedo, key_bits=128)
+        handler = server.handler()
+        client = HttpClient(lambda h: handler)
+        response = client.get("http://some-parked-name.com/")
+        verification = verify_presented_key(
+            response.adblock_key_header, "/", "some-parked-name.com",
+            client.user_agent)
+        assert verification.valid
+
+        engine, _, _ = build_engines(history)
+        privileges = engine.document_privileges(
+            "http://some-parked-name.com/", "some-parked-name.com",
+            sitekey=verification.sitekey)
+        assert privileges.allow_all

@@ -1,0 +1,71 @@
+"""Smoke tests: every example script runs end-to-end."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=600)
+    assert result.returncode == 0, result.stderr
+    return result.stdout
+
+
+class TestExamples:
+    def test_quickstart(self):
+        out = run_example("quickstart.py")
+        assert "allow" in out
+        assert "block" in out
+        assert "Recorded filter activations" in out
+
+    def test_whitelist_audit_fast(self):
+        out = run_example("whitelist_audit.py", "--fast")
+        assert "Table 1" in out
+        assert "5,936" in out
+        assert "A-filter groups: 61" in out
+        assert "35 duplicate" in out
+
+    def test_site_survey_small(self):
+        out = run_example("site_survey.py", "150", "20")
+        assert "whitelist" in out
+        assert "Table 4" in out
+        assert "stats.g.doubleclick.net" in out
+
+    def test_sitekey_exploit(self):
+        out = run_example("sitekey_exploit.py", "48")
+        assert "full bypass achieved: True" in out
+
+    def test_publisher_compliance(self):
+        out = run_example("publisher_compliance.py")
+        assert "application-ready" in out
+        assert "0 ad requests blocked" in out
+
+    def test_render_figures(self, tmp_path):
+        out = run_example("render_figures.py", str(tmp_path))
+        assert "fig3_growth.svg" in out
+        for name in ("fig3_growth", "fig7_ecdf", "fig6_matches",
+                     "fig9a_attention"):
+            assert (tmp_path / f"{name}.svg").exists()
+
+    def test_perception_study(self):
+        out = run_example("perception_study.py", "80")
+        assert "Figure 9(d)" in out
+        assert "NOT distinguishable" in out
+
+    @pytest.mark.parametrize("name", [
+        "quickstart.py", "whitelist_audit.py", "site_survey.py",
+        "sitekey_exploit.py", "perception_study.py",
+        "render_figures.py", "publisher_compliance.py",
+    ])
+    def test_example_exists_and_documented(self, name):
+        path = EXAMPLES / name
+        assert path.exists()
+        text = path.read_text()
+        assert text.startswith("#!/usr/bin/env python3")
+        assert '"""' in text

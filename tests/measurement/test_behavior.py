@@ -1,0 +1,71 @@
+"""Tests for the filter-behaviour characterisation (future-work module)."""
+
+from repro.measurement.behavior import (
+    characterize_filters,
+    scope_utilisation,
+)
+
+
+class TestCharacterize:
+    def test_gstatic_is_fully_needless(self, site_survey):
+        report = characterize_filters(site_survey.top5k)
+        gstatic = report.filters.get("@@||gstatic.com^$third-party")
+        assert gstatic is not None
+        assert gstatic.needless_fraction == 1.0
+        assert gstatic in report.fully_needless
+
+    def test_doubleclick_not_needless(self, site_survey):
+        report = characterize_filters(site_survey.top5k)
+        dc = report.filters.get(
+            "@@||stats.g.doubleclick.net^$script,image")
+        assert dc is not None
+        assert dc.needless_fraction < 0.1
+
+    def test_tracking_vs_visible_partition(self, site_survey):
+        report = characterize_filters(site_survey.top5k)
+        tracking = {b.filter_text for b in report.tracking_only_filters}
+        visible = {b.filter_text for b in report.visible_ad_filters}
+        assert not (tracking & visible)
+        assert tracking or visible
+
+    def test_syndication_filter_is_visible_class(self, site_survey):
+        report = characterize_filters(site_survey.top5k)
+        synd = report.filters.get(
+            "@@||pagead2.googlesyndication.com^$third-party")
+        assert synd is not None
+        assert not synd.tracking_only
+
+    def test_overall_needless_rate_bounded(self, site_survey):
+        report = characterize_filters(site_survey.top5k)
+        rate = report.needless_activation_rate()
+        # gstatic is ~a quarter of whitelist activity, so the needless
+        # rate is substantial but well below half.
+        assert 0.05 < rate < 0.5
+
+    def test_domain_counts_consistent_with_activations(self, site_survey):
+        report = characterize_filters(site_survey.top5k)
+        for behavior in report.filters.values():
+            assert len(behavior.domains) <= behavior.activations
+            assert behavior.visible_ad_domains <= behavior.domains
+
+
+class TestScopeUtilisation:
+    def test_restricted_filters_only(self, site_survey):
+        utilisation = scope_utilisation(site_survey)
+        assert "@@||gstatic.com^$third-party" not in utilisation
+
+    def test_values_are_fractions(self, site_survey):
+        utilisation = scope_utilisation(site_survey)
+        assert utilisation
+        assert all(0.0 <= v <= 1.0 for v in utilisation.values())
+
+    def test_observed_publisher_filters_fully_utilised(self, site_survey):
+        utilisation = scope_utilisation(site_survey)
+        single_domain = {
+            text: value for text, value in utilisation.items()
+            if "domain=" in text and "|" not in text.split("domain=")[1]
+        }
+        assert single_domain
+        # A single-domain filter that activated was necessarily
+        # activated on (a subdomain of) its one declared domain.
+        assert all(v == 1.0 for v in single_domain.values())

@@ -1,0 +1,60 @@
+"""Unit tests for the synthetic EasyList."""
+
+from repro.measurement.easylist import EASYLIST_FILLER_COUNT, build_easylist
+from repro.web.adnetworks import NETWORK_CATALOG
+
+
+class TestBuildEasylist:
+    def test_size(self):
+        flist = build_easylist()
+        assert len(flist) > EASYLIST_FILLER_COUNT
+
+    def test_no_invalid_filters(self):
+        assert build_easylist().invalid_filters == []
+
+    def test_catalog_blocking_filters_present(self):
+        texts = set(build_easylist().filter_texts())
+        for net in NETWORK_CATALOG:
+            for flt in net.blocking_filters:
+                assert flt in texts, flt
+
+    def test_no_gstatic_filter(self):
+        # The gstatic whitelist exception must be needless (Section 5.1):
+        # EasyList deliberately contains nothing matching gstatic.com.
+        assert not any("gstatic" in text
+                       for text in build_easylist().filter_texts())
+
+    def test_no_exception_filters(self):
+        flist = build_easylist()
+        assert flist.exception_filters == []
+
+    def test_element_filters_present(self):
+        flist = build_easylist()
+        selectors = {f.selector_text for f in flist.element_filters}
+        assert ".banner-ad" in selectors
+        assert "#influads_block" in selectors
+
+    def test_metadata(self):
+        assert build_easylist().metadata["title"] == "EasyList"
+
+    def test_deterministic(self):
+        assert build_easylist().filter_texts() == \
+            build_easylist().filter_texts()
+
+    def test_filler_filters_never_match_synthetic_web(self):
+        from repro.filters.engine import AdblockEngine, Verdict
+        from repro.filters.options import ContentType
+        from repro.web.sites import build_page, profile_for_domain
+
+        engine = AdblockEngine()
+        engine.subscribe(build_easylist())
+        page = build_page(profile_for_domain("benign-nothing.org", 4242))
+        from repro.web.url import parse_url
+
+        for request in page.requests:
+            if request.network:
+                continue  # ad requests legitimately match
+            decision = engine.check_request(
+                request.url, request.content_type,
+                "benign-nothing.org", parse_url(request.url).host)
+            assert decision.verdict is not Verdict.BLOCK, request.url

@@ -1,0 +1,52 @@
+"""Unit tests for the four Section 5 sample groups."""
+
+from repro.measurement.alexa import AlexaRanking
+from repro.measurement.samples import SAMPLE_GROUP_SPECS, build_samples
+
+
+class TestBuildSamples:
+    def test_four_groups(self):
+        groups = build_samples(AlexaRanking(seed=1), top_n=100,
+                               stratum_size=20)
+        assert [g.name for g in groups] == [
+            "top-5k", "5k-50k", "50k-100k", "100k-1m"]
+
+    def test_top_group_exhaustive(self):
+        groups = build_samples(AlexaRanking(seed=1), top_n=100,
+                               stratum_size=20)
+        top = groups[0]
+        assert len(top) == 100
+        assert [t.rank for t in top.targets] == list(range(1, 101))
+
+    def test_strata_within_bounds(self):
+        groups = build_samples(AlexaRanking(seed=1), top_n=10,
+                               stratum_size=50)
+        bounds = {spec[0]: (spec[2], spec[3])
+                  for spec in SAMPLE_GROUP_SPECS}
+        for group in groups[1:]:
+            low, high = bounds[group.name]
+            for target in group.targets:
+                assert low <= target.rank <= high, group.name
+
+    def test_group_indexes(self):
+        groups = build_samples(AlexaRanking(seed=1), top_n=10,
+                               stratum_size=5)
+        assert [g.group_index for g in groups] == [0, 1, 2, 3]
+        for group in groups:
+            assert all(t.group_index == group.group_index
+                       for t in group.targets)
+
+    def test_categories_attached(self):
+        groups = build_samples(AlexaRanking(seed=1), top_n=50,
+                               stratum_size=5)
+        assert all(t.category for g in groups for t in g.targets)
+
+    def test_paper_scale_defaults(self):
+        groups = build_samples(AlexaRanking(seed=1))
+        assert len(groups[0]) == 5_000
+        assert all(len(g) == 1_000 for g in groups[1:])
+
+    def test_deterministic(self):
+        a = build_samples(AlexaRanking(seed=1), top_n=10, stratum_size=30)
+        b = build_samples(AlexaRanking(seed=1), top_n=10, stratum_size=30)
+        assert a[3].targets == b[3].targets

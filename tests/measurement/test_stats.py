@@ -1,0 +1,193 @@
+"""Tests for the survey statistics (Tables 2/4, Figures 6/7/8)."""
+
+import pytest
+
+from repro.measurement.stats import (
+    EcdfSeries,
+    figure6_site_matches,
+    figure7_ecdf,
+    figure8_group_matrix,
+    section51_headline,
+    table2_partitions,
+    table4_top_filters,
+)
+
+
+class TestTable2:
+    def test_partition_counts_match_paper(self, site_survey, study):
+        rows = table2_partitions(site_survey.whitelist,
+                                 study.history.population.ranking)
+        by_partition = {r.partition: r.count for r in rows}
+        # Exact partition targets minus the handful of churned-away
+        # publishers (removed A-groups and never-readded domains).
+        assert abs(by_partition[100] - 33) <= 2
+        assert abs(by_partition[500] - 112) <= 3
+        assert abs(by_partition[1_000] - 167) <= 4
+        assert abs(by_partition[5_000] - 316) <= 5
+        assert abs(by_partition[1_000_000] - 1_286) <= 12
+        assert abs(by_partition[None] - 1_990) <= 15
+
+    def test_fractions(self, site_survey, study):
+        rows = table2_partitions(site_survey.whitelist,
+                                 study.history.population.ranking)
+        for row in rows:
+            if row.partition is not None:
+                assert row.fraction == pytest.approx(
+                    row.count / row.partition)
+
+    def test_partitions_nested(self, site_survey, study):
+        rows = table2_partitions(site_survey.whitelist,
+                                 study.history.population.ranking)
+        counts = [r.count for r in rows if r.partition is not None]
+        # Rows are ordered largest partition first; counts must shrink.
+        assert counts == sorted(counts, reverse=True)
+
+
+class TestTable4:
+    def test_rows_sorted_by_domain_count(self, site_survey):
+        rows = table4_top_filters(site_survey.top5k)
+        counts = [r.domains for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_top_three_are_the_google_trio(self, site_survey):
+        rows = table4_top_filters(site_survey.top5k, top=3)
+        texts = " ".join(r.filter_text for r in rows)
+        assert "stats.g.doubleclick.net" in texts
+        assert "googleadservices.com" in texts
+        assert "gstatic.com" in texts
+
+    def test_doubleclick_is_first(self, site_survey):
+        rows = table4_top_filters(site_survey.top5k, top=1)
+        assert "stats.g.doubleclick.net" in rows[0].filter_text
+
+    def test_all_top_filters_unrestricted(self, site_survey):
+        from repro.filters.classify import ScopeClass, classify_filter
+        from repro.filters.parser import parse_filter
+
+        for row in table4_top_filters(site_survey.top5k, top=8):
+            scope = classify_filter(parse_filter(row.filter_text))
+            assert scope is ScopeClass.UNRESTRICTED, row.filter_text
+
+    def test_adsense_unrestricted_filter_in_top_20(self, site_survey):
+        rows = table4_top_filters(site_survey.top5k, top=20)
+        texts = [r.filter_text for r in rows]
+        assert "@@||google.com/adsense/search/ads.js$script" in texts
+
+    def test_influads_element_exception_observed(self, site_survey):
+        rows = table4_top_filters(site_survey.top5k, top=30)
+        assert any(r.filter_text == "#@##influads_block" for r in rows)
+
+
+class TestFigure6:
+    def test_bar_count_capped(self, site_survey):
+        bars = figure6_site_matches(site_survey, top=50)
+        assert len(bars) <= 50
+
+    def test_sina_elided(self, site_survey):
+        bars = figure6_site_matches(site_survey, top=50)
+        assert all(b.domain != "sina.com.cn" for b in bars)
+
+    def test_bars_rank_ordered(self, site_survey):
+        bars = figure6_site_matches(site_survey, top=50)
+        ranks = [b.rank for b in bars]
+        assert ranks == sorted(ranks)
+
+    def test_every_bar_has_a_match(self, site_survey):
+        bars = figure6_site_matches(site_survey, top=50)
+        assert all(b.whitelist_matches + b.easylist_matches_with
+                   + b.easylist_matches_without > 0 for b in bars)
+
+    def test_bold_and_unbold_sites_present(self, site_survey):
+        bars = figure6_site_matches(site_survey, top=50)
+        assert any(b.explicitly_whitelisted for b in bars)
+        assert any(not b.explicitly_whitelisted for b in bars)
+
+    def test_unbold_sites_with_whitelist_matches_exist(self, site_survey):
+        # The paper: 12 domains not explicitly whitelisted nevertheless
+        # activate whitelist filters (e.g. youtube.com).
+        bars = figure6_site_matches(site_survey, top=50)
+        implicit = [b for b in bars
+                    if not b.explicitly_whitelisted
+                    and b.whitelist_matches > 0]
+        assert implicit
+
+    def test_whitelist_off_config_has_more_blocking(self, site_survey):
+        bars = figure6_site_matches(site_survey, top=50)
+        more = sum(1 for b in bars
+                   if b.easylist_matches_without >= b.easylist_matches_with)
+        assert more >= len(bars) * 0.9
+
+
+class TestEcdf:
+    def test_monotone(self):
+        series = EcdfSeries.from_values([5, 1, 3, 2, 2])
+        assert list(series.values) == sorted(series.values)
+        assert list(series.fractions) == sorted(series.fractions)
+        assert series.fractions[-1] == pytest.approx(1.0)
+
+    def test_quantile(self):
+        series = EcdfSeries.from_values(list(range(1, 101)))
+        assert series.quantile(0.5) == 50
+        assert series.quantile(1.0) == 100
+
+    def test_fraction_at_least(self):
+        series = EcdfSeries.from_values([1, 2, 3, 4])
+        assert series.fraction_at_least(3) == pytest.approx(0.5)
+
+    def test_empty_quantile_rejected(self):
+        with pytest.raises(ValueError):
+            EcdfSeries.from_values([]).quantile(0.5)
+
+    def test_figure7_totals_dominate_distinct(self, site_survey):
+        fig = figure7_ecdf(site_survey.top5k)
+        assert fig.activating_domains > 0
+        assert max(fig.total_matches.values) >= \
+            max(fig.distinct_filters.values)
+
+    def test_figure7_counts_only_activating_domains(self, site_survey):
+        fig = figure7_ecdf(site_survey.top5k)
+        assert min(fig.total_matches.values) >= 1
+
+
+class TestFigure8:
+    def test_matrix_covers_all_groups(self, site_survey):
+        matrix = figure8_group_matrix(site_survey)
+        assert matrix.groups == ["top-5k", "5k-50k", "50k-100k",
+                                 "100k-1m"]
+
+    def test_top_filters_ordered(self, site_survey):
+        matrix = figure8_group_matrix(site_survey, top_filters=10)
+        assert len(matrix.filters) <= 10
+
+    def test_most_filters_peak_in_top_group(self, site_survey):
+        matrix = figure8_group_matrix(site_survey, top_filters=10)
+        peaks = [matrix.peak_group(f) for f in matrix.filters]
+        assert peaks.count("top-5k") >= len(peaks) // 2
+
+    def test_conversion_outlier_peaks_deep(self, site_survey):
+        matrix = figure8_group_matrix(site_survey, top_filters=50)
+        outlier = "@@||google-analytics.com/conversion/^$image"
+        if outlier in matrix.filters:
+            assert matrix.peak_group(outlier) == "100k-1m"
+
+    def test_rates_are_probabilities(self, site_survey):
+        matrix = figure8_group_matrix(site_survey, top_filters=20)
+        for group in matrix.groups:
+            for text in matrix.filters:
+                assert 0.0 <= matrix.rate(group, text) <= 1.0
+
+
+class TestSection51:
+    def test_headline_fractions_near_paper(self, site_survey):
+        head = section51_headline(site_survey.top5k)
+        n = head.surveyed
+        assert abs(head.any_activation / n - 0.791) < 0.06
+        assert abs(head.whitelist_activation / n - 0.587) < 0.06
+
+    def test_mean_distinct_near_paper(self, site_survey):
+        head = section51_headline(site_survey.top5k)
+        assert abs(head.mean_distinct_filters - 2.6) < 0.5
+
+    def test_p95_at_least_near_12(self, site_survey):
+        head = section51_headline(site_survey.top5k)
+        assert head.p95_total_matches >= 8

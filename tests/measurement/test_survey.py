@@ -1,0 +1,98 @@
+"""Tests for the Section 5 survey harness (scaled-down runs)."""
+
+from repro.measurement.survey import (
+    EASYLIST_NAME,
+    WHITELIST_NAME,
+    build_engines,
+    make_profile_factory,
+)
+from repro.web.crawler import CrawlTarget
+
+
+class TestBuildEngines:
+    def test_default_config_has_both_lists(self, history):
+        engine, easylist, whitelist = build_engines(history)
+        assert [s.name for s in engine.subscriptions] == [
+            EASYLIST_NAME, WHITELIST_NAME]
+        assert len(whitelist) > 5_000
+        assert len(easylist) > 1_000
+
+    def test_whitelist_disabled(self, history):
+        engine, _, _ = build_engines(history, with_whitelist=False)
+        assert [s.name for s in engine.subscriptions] == [EASYLIST_NAME]
+
+
+class TestProfileFactory:
+    def test_generic_publisher_gets_filters(self, history):
+        factory = make_profile_factory(history)
+        # Find a generic publisher that exists in the directory and is
+        # inside the ranking.
+        ranking = history.population.ranking
+        for publisher in history.population.generic_pool:
+            if publisher.rank is None:
+                continue
+            if publisher.e2ld not in history.publisher_directory:
+                continue
+            profile = factory(CrawlTarget(domain=publisher.e2ld,
+                                          rank=publisher.rank))
+            if profile.inert:
+                continue
+            assert profile.is_whitelisted_publisher
+            assert "generic-publisher-adserv" in profile.networks
+            return
+        raise AssertionError("no ranked generic publisher found")
+
+    def test_non_publisher_untouched(self, history):
+        factory = make_profile_factory(history)
+        profile = factory(CrawlTarget(domain="never-whitelisted-x.com",
+                                      rank=4_999))
+        assert not profile.is_whitelisted_publisher
+
+    def test_pinned_profiles_pass_through(self, history):
+        from repro.web.sites import PINNED_PROFILES
+
+        factory = make_profile_factory(history)
+        profile = factory(CrawlTarget(domain="reddit.com", rank=31))
+        assert profile is PINNED_PROFILES["reddit.com"]
+
+
+class TestSurveyResult:
+    def test_both_configurations_present(self, site_survey):
+        assert set(site_survey.records) == set(
+            site_survey.records_easylist_only)
+
+    def test_group_sizes(self, site_survey, study):
+        assert len(site_survey.top5k) == study.config.survey.top_n
+        for group in site_survey.groups[1:]:
+            assert len(site_survey.records[group.name]) == \
+                study.config.survey.stratum_size
+
+    def test_whitelist_attached(self, site_survey):
+        assert site_survey.whitelist is not None
+        assert site_survey.whitelist.name == WHITELIST_NAME
+
+    def test_easylist_only_run_has_no_whitelist_activations(
+            self, site_survey):
+        for records in site_survey.records_easylist_only.values():
+            for record in records:
+                assert not any(
+                    a.list_name == WHITELIST_NAME
+                    for a in record.visit.activations)
+
+    def test_whitelisted_publishers_activate_their_filters(
+            self, site_survey):
+        activated = 0
+        for record in site_survey.top5k:
+            if not record.profile.is_whitelisted_publisher:
+                continue
+            if record.profile.inert:
+                continue
+            own = set(record.profile.whitelist_filters)
+            if own & record.visit.distinct_whitelist_filters:
+                activated += 1
+        assert activated >= 5
+
+    def test_all_records_concatenates_groups(self, site_survey):
+        total = sum(len(site_survey.records[g.name])
+                    for g in site_survey.groups)
+        assert len(site_survey.all_records()) == total

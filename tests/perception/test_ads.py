@@ -1,0 +1,62 @@
+"""Tests for the perception study's stimulus taxonomy."""
+
+from repro.perception.ads import (
+    AdClass,
+    SURVEY_ADS,
+    SURVEY_SITES,
+    ad_by_label,
+    ads_in_class,
+)
+
+
+class TestTaxonomy:
+    def test_every_site_has_at_least_one_ad(self):
+        for site in SURVEY_SITES:
+            assert any(ad.site == site for ad in SURVEY_ADS), site
+
+    def test_labels_unique(self):
+        labels = [ad.label for ad in SURVEY_ADS]
+        assert len(labels) == len(set(labels))
+
+    def test_ad_by_label(self):
+        assert ad_by_label("Google #2").site == "google.com"
+
+    def test_unknown_label_raises(self):
+        import pytest
+
+        with pytest.raises(KeyError):
+            ad_by_label("Nonexistent #9")
+
+    def test_ads_in_class_partition(self):
+        total = sum(len(ads_in_class(c)) for c in AdClass)
+        assert total == len(SURVEY_ADS)
+
+    def test_google2_is_the_most_attention_grabbing(self):
+        top = max(SURVEY_ADS, key=lambda ad: ad.latent_attention)
+        assert top.label == "Google #2"
+
+    def test_grid_ads_least_distinguished(self):
+        bottom = min(SURVEY_ADS, key=lambda ad: ad.latent_distinguished)
+        assert bottom.site == "viralnova.com"
+
+    def test_content_class_blends_with_content(self):
+        for ad in ads_in_class(AdClass.CONTENT):
+            assert ad.latent_distinguished < 0, ad.label
+
+    def test_banner_class_clearly_separated(self):
+        for ad in ads_in_class(AdClass.BANNER):
+            assert ad.latent_distinguished > 0.5, ad.label
+
+    def test_sites_are_pinned_profiles(self):
+        from repro.web.sites import PINNED_PROFILES
+
+        for site in SURVEY_SITES:
+            assert site in PINNED_PROFILES
+
+    def test_survey_sites_show_whitelisted_ads(self):
+        """Each survey site is an Acceptable Ads participant — the paper
+        chose sites whose ads Adblock Plus allows."""
+        from repro.web.sites import PINNED_PROFILES
+
+        for site in SURVEY_SITES:
+            assert PINNED_PROFILES[site].is_whitelisted_publisher, site

@@ -1,0 +1,82 @@
+"""Unit tests for the Likert machinery."""
+
+import pytest
+
+from repro.perception.likert import (
+    Likert,
+    LikertDistribution,
+    latent_to_likert,
+)
+
+
+class TestCoding:
+    def test_integer_codes(self):
+        assert int(Likert.STRONGLY_DISAGREE) == -2
+        assert int(Likert.STRONGLY_AGREE) == 2
+
+    def test_labels(self):
+        assert Likert.STRONGLY_DISAGREE.label == "Strongly Disagree"
+        assert Likert.NEUTRAL.label == "Neutral"
+
+
+class TestLatentMapping:
+    @pytest.mark.parametrize("latent,expected", [
+        (-9.0, Likert.STRONGLY_DISAGREE),
+        (-1.51, Likert.STRONGLY_DISAGREE),
+        (-1.49, Likert.DISAGREE),
+        (-0.51, Likert.DISAGREE),
+        (0.0, Likert.NEUTRAL),
+        (0.49, Likert.NEUTRAL),
+        (0.51, Likert.AGREE),
+        (1.49, Likert.AGREE),
+        (1.51, Likert.STRONGLY_AGREE),
+        (9.0, Likert.STRONGLY_AGREE),
+    ])
+    def test_thresholds(self, latent, expected):
+        assert latent_to_likert(latent) is expected
+
+
+class TestDistribution:
+    def _dist(self, *ratings):
+        return LikertDistribution.from_responses(ratings)
+
+    def test_counts(self):
+        dist = self._dist(Likert.AGREE, Likert.AGREE, Likert.DISAGREE)
+        assert dist.counts == (0, 1, 0, 2, 0)
+        assert dist.n == 3
+
+    def test_fractions(self):
+        dist = self._dist(Likert.AGREE, Likert.STRONGLY_AGREE,
+                          Likert.NEUTRAL, Likert.DISAGREE)
+        assert dist.agree_fraction == pytest.approx(0.5)
+        assert dist.disagree_fraction == pytest.approx(0.25)
+        assert dist.fraction(Likert.NEUTRAL) == pytest.approx(0.25)
+
+    def test_mean(self):
+        dist = self._dist(Likert.STRONGLY_AGREE, Likert.STRONGLY_DISAGREE)
+        assert dist.mean == pytest.approx(0.0)
+        dist = self._dist(Likert.AGREE, Likert.AGREE, Likert.NEUTRAL)
+        assert dist.mean == pytest.approx(2 / 3)
+
+    def test_variance(self):
+        dist = self._dist(Likert.STRONGLY_AGREE, Likert.STRONGLY_DISAGREE)
+        assert dist.variance == pytest.approx(4.0)
+        uniform = self._dist(Likert.NEUTRAL, Likert.NEUTRAL)
+        assert uniform.variance == pytest.approx(0.0)
+
+    def test_empty_distribution(self):
+        dist = LikertDistribution.from_responses([])
+        assert dist.n == 0
+        assert dist.mean == 0.0
+        assert dist.agree_fraction == 0.0
+
+    def test_merged(self):
+        a = self._dist(Likert.AGREE)
+        b = self._dist(Likert.DISAGREE)
+        merged = a.merged(b)
+        assert merged.n == 2
+        assert merged.mean == pytest.approx(0.0)
+
+    def test_stddev(self):
+        dist = self._dist(Likert.STRONGLY_AGREE, Likert.STRONGLY_DISAGREE)
+        assert dist.stddev == pytest.approx(2.0)

@@ -1,0 +1,60 @@
+"""Property-based tests for the Likert machinery (hypothesis)."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.perception.likert import (
+    Likert,
+    LikertDistribution,
+    latent_to_likert,
+)
+
+_RATINGS = st.lists(st.sampled_from(list(Likert)), min_size=1,
+                    max_size=300)
+
+
+class TestLatentMappingProperties:
+    @given(st.floats(allow_nan=False, allow_infinity=False))
+    def test_total_function(self, latent):
+        assert latent_to_likert(latent) in Likert
+
+    @given(st.floats(-10, 10), st.floats(0, 5))
+    def test_monotone(self, latent, delta):
+        assert latent_to_likert(latent + delta) >= latent_to_likert(latent)
+
+
+class TestDistributionProperties:
+    @given(_RATINGS)
+    def test_mean_bounded(self, ratings):
+        dist = LikertDistribution.from_responses(ratings)
+        assert -2.0 <= dist.mean <= 2.0
+
+    @given(_RATINGS)
+    def test_variance_bounded(self, ratings):
+        dist = LikertDistribution.from_responses(ratings)
+        assert 0.0 <= dist.variance <= 4.0
+
+    @given(_RATINGS)
+    def test_fractions_partition(self, ratings):
+        dist = LikertDistribution.from_responses(ratings)
+        total = (dist.agree_fraction + dist.disagree_fraction
+                 + dist.fraction(Likert.NEUTRAL))
+        assert abs(total - 1.0) < 1e-9
+
+    @given(_RATINGS)
+    def test_counts_sum_to_n(self, ratings):
+        dist = LikertDistribution.from_responses(ratings)
+        assert sum(dist.counts) == dist.n == len(ratings)
+
+    @given(_RATINGS, _RATINGS)
+    def test_merge_is_concatenation(self, a, b):
+        merged = LikertDistribution.from_responses(a).merged(
+            LikertDistribution.from_responses(b))
+        direct = LikertDistribution.from_responses(a + b)
+        assert merged == direct
+
+    @given(_RATINGS)
+    def test_mean_matches_direct_computation(self, ratings):
+        dist = LikertDistribution.from_responses(ratings)
+        direct = sum(int(r) for r in ratings) / len(ratings)
+        assert abs(dist.mean - direct) < 1e-9

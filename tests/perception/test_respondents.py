@@ -1,0 +1,50 @@
+"""Unit tests for the respondent population model."""
+
+from repro.perception.respondents import (
+    RESPONDENT_COUNT,
+    build_population,
+    demographics,
+)
+
+
+class TestPopulation:
+    def test_default_count_is_305(self):
+        assert len(build_population()) == RESPONDENT_COUNT == 305
+
+    def test_deterministic(self):
+        assert build_population(seed=1) == build_population(seed=1)
+
+    def test_seed_changes_population(self):
+        a = build_population(seed=1)
+        b = build_population(seed=2)
+        assert a != b
+
+    def test_respondent_ids_sequential(self):
+        population = build_population(count=10)
+        assert [r.respondent_id for r in population] == list(range(10))
+
+    def test_traits_heterogeneous(self):
+        population = build_population()
+        annoyances = {round(r.annoyance, 6) for r in population}
+        assert len(annoyances) > 250  # real spread, not constants
+
+    def test_noise_scale_positive(self):
+        assert all(r.noise_scale > 0 for r in build_population())
+
+
+class TestDemographics:
+    def test_adblock_share_near_half(self):
+        demo = demographics(build_population())
+        assert abs(demo.adblock_fraction - 0.5) < 0.01
+
+    def test_browser_shares_match_paper(self):
+        demo = demographics(build_population())
+        assert abs(demo.browser_fractions["chrome"] - 0.61) < 0.02
+        assert abs(demo.browser_fractions["firefox"] - 0.28) < 0.02
+        assert abs(demo.browser_fractions["safari"] - 0.09) < 0.02
+        assert demo.browser_fractions.get("opera", 0) > 0
+        assert demo.browser_fractions.get("internet explorer", 0) > 0
+
+    def test_total(self):
+        demo = demographics(build_population(count=100))
+        assert demo.total == 100

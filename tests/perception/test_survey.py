@@ -1,0 +1,115 @@
+"""Tests for the perception survey: structure and paper calibration."""
+
+import pytest
+
+from repro.perception.ads import AdClass, SURVEY_ADS, SURVEY_SITES
+from repro.perception.survey import (
+    QUESTIONS_PER_RESPONDENT,
+    STATEMENTS,
+    run_perception_survey,
+)
+
+
+class TestStructure:
+    def test_15_ads_8_sites_3_statements(self):
+        assert len(SURVEY_ADS) == 15
+        assert len(SURVEY_SITES) == 8
+        assert len(STATEMENTS) == 3
+        assert {ad.site for ad in SURVEY_ADS} == set(SURVEY_SITES)
+
+    def test_72_questions(self):
+        assert QUESTIONS_PER_RESPONDENT == 72
+
+    def test_every_class_represented(self):
+        classes = {ad.ad_class for ad in SURVEY_ADS}
+        assert classes == set(AdClass)
+
+    def test_response_count(self, perception):
+        assert len(perception.responses) == 305 * 15 * 3
+
+    def test_deterministic(self):
+        a = run_perception_survey(respondents=40, seed=7)
+        b = run_perception_survey(respondents=40, seed=7)
+        assert a.responses == b.responses
+
+    def test_seed_changes_responses(self):
+        a = run_perception_survey(respondents=40, seed=7)
+        b = run_perception_survey(respondents=40, seed=8)
+        assert a.responses != b.responses
+
+
+class TestPaperCalibration:
+    def test_google2_attention_agreement(self, perception):
+        dist = perception.distribution("Google #2", "attention")
+        assert abs(dist.agree_fraction - 0.73) < 0.07
+
+    def test_utopia2_attention_agreement(self, perception):
+        dist = perception.distribution("Utopia #2", "attention")
+        assert abs(dist.agree_fraction - 0.45) < 0.07
+
+    def test_grid_ads_not_distinguished(self, perception):
+        for label in ("ViralNova #1", "ViralNova #2"):
+            dist = perception.distribution(label, "distinguished")
+            assert dist.disagree_fraction > 0.80, label
+
+    def test_obscuring_third_for_named_placements(self, perception):
+        for label in ("Reddit #1", "Google #1", "Cracked #1"):
+            dist = perception.distribution(label, "obscuring")
+            assert 0.25 <= dist.agree_fraction <= 0.45, label
+
+    @pytest.mark.parametrize("ad_class,statement,target", [
+        (AdClass.SEM, "attention", 0.217),
+        (AdClass.SEM, "distinguished", 0.597),
+        (AdClass.SEM, "obscuring", -0.260),
+        (AdClass.BANNER, "attention", 0.152),
+        (AdClass.BANNER, "distinguished", 0.755),
+        (AdClass.BANNER, "obscuring", -0.613),
+        (AdClass.CONTENT, "attention", -0.247),
+        (AdClass.CONTENT, "distinguished", -0.935),
+        (AdClass.CONTENT, "obscuring", 0.125),
+    ])
+    def test_figure9d_means(self, perception, ad_class, statement, target):
+        dist = perception.class_distribution(ad_class, statement)
+        assert dist.mean == pytest.approx(target, abs=0.15)
+
+    def test_dissension_everywhere(self, perception):
+        """The paper's core finding: broad dissension (high variance)."""
+        for ad in SURVEY_ADS:
+            for statement in STATEMENTS:
+                dist = perception.distribution(ad.label, statement.key)
+                assert dist.variance > 0.5, (ad.label, statement.key)
+
+    def test_full_response_range_used(self, perception):
+        for statement in STATEMENTS:
+            dist = perception.class_distribution(AdClass.BANNER,
+                                                 statement.key)
+            assert all(count > 0 for count in dist.counts), statement.key
+
+    def test_figure9d_shape(self, perception):
+        table = perception.figure9d()
+        # Content ads are the least distinguished; banners the most.
+        assert table[AdClass.CONTENT]["distinguished"][0] < \
+            table[AdClass.SEM]["distinguished"][0]
+        assert table[AdClass.BANNER]["distinguished"][0] > 0
+        # Only content ads lean toward "obscuring".
+        assert table[AdClass.CONTENT]["obscuring"][0] > 0 > \
+            table[AdClass.BANNER]["obscuring"][0]
+
+
+class TestCounterfactuals:
+    def test_annoyed_population_agrees_more_on_obscuring(self):
+        from repro.perception.respondents import Respondent
+
+        neutral = run_perception_survey(respondents=80, seed=3)
+        angry_population = [
+            Respondent(respondent_id=i, browser="chrome",
+                       uses_adblock=True, annoyance=1.5,
+                       discernment=0.0, acquiescence=0.0,
+                       noise_scale=0.8)
+            for i in range(80)
+        ]
+        angry = run_perception_survey(seed=3, population=angry_population)
+        for ad_class in AdClass:
+            assert angry.class_distribution(
+                ad_class, "obscuring").mean > neutral.class_distribution(
+                ad_class, "obscuring").mean

@@ -1,0 +1,57 @@
+"""Unit tests for figure-series rendering."""
+
+import pytest
+
+from repro.reporting.series import Series, find_jumps, sparkline
+
+
+class TestSparkline:
+    def test_width_resampling(self):
+        line = sparkline(list(range(1_000)), width=50)
+        assert len(line) <= 51
+
+    def test_monotone_data_monotone_blocks(self):
+        line = sparkline([0, 1, 2, 3, 4, 5, 6, 7], width=8)
+        assert list(line) == sorted(line)
+
+    def test_constant_data(self):
+        line = sparkline([5, 5, 5], width=3)
+        assert len(set(line)) == 1
+
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+
+class TestFindJumps:
+    def test_largest_jump_found(self):
+        values = [0, 1, 2, 50, 51, 52]
+        jumps = find_jumps(values, top=1)
+        assert jumps == [(3, 48)]
+
+    def test_top_n_ordering(self):
+        values = [0, 10, 10, 40, 40, 45]
+        jumps = find_jumps(values, top=2)
+        assert jumps[0][1] >= jumps[1][1]
+
+
+class TestSeries:
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Series("x", (1, 2), (1,))
+
+    def test_at_x(self):
+        series = Series("growth", (0, 10, 20), (5, 15, 25))
+        assert series.at_x(10) == 15
+        assert series.at_x(15) == 15
+        assert series.at_x(25) == 25
+
+    def test_at_x_before_start_rejected(self):
+        series = Series("growth", (10,), (5,))
+        with pytest.raises(ValueError):
+            series.at_x(5)
+
+    def test_render_contains_label_and_range(self):
+        series = Series("filters", (0, 1), (9.0, 5936.0))
+        text = series.render()
+        assert text.startswith("filters:")
+        assert "5936" in text

@@ -1,0 +1,104 @@
+"""Unit tests for the SVG figure renderer."""
+
+import pytest
+
+from repro.reporting.svg import (
+    SvgCanvas,
+    grouped_bars,
+    line_chart,
+    stacked_bars,
+)
+
+
+def assert_valid_svg(text: str) -> None:
+    import xml.etree.ElementTree as ET
+
+    root = ET.fromstring(text)
+    assert root.tag.endswith("svg")
+
+
+class TestCanvas:
+    def test_empty_canvas_is_valid(self):
+        assert_valid_svg(SvgCanvas(100, 50).to_svg())
+
+    def test_primitives_render(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.rect(0, 0, 10, 10, fill="#fff")
+        canvas.line(0, 0, 10, 10)
+        canvas.polyline([(0, 0), (5, 5)], stroke="#000")
+        canvas.text(5, 5, "hi & <bye>")
+        text = canvas.to_svg()
+        assert_valid_svg(text)
+        assert "&amp;" in text  # text content is escaped
+
+    def test_rotated_text(self):
+        canvas = SvgCanvas(100, 100)
+        canvas.text(5, 5, "label", rotate=-45)
+        assert "rotate(-45" in canvas.to_svg()
+
+
+class TestLineChart:
+    def test_single_series(self):
+        svg = line_chart({"s": ([0, 1, 2], [9, 100, 5936])},
+                         title="growth")
+        assert_valid_svg(svg)
+        assert "growth" in svg
+        assert "polyline" in svg
+
+    def test_multi_series_distinct_colors(self):
+        svg = line_chart({"a": ([0, 1], [0, 1]),
+                          "b": ([0, 1], [1, 0])}, title="t")
+        assert svg.count("polyline") == 2
+
+    def test_constant_series_does_not_crash(self):
+        assert_valid_svg(line_chart({"c": ([0, 1], [5, 5])}, title="t"))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            line_chart({}, title="t")
+
+
+class TestGroupedBars:
+    def test_basic(self):
+        svg = grouped_bars(["a", "b"], {"g1": [1, 2], "g2": [3, 4]},
+                           title="fig6")
+        assert_valid_svg(svg)
+        assert svg.count("<rect") >= 5  # background + 4 bars
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            grouped_bars(["a"], {"g": [1, 2]}, title="t")
+
+    def test_bold_labels(self):
+        svg = grouped_bars(["a", "b"], {"g": [1, 2]}, title="t",
+                           bold=[True, False])
+        assert '#000' in svg and '#666' in svg
+
+
+class TestStackedBars:
+    def test_basic(self):
+        svg = stacked_bars(["ad1", "ad2"],
+                           {"agree": [0.5, 0.2],
+                            "disagree": [0.5, 0.8]}, title="fig9")
+        assert_valid_svg(svg)
+
+    def test_zero_row_tolerated(self):
+        svg = stacked_bars(["x"], {"a": [0.0], "b": [0.0]}, title="t")
+        assert_valid_svg(svg)
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            stacked_bars(["a", "b"], {"s": [1.0]}, title="t")
+
+
+class TestEndToEnd:
+    def test_figure3_from_real_history(self, history):
+        from repro.history.analysis import growth_series
+
+        points = growth_series(history.repository)
+        svg = line_chart(
+            {"filters": ([p.rev for p in points],
+                         [p.filters for p in points])},
+            title="Figure 3")
+        assert_valid_svg(svg)
+        assert "5,936" in svg or "5936" in svg

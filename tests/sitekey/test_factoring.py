@@ -1,0 +1,137 @@
+"""Unit tests for weak-key factoring and the Figure 5 bypass."""
+
+import pytest
+
+from repro.filters.engine import AdblockEngine
+from repro.filters.filterlist import parse_filter_list
+from repro.sitekey.der import public_key_to_base64
+from repro.sitekey.factoring import (
+    FactoringError,
+    factor_semiprime,
+    factor_sitekey,
+    pollard_p_minus_1,
+    pollard_rho,
+    recover_private_key,
+    run_bypass_demo,
+)
+from repro.sitekey.rsa import RsaPublicKey, generate_keypair, sign, verify
+
+
+class TestPollardRho:
+    def test_factors_small_semiprime(self):
+        factor = pollard_rho(10_403)  # 101 * 103
+        assert factor in (101, 103)
+
+    def test_factors_64_bit_semiprime(self):
+        key = generate_keypair(64, seed=1)
+        factor = pollard_rho(key.n)
+        assert factor in (key.p, key.q)
+
+    def test_even_number(self):
+        assert pollard_rho(2 * 982_451_653) == 2
+
+
+class TestPollardPMinus1:
+    def test_smooth_factor_found(self):
+        # p = 2^4 * 3^2 * 5 * 7 + 1 = 5041? construct a smooth prime.
+        from repro.sitekey.rsa import is_probable_prime
+
+        p = 9_241  # p-1 = 9240 = 2^3*3*5*7*11 (smooth)
+        assert is_probable_prime(p)
+        q = 10_007
+        factor = pollard_p_minus_1(p * q)
+        assert factor in (p, q)
+
+
+class TestFactorSemiprime:
+    def test_recovers_both_factors(self):
+        key = generate_keypair(64, seed=3)
+        p, q = factor_semiprime(key.n)
+        assert {p, q} == {key.p, key.q}
+        assert p <= q
+
+    def test_prime_input_rejected(self):
+        with pytest.raises(FactoringError):
+            factor_semiprime(2 ** 127 - 1)
+
+    def test_tiny_input_rejected(self):
+        with pytest.raises(FactoringError):
+            factor_semiprime(3)
+
+    def test_time_budget_respected(self):
+        key = generate_keypair(256, seed=4)  # far too big for 0.1s
+        with pytest.raises(FactoringError):
+            factor_semiprime(key.n, time_budget=0.1)
+
+    def test_small_factor_via_trial_division(self):
+        assert factor_semiprime(3 * 1_000_003) == (3, 1_000_003)
+
+
+class TestKeyRecovery:
+    def test_recovered_key_equals_original(self):
+        key = generate_keypair(64, seed=5)
+        recovered = recover_private_key(key.public, key.p)
+        assert recovered.d == key.d
+
+    def test_recovered_key_signs_verifiably(self):
+        key = generate_keypair(64, seed=6)
+        recovered = recover_private_key(key.public, key.p)
+        signature = sign(b"forged", recovered)
+        assert verify(b"forged", signature, key.public)
+
+    def test_wrong_factor_rejected(self):
+        key = generate_keypair(64, seed=7)
+        with pytest.raises(FactoringError):
+            recover_private_key(key.public, 17)
+
+    def test_factor_sitekey_records_timing(self):
+        key = generate_keypair(48, seed=8)
+        factored = factor_sitekey(key.public)
+        assert factored.elapsed_seconds >= 0
+        assert factored.p * factored.q == key.n
+
+
+class TestBypassDemo:
+    @pytest.fixture()
+    def engine_and_key(self):
+        key = generate_keypair(64, seed=0xF16)
+        key_b64 = public_key_to_base64(key.public)
+        engine = AdblockEngine()
+        engine.subscribe(parse_filter_list(
+            "||popads.net^$third-party\n"
+            "||bannerfarm.net^$third-party\n"
+            "||rubiconproject.com^$third-party\n"
+            "||zedo.com^$third-party\n"
+            "##.banner-ad\n", name="easylist"))
+        engine.subscribe(parse_filter_list(
+            f"@@$sitekey={key_b64},document\n", name="whitelist"))
+        return engine, key
+
+    def test_full_bypass(self, engine_and_key):
+        engine, key = engine_and_key
+        factored = factor_sitekey(key.public)
+        demo = run_bypass_demo(engine, factored)
+        assert demo.blocked_without_key == demo.test_requests
+        assert demo.hidden_without_key == 1
+        assert demo.blocked_with_key == 0
+        assert demo.hidden_with_key == 0
+        assert demo.fully_bypassed
+
+    def test_bypass_reports_sitekey(self, engine_and_key):
+        engine, key = engine_and_key
+        factored = factor_sitekey(key.public)
+        demo = run_bypass_demo(engine, factored)
+        assert demo.sitekey_b64 == public_key_to_base64(key.public)
+
+    def test_unrelated_key_does_not_bypass(self):
+        victim = generate_keypair(64, seed=1)
+        attacker = generate_keypair(64, seed=2)
+        engine = AdblockEngine()
+        engine.subscribe(parse_filter_list("||popads.net^", name="easylist"))
+        engine.subscribe(parse_filter_list(
+            f"@@$sitekey={public_key_to_base64(victim.public)},document",
+            name="whitelist"))
+        factored = factor_sitekey(attacker.public)
+        demo = run_bypass_demo(engine, factored)
+        assert not demo.fully_bypassed
+        assert demo.blocked_with_key > 0

@@ -1,0 +1,89 @@
+"""Unit tests for the X-Adblock-Key sitekey protocol."""
+
+import pytest
+
+from repro.sitekey.der import public_key_to_base64
+from repro.sitekey.protocol import (
+    make_header,
+    signed_string,
+    split_header,
+    verify_presented_key,
+)
+from repro.sitekey.rsa import generate_keypair
+
+KEY = generate_keypair(256, seed=0xC0FFEE)
+URI, HOST, UA = "/lander", "parked-example.com", "Mozilla/5.0 Test"
+
+
+class TestSignedString:
+    def test_components_joined_with_nul(self):
+        assert signed_string("/a", "h.com", "UA") == b"/a\x00h.com\x00UA"
+
+    def test_distinct_inputs_distinct_strings(self):
+        assert signed_string("/a", "h.com", "UA") != \
+            signed_string("/a", "h.comU", "A")
+
+
+class TestHeader:
+    def test_header_structure(self):
+        header = make_header(URI, HOST, UA, KEY)
+        key_b64, sig_b64 = split_header(header)
+        assert key_b64 == public_key_to_base64(KEY.public)
+        assert sig_b64
+
+    def test_split_rejects_missing_separator(self):
+        with pytest.raises(ValueError):
+            split_header("noseparator")
+        with pytest.raises(ValueError):
+            split_header("_sigonly")
+        with pytest.raises(ValueError):
+            split_header("keyonly_")
+
+
+class TestVerification:
+    def test_valid_header_verifies(self):
+        header = make_header(URI, HOST, UA, KEY)
+        result = verify_presented_key(header, URI, HOST, UA)
+        assert result.valid
+        assert result.sitekey == public_key_to_base64(KEY.public)
+
+    def test_missing_header(self):
+        result = verify_presented_key(None, URI, HOST, UA)
+        assert not result.valid
+        assert "no sitekey" in result.reason
+
+    def test_wrong_host_rejected(self):
+        header = make_header(URI, HOST, UA, KEY)
+        assert not verify_presented_key(header, URI, "evil.com", UA).valid
+
+    def test_wrong_uri_rejected(self):
+        header = make_header(URI, HOST, UA, KEY)
+        assert not verify_presented_key(header, "/other", HOST, UA).valid
+
+    def test_wrong_user_agent_rejected(self):
+        header = make_header(URI, HOST, UA, KEY)
+        assert not verify_presented_key(header, URI, HOST, "curl").valid
+
+    def test_garbage_key_rejected(self):
+        result = verify_presented_key("AAAA_BBBB", URI, HOST, UA)
+        assert not result.valid
+        assert "bad key" in result.reason
+
+    def test_garbage_signature_encoding_rejected(self):
+        header = make_header(URI, HOST, UA, KEY)
+        key_b64, _ = split_header(header)
+        result = verify_presented_key(key_b64 + "_!!!", URI, HOST, UA)
+        assert not result.valid
+
+    def test_swapped_signature_rejected(self):
+        other = generate_keypair(256, seed=0xDEAD)
+        header_a = make_header(URI, HOST, UA, KEY)
+        header_b = make_header(URI, HOST, UA, other)
+        key_a, _ = split_header(header_a)
+        _, sig_b = split_header(header_b)
+        assert not verify_presented_key(f"{key_a}_{sig_b}",
+                                        URI, HOST, UA).valid
+
+    def test_verification_never_raises(self):
+        for junk in ("", "_", "a_b", "=_=", "\x00_\x00", "a" * 10_000):
+            verify_presented_key(junk, URI, HOST, UA)

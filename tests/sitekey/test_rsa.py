@@ -1,0 +1,121 @@
+"""Unit tests for the from-scratch RSA implementation."""
+
+import pytest
+
+from repro.sitekey.rsa import (
+    KeyError_,
+    RsaPublicKey,
+    generate_keypair,
+    generate_prime,
+    is_probable_prime,
+    sign,
+    verify,
+)
+import random
+
+
+class TestPrimality:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 101, 7919):
+            assert is_probable_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 9, 100, 7917, 561, 1105):  # incl. Carmichaels
+            assert not is_probable_prime(n)
+
+    def test_large_known_prime(self):
+        assert is_probable_prime(2 ** 127 - 1)   # Mersenne prime
+
+    def test_large_known_composite(self):
+        assert not is_probable_prime((2 ** 127 - 1) * 3)
+
+    def test_generate_prime_properties(self):
+        rng = random.Random(42)
+        p = generate_prime(64, rng)
+        assert p.bit_length() == 64
+        assert is_probable_prime(p)
+        assert p % 2 == 1
+
+    def test_generate_prime_rejects_tiny(self):
+        with pytest.raises(KeyError_):
+            generate_prime(4, random.Random(1))
+
+
+class TestKeygen:
+    def test_modulus_exact_bits(self):
+        for bits in (64, 128, 256):
+            key = generate_keypair(bits, seed=bits)
+            assert key.n.bit_length() == bits
+
+    def test_deterministic_given_seed(self):
+        assert generate_keypair(64, seed=7) == generate_keypair(64, seed=7)
+
+    def test_different_seeds_different_keys(self):
+        assert generate_keypair(64, seed=1) != generate_keypair(64, seed=2)
+
+    def test_factors_recorded(self):
+        key = generate_keypair(96, seed=5)
+        assert key.p * key.q == key.n
+        assert is_probable_prime(key.p)
+        assert is_probable_prime(key.q)
+
+    def test_exponent_inverse(self):
+        key = generate_keypair(128, seed=9)
+        phi = (key.p - 1) * (key.q - 1)
+        assert key.e * key.d % phi == 1
+
+    def test_public_view(self):
+        key = generate_keypair(64, seed=3)
+        assert key.public == RsaPublicKey(n=key.n, e=key.e)
+
+    def test_too_small_rejected(self):
+        with pytest.raises(KeyError_):
+            generate_keypair(8, seed=1)
+
+    def test_512_bit_paper_size(self):
+        key = generate_keypair(512, seed=0x5ED0)
+        assert key.bits == 512
+
+
+class TestSignVerify:
+    def test_round_trip(self):
+        key = generate_keypair(256, seed=11)
+        message = b"/lander\x00parked.com\x00Mozilla/5.0"
+        assert verify(message, sign(message, key), key.public)
+
+    def test_tampered_message_rejected(self):
+        key = generate_keypair(256, seed=11)
+        signature = sign(b"original", key)
+        assert not verify(b"tampered", signature, key.public)
+
+    def test_tampered_signature_rejected(self):
+        key = generate_keypair(256, seed=11)
+        signature = bytearray(sign(b"m", key))
+        signature[0] ^= 0xFF
+        assert not verify(b"m", bytes(signature), key.public)
+
+    def test_wrong_key_rejected(self):
+        key_a = generate_keypair(256, seed=1)
+        key_b = generate_keypair(256, seed=2)
+        assert not verify(b"m", sign(b"m", key_a), key_b.public)
+
+    def test_wrong_length_signature_rejected(self):
+        key = generate_keypair(256, seed=11)
+        assert not verify(b"m", b"\x00" * 10, key.public)
+
+    def test_signature_length_matches_key(self):
+        key = generate_keypair(512, seed=4)
+        assert len(sign(b"m", key)) == 64
+
+    def test_verify_never_raises_on_junk(self):
+        key = generate_keypair(128, seed=6)
+        for junk in (b"", b"\xff" * 16, b"\xff" * 64):
+            verify(b"m", junk, key.public)
+
+    def test_tiny_demo_keys_still_sign(self):
+        key = generate_keypair(32, seed=13)
+        assert verify(b"m", sign(b"m", key), key.public)
+
+    def test_empty_message(self):
+        key = generate_keypair(128, seed=8)
+        assert verify(b"", sign(b"", key), key.public)

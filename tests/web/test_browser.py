@@ -1,0 +1,90 @@
+"""Unit tests for the instrumented browser."""
+
+from repro.filters.engine import AdblockEngine
+from repro.filters.filterlist import parse_filter_list
+from repro.web.browser import InstrumentedBrowser
+from repro.web.sites import PINNED_PROFILES, SiteProfile
+
+
+def make_engine() -> AdblockEngine:
+    engine = AdblockEngine()
+    engine.subscribe(parse_filter_list(
+        "||adzerk.net^$third-party\n"
+        "||doubleclick.net^$third-party\n"
+        "##.banner-ad\n",
+        name="easylist"))
+    engine.subscribe(parse_filter_list(
+        "@@||adzerk.net/ads.html$subdocument,domain=reddit.com\n"
+        "@@||stats.g.doubleclick.net^$script,image\n"
+        "reddit.com#@##ad_main\n",
+        name="whitelist"))
+    return engine
+
+
+class TestVisit:
+    def test_reddit_visit_records_activations(self):
+        browser = InstrumentedBrowser(make_engine())
+        visit = browser.visit(PINNED_PROFILES["reddit.com"])
+        assert visit.domain == "reddit.com"
+        assert visit.activations
+        assert visit.whitelist_activations
+
+    def test_exception_allows_adzerk_frame(self):
+        browser = InstrumentedBrowser(make_engine())
+        visit = browser.visit(PINNED_PROFILES["reddit.com"])
+        allowed_urls = {
+            a.target for a in visit.whitelist_activations
+            if a.kind == "request"
+        }
+        assert any("adzerk.net" in u for u in allowed_urls)
+
+    def test_activation_counts_consistent(self):
+        browser = InstrumentedBrowser(make_engine())
+        visit = browser.visit(PINNED_PROFILES["reddit.com"])
+        assert len(visit.distinct_filters) <= len(visit.activations)
+        assert visit.allowed_count + visit.blocked_count <= \
+            len(visit.decisions)
+
+    def test_engine_activations_cleared_between_visits(self):
+        engine = make_engine()
+        browser = InstrumentedBrowser(engine)
+        browser.visit(PINNED_PROFILES["reddit.com"])
+        assert engine.activations == []
+
+    def test_visits_are_isolated(self):
+        browser = InstrumentedBrowser(make_engine())
+        first = browser.visit(PINNED_PROFILES["reddit.com"])
+        second = browser.visit(PINNED_PROFILES["wikipedia.org"])
+        assert second.activations == []
+        assert first.activations  # untouched by the second visit
+
+    def test_cookie_state_persists_across_visits(self):
+        browser = InstrumentedBrowser(make_engine())
+        ask = PINNED_PROFILES["ask.com"]
+        first = browser.visit(ask)
+        second = browser.visit(ask)
+        # First (cookie-less) visit sees at least as many requests.
+        assert len(first.decisions) >= len(second.decisions)
+
+    def test_reset_state_restores_first_visit_behaviour(self):
+        browser = InstrumentedBrowser(make_engine())
+        ask = PINNED_PROFILES["ask.com"]
+        first = browser.visit(ask)
+        browser.visit(ask)
+        browser.reset_state()
+        again = browser.visit(ask)
+        assert len(again.decisions) == len(first.decisions)
+
+    def test_sitekey_provider_consulted(self):
+        engine = AdblockEngine()
+        engine.subscribe(parse_filter_list("||ads.net^", name="easylist"))
+        engine.subscribe(parse_filter_list("@@$sitekey=K1,document",
+                                           name="whitelist"))
+        profile = SiteProfile(domain="parked.com", rank=999_999,
+                              networks=["popunder"])
+        browser = InstrumentedBrowser(
+            engine, sitekey_provider=lambda domain: "K1")
+        visit = browser.visit(profile)
+        assert visit.blocked_count == 0
+        doc_grants = [a for a in visit.activations if a.kind == "document"]
+        assert doc_grants

@@ -1,0 +1,73 @@
+"""Unit tests for the survey crawler."""
+
+from repro.filters.engine import AdblockEngine
+from repro.filters.filterlist import parse_filter_list
+from repro.web.crawler import Crawler, CrawlTarget, crawl
+from repro.web.sites import SiteProfile
+
+
+def engine_with(filters: str) -> AdblockEngine:
+    engine = AdblockEngine()
+    engine.subscribe(parse_filter_list(filters, name="easylist"))
+    return engine
+
+
+TARGETS = [
+    CrawlTarget(domain="reddit.com", rank=31, group_index=0),
+    CrawlTarget(domain="wikipedia.org", rank=7, group_index=0),
+    CrawlTarget(domain="randomsite-abc.com", rank=70_123, group_index=2),
+]
+
+
+class TestCrawl:
+    def test_one_record_per_target(self):
+        records = crawl(engine_with("||adzerk.net^"), TARGETS)
+        assert [r.domain for r in records] == [t.domain for t in TARGETS]
+
+    def test_ranks_carried_through(self):
+        records = crawl(engine_with("||adzerk.net^"), TARGETS)
+        assert records[0].rank == 31
+
+    def test_record_metrics(self):
+        records = crawl(engine_with("||adzerk.net^$third-party"), TARGETS)
+        reddit = records[0]
+        assert reddit.total_matches >= 1
+        assert reddit.any_activation
+        wikipedia = records[1]
+        assert not wikipedia.any_activation
+
+    def test_whitelist_matches_empty_without_whitelist(self):
+        records = crawl(engine_with("||adzerk.net^"), TARGETS)
+        assert all(r.whitelist_matches == 0 for r in records)
+
+    def test_custom_profile_factory(self):
+        def factory(target: CrawlTarget) -> SiteProfile:
+            return SiteProfile(domain=target.domain, rank=target.rank,
+                               networks=["adzerk"])
+
+        crawler = Crawler(engine_with("||adzerk.net^$third-party"),
+                          profile_factory=factory)
+        records = crawler.survey(TARGETS)
+        assert all(r.total_matches >= 1 for r in records)
+
+    def test_deterministic_across_runs(self):
+        first = crawl(engine_with("||adzerk.net^"), TARGETS)
+        second = crawl(engine_with("||adzerk.net^"), TARGETS)
+        assert [r.total_matches for r in first] == \
+            [r.total_matches for r in second]
+
+    def test_group_index_influences_profile(self):
+        deep_targets = [
+            CrawlTarget(domain=f"deep{i}.com", rank=500_000 + i,
+                        group_index=3)
+            for i in range(50)
+        ]
+        top_targets = [
+            CrawlTarget(domain=f"deep{i}.com", rank=500_000 + i,
+                        group_index=0)
+            for i in range(50)
+        ]
+        deep = crawl(engine_with("||doubleclick.net^"), deep_targets)
+        top = crawl(engine_with("||doubleclick.net^"), top_targets)
+        assert sum(len(r.profile.networks) for r in top) >= \
+            sum(len(r.profile.networks) for r in deep)

@@ -1,0 +1,104 @@
+"""Unit tests for the Blockable Items report."""
+
+from repro.filters.engine import AdblockEngine
+from repro.filters.filterlist import parse_filter_list
+from repro.web.browser import InstrumentedBrowser
+from repro.web.devtools import (
+    Disposition,
+    blockable_items,
+    render_blockable_items,
+)
+from repro.web.sites import PINNED_PROFILES, SiteProfile
+
+
+def visit_with(blocking: str, exceptions: str, profile: SiteProfile):
+    engine = AdblockEngine()
+    engine.subscribe(parse_filter_list(blocking, name="easylist"))
+    if exceptions:
+        engine.subscribe(parse_filter_list(exceptions, name="whitelist"))
+    return InstrumentedBrowser(engine).visit(profile)
+
+
+class TestDispositions:
+    def test_blocked_item(self):
+        visit = visit_with("||adzerk.net^$third-party", "",
+                           PINNED_PROFILES["reddit.com"])
+        items = blockable_items(visit)
+        blocked = [i for i in items
+                   if i.disposition is Disposition.BLOCKED]
+        assert any("adzerk" in i.target for i in blocked)
+
+    def test_allowed_item_lists_both_filters(self):
+        visit = visit_with(
+            "||adzerk.net^$third-party",
+            "@@||static.adzerk.net^$third-party,domain=reddit.com",
+            PINNED_PROFILES["reddit.com"])
+        allowed = [i for i in blockable_items(visit)
+                   if i.disposition is Disposition.ALLOWED]
+        assert allowed
+        item = allowed[0]
+        assert item.blocking_filters and item.exception_filters
+        lists = {name for name, _ in item.filters}
+        assert lists == {"easylist", "whitelist"}
+
+    def test_needless_allowance_flagged(self):
+        visit = visit_with(
+            "||unrelated.example^",
+            "@@||gstatic.com^$third-party",
+            PINNED_PROFILES["reddit.com"])
+        needless = [i for i in blockable_items(visit)
+                    if i.disposition is Disposition.NEEDLESSLY_ALLOWED]
+        assert any("gstatic" in i.target for i in needless)
+
+    def test_hidden_element(self):
+        profile = SiteProfile(domain="plain.com", rank=5_000,
+                              networks=["generic-banner"],
+                              first_party_ads=(
+                                  ("img", "class", "banner-ad", "b"),))
+        visit = visit_with("##.banner-ad", "", profile)
+        hidden = [i for i in blockable_items(visit)
+                  if i.disposition is Disposition.HIDDEN]
+        assert hidden
+
+    def test_unhidden_element(self):
+        profile = SiteProfile(domain="plain.com", rank=5_000,
+                              networks=[],
+                              first_party_ads=(
+                                  ("img", "class", "banner-ad", "b"),))
+        visit = visit_with("##.banner-ad", "plain.com#@#.banner-ad",
+                           profile)
+        unhidden = [i for i in blockable_items(visit)
+                    if i.disposition is Disposition.UNHIDDEN]
+        assert unhidden
+
+    def test_items_deduplicate_by_target(self):
+        visit = visit_with("||adzerk.net^$third-party", "",
+                           PINNED_PROFILES["reddit.com"])
+        items = blockable_items(visit)
+        targets = [(i.kind, i.target) for i in items]
+        assert len(targets) == len(set(targets))
+
+
+class TestRendering:
+    def test_render_contains_summary(self):
+        visit = visit_with("||adzerk.net^$third-party", "",
+                           PINNED_PROFILES["reddit.com"])
+        text = render_blockable_items(visit)
+        assert "Blockable items" in text
+        assert "blocked" in text
+
+    def test_render_empty_visit(self):
+        visit = visit_with("||nothing-here.example^", "",
+                           PINNED_PROFILES["wikipedia.org"])
+        text = render_blockable_items(visit)
+        assert "no filters matched" in text
+
+    def test_long_targets_truncated(self):
+        visit = visit_with("||adzerk.net^$third-party", "",
+                           PINNED_PROFILES["reddit.com"])
+        text = render_blockable_items(visit, width=20)
+        for line in text.splitlines():
+            if "..." in line:
+                break
+        else:
+            raise AssertionError("expected a truncated target line")

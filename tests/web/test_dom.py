@@ -1,0 +1,76 @@
+"""Unit tests for the minimal DOM."""
+
+from repro.web.dom import Document, Element
+
+
+class TestElement:
+    def test_classes_parsed_from_attribute(self):
+        el = Element(tag="div", attributes={"class": "a b  c"})
+        assert el.classes == frozenset({"a", "b", "c"})
+
+    def test_no_class_attribute(self):
+        assert Element(tag="div").classes == frozenset()
+
+    def test_get_with_default(self):
+        el = Element(tag="div", attributes={"id": "x"})
+        assert el.get("id") == "x"
+        assert el.get("missing") is None
+        assert el.get("missing", "d") == "d"
+
+    def test_append_sets_parent(self):
+        parent = Element(tag="div")
+        child = parent.append(Element(tag="span"))
+        assert child.parent is parent
+        assert parent.children == [child]
+
+    def test_new_child_attribute_normalisation(self):
+        parent = Element(tag="div")
+        child = parent.new_child("img", class_="ad", data_slot="top")
+        assert child.attributes == {"class": "ad", "data-slot": "top"}
+
+    def test_iter_depth_first(self):
+        root = Element(tag="a")
+        b = root.new_child("b")
+        c = b.new_child("c")
+        d = root.new_child("d")
+        assert list(root.iter()) == [root, b, c, d]
+
+    def test_find_by_id(self):
+        root = Element(tag="div")
+        target = root.new_child("span", id="x")
+        assert root.find_by_id("x") is target
+        assert root.find_by_id("y") is None
+
+    def test_find_by_class_and_tag(self):
+        root = Element(tag="div")
+        a = root.new_child("img", class_="ad big")
+        root.new_child("img", class_="content")
+        assert root.find_by_class("ad") == [a]
+        assert len(root.find_by_tag("img")) == 2
+
+    def test_identity_equality(self):
+        a = Element(tag="div")
+        b = Element(tag="div")
+        assert a != b
+        assert a == a
+
+
+class TestDocument:
+    def test_head_and_body_created(self):
+        doc = Document(url="http://x.com/")
+        assert doc.head.tag == "head"
+        assert doc.body.tag == "body"
+
+    def test_all_elements_includes_root(self):
+        doc = Document(url="http://x.com/")
+        doc.body.new_child("div")
+        elements = doc.all_elements()
+        assert doc.root in elements
+        assert len(elements) == 4  # html, head, body, div
+
+    def test_ad_elements_ground_truth(self):
+        doc = Document(url="http://x.com/")
+        ad = doc.body.new_child("div")
+        ad.ad_label = "test-ad"
+        doc.body.new_child("div")
+        assert doc.ad_elements() == [ad]

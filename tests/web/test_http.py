@@ -1,0 +1,139 @@
+"""Unit tests for the simulated HTTP layer."""
+
+import pytest
+
+from repro.web.http import (
+    CookieJar,
+    Headers,
+    HttpClient,
+    HttpError,
+    HttpRequest,
+    HttpResponse,
+    TooManyRedirects,
+)
+from repro.web.url import parse_url
+
+
+class TestHeaders:
+    def test_case_insensitive_get(self):
+        headers = Headers([("X-Adblock-Key", "abc")])
+        assert headers.get("x-adblock-key") == "abc"
+        assert "X-ADBLOCK-KEY" in headers
+
+    def test_set_overwrites(self):
+        headers = Headers()
+        headers.set("A", "1")
+        headers.set("a", "2")
+        assert headers.get("A") == "2"
+        assert len(headers.items()) == 1
+
+    def test_copy_is_independent(self):
+        headers = Headers([("A", "1")])
+        clone = headers.copy()
+        clone.set("A", "2")
+        assert headers.get("A") == "1"
+
+
+class TestCookieJar:
+    def test_scoped_by_registered_domain(self):
+        jar = CookieJar()
+        jar.store("www.example.com", {"session": "1"})
+        assert jar.for_host("static.example.com") == {"session": "1"}
+        assert jar.for_host("other.com") == {}
+
+    def test_clear(self):
+        jar = CookieJar()
+        jar.store("a.com", {"x": "1"})
+        jar.clear()
+        assert jar.for_host("a.com") == {}
+
+
+def _one_host_resolver(host, handler):
+    return lambda h: handler if h == host else None
+
+
+class TestHttpClient:
+    def test_simple_get(self):
+        def handler(request: HttpRequest) -> HttpResponse:
+            assert request.user_agent.startswith("Mozilla")
+            return HttpResponse(status=200, body="hello")
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        response = client.get("http://e.com/")
+        assert response.ok
+        assert response.body == "hello"
+
+    def test_unknown_host_raises(self):
+        client = HttpClient(lambda host: None)
+        with pytest.raises(HttpError):
+            client.get("http://nowhere.invalid/")
+
+    def test_redirect_followed_with_cookie(self):
+        """The Uniregistry pattern: set-cookie + redirect, then content."""
+        def handler(request: HttpRequest) -> HttpResponse:
+            if "seen" not in request.cookies:
+                return HttpResponse(status=302,
+                                    redirect_to="http://e.com/lander",
+                                    set_cookies={"seen": "1"})
+            assert request.url.path == "/lander"
+            return HttpResponse(status=200, body="ads")
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        response = client.get("http://e.com/")
+        assert response.ok
+        assert response.body == "ads"
+        assert client.jar.for_host("e.com") == {"seen": "1"}
+
+    def test_redirect_loop_detected(self):
+        def handler(request: HttpRequest) -> HttpResponse:
+            return HttpResponse(status=302, redirect_to="http://e.com/")
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        with pytest.raises(TooManyRedirects):
+            client.get("http://e.com/")
+
+    def test_cross_host_redirect(self):
+        def a_handler(request):
+            return HttpResponse(status=301, redirect_to="http://b.com/x")
+
+        def b_handler(request):
+            return HttpResponse(status=200, body="b")
+
+        def resolver(host):
+            return {"a.com": a_handler, "b.com": b_handler}.get(host)
+
+        response = HttpClient(resolver).get("http://a.com/")
+        assert response.body == "b"
+
+    def test_extra_headers_sent(self):
+        seen = {}
+
+        def handler(request: HttpRequest) -> HttpResponse:
+            seen["val"] = request.headers.get("X-Test")
+            return HttpResponse()
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        client.get("http://e.com/", extra_headers=[("X-Test", "1")])
+        assert seen["val"] == "1"
+
+    def test_403_not_followed(self):
+        def handler(request):
+            return HttpResponse(status=403, body="Forbidden")
+
+        response = HttpClient(
+            _one_host_resolver("e.com", handler)).get("http://e.com/")
+        assert not response.ok
+        assert response.status == 403
+
+    def test_url_object_accepted(self):
+        def handler(request):
+            return HttpResponse(body="ok")
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        assert client.get(parse_url("http://e.com/")).body == "ok"
+
+    def test_adblock_key_header_accessor(self):
+        response = HttpResponse(headers=Headers(
+            [("X-Adblock-Key", "KEY_SIG")]))
+        assert response.adblock_key_header == "KEY_SIG"
+        assert HttpResponse().adblock_key_header is None

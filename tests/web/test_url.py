@@ -1,0 +1,125 @@
+"""Unit tests for URL parsing and domain reduction."""
+
+import pytest
+
+from repro.web.url import (
+    URLError,
+    is_subdomain_of,
+    is_third_party,
+    parse_url,
+    public_suffix,
+    registered_domain,
+)
+
+
+class TestParseUrl:
+    def test_basic(self):
+        url = parse_url("http://www.example.com/path?a=1#frag")
+        assert url.scheme == "http"
+        assert url.host == "www.example.com"
+        assert url.path == "/path"
+        assert url.query == "a=1"
+        assert url.fragment == "frag"
+
+    def test_https(self):
+        assert parse_url("https://e.com/").scheme == "https"
+
+    def test_default_scheme_for_bare_host(self):
+        assert parse_url("example.com/x").scheme == "http"
+
+    def test_scheme_relative(self):
+        assert parse_url("//cdn.example.com/lib.js").host == \
+            "cdn.example.com"
+
+    def test_port(self):
+        url = parse_url("http://e.com:8080/")
+        assert url.port == 8080
+        assert url.origin == "http://e.com:8080"
+
+    def test_host_lowercased(self):
+        assert parse_url("http://WWW.Example.COM/").host == \
+            "www.example.com"
+
+    def test_empty_path_normalised(self):
+        assert parse_url("http://e.com").path == "/"
+
+    def test_full_path_includes_query(self):
+        url = parse_url("http://e.com/a?b=1")
+        assert url.full_path == "/a?b=1"
+
+    def test_str_round_trip(self):
+        text = "http://e.com/a?b=1#c"
+        assert str(parse_url(text)) == text
+
+    def test_registered_domain_property(self):
+        assert parse_url("http://a.b.example.co.uk/").registered_domain \
+            == "example.co.uk"
+
+    @pytest.mark.parametrize("bad", [
+        "", "   ", "http://", "http:///path", "ftp2://x.com/",
+        "http://e.com:notaport/", "http://e.com:99999/",
+        "http://bad host.com/", "http://..com/",
+    ])
+    def test_invalid_urls_rejected(self, bad):
+        with pytest.raises(URLError):
+            parse_url(bad)
+
+
+class TestPublicSuffix:
+    @pytest.mark.parametrize("host,suffix", [
+        ("example.com", "com"),
+        ("bbc.co.uk", "co.uk"),
+        ("a.b.example.com.au", "com.au"),
+        ("localhost", "localhost"),
+        ("google.de", "de"),
+        ("google.co.zz", "co.zz"),   # generic co.XX rule
+        ("example.edu.xy", "edu.xy"),
+    ])
+    def test_suffixes(self, host, suffix):
+        assert public_suffix(host) == suffix
+
+
+class TestRegisteredDomain:
+    @pytest.mark.parametrize("host,expected", [
+        ("maps.google.com", "google.com"),
+        ("google.com", "google.com"),
+        ("news.bbc.co.uk", "bbc.co.uk"),
+        ("cars.about.com", "about.com"),
+        ("a.b.c.example.net", "example.net"),
+        ("com", "com"),                      # a bare suffix
+        ("google.co.uk", "google.co.uk"),
+        ("www.google.co.zz", "google.co.zz"),
+    ])
+    def test_reduction(self, host, expected):
+        assert registered_domain(host) == expected
+
+    def test_case_insensitive(self):
+        assert registered_domain("WWW.Example.COM") == "example.com"
+
+
+class TestSubdomain:
+    def test_equal_hosts(self):
+        assert is_subdomain_of("a.com", "a.com")
+
+    def test_subdomain(self):
+        assert is_subdomain_of("x.a.com", "a.com")
+
+    def test_not_suffix_trick(self):
+        assert not is_subdomain_of("nota.com", "a.com")
+
+    def test_parent_is_not_subdomain_of_child(self):
+        assert not is_subdomain_of("a.com", "x.a.com")
+
+
+class TestThirdParty:
+    def test_same_host_first_party(self):
+        assert not is_third_party("e.com", "e.com")
+
+    def test_subdomain_first_party(self):
+        assert not is_third_party("static.e.com", "www.e.com")
+
+    def test_cross_site_third_party(self):
+        assert is_third_party("adzerk.net", "reddit.com")
+
+    def test_cctld_variants_are_third_party(self):
+        assert is_third_party("google.co.uk", "google.de")

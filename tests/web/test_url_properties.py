@@ -1,0 +1,96 @@
+"""Property-based tests for the URL substrate (hypothesis)."""
+
+import string
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.web.url import (
+    URLError,
+    is_subdomain_of,
+    is_third_party,
+    parse_url,
+    public_suffix,
+    registered_domain,
+)
+
+_LABEL = st.text(alphabet=string.ascii_lowercase + string.digits,
+                 min_size=1, max_size=10)
+_HOST = st.lists(_LABEL, min_size=1, max_size=5).map(".".join)
+_PATH = st.text(
+    alphabet=string.ascii_letters + string.digits + "/-_.",
+    max_size=30,
+)
+
+
+class TestParseProperties:
+    @given(_HOST, _PATH)
+    def test_host_round_trips(self, host, path):
+        url = parse_url(f"http://{host}/{path}")
+        assert url.host == host
+
+    @given(_HOST)
+    def test_str_reparse_is_identity(self, host):
+        url = parse_url(f"https://{host}/a?b=1#c")
+        assert parse_url(str(url)) == url
+
+    @given(st.text(max_size=40))
+    @settings(max_examples=300)
+    def test_parse_raises_only_urlerror(self, text):
+        try:
+            parse_url(text)
+        except URLError:
+            pass
+
+
+class TestDomainProperties:
+    @given(_HOST)
+    def test_registered_domain_is_suffix_of_host(self, host):
+        e2ld = registered_domain(host)
+        assert host == e2ld or host.endswith("." + e2ld)
+
+    @given(_HOST)
+    def test_registered_domain_idempotent(self, host):
+        e2ld = registered_domain(host)
+        assert registered_domain(e2ld) == e2ld
+
+    @given(_HOST)
+    def test_public_suffix_is_suffix_of_registered_domain(self, host):
+        suffix = public_suffix(host)
+        e2ld = registered_domain(host)
+        assert e2ld == suffix or e2ld.endswith("." + suffix)
+
+    @given(_HOST)
+    def test_registered_domain_at_most_one_extra_label(self, host):
+        suffix = public_suffix(host)
+        e2ld = registered_domain(host)
+        assert e2ld.count(".") <= suffix.count(".") + 1
+
+    @given(_LABEL, _HOST)
+    def test_subdomain_reduction_stable(self, label, host):
+        # Prepending a label never changes the registered domain, unless
+        # the host was itself a bare public suffix.
+        if registered_domain(host) != public_suffix(host):
+            assert registered_domain(f"{label}.{host}") == \
+                registered_domain(host)
+
+
+class TestPartyProperties:
+    @given(_HOST)
+    def test_never_third_party_to_self(self, host):
+        assert not is_third_party(host, host)
+
+    @given(_HOST, _HOST)
+    def test_symmetry(self, a, b):
+        assert is_third_party(a, b) == is_third_party(b, a)
+
+    @given(_LABEL, _HOST)
+    def test_subdomain_first_party(self, label, host):
+        if registered_domain(host) != public_suffix(host):
+            assert not is_third_party(f"{label}.{host}", host)
+
+    @given(_HOST, _HOST)
+    def test_subdomain_relation_implies_first_party(self, a, b):
+        if is_subdomain_of(a, b):
+            assert not is_third_party(a, b) or \
+                registered_domain(b) == public_suffix(b)
