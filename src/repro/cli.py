@@ -54,6 +54,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="size of the top group (paper: 5000)")
     survey.add_argument("--stratum", type=int, default=150,
                         help="per-stratum sample size (paper: 1000)")
+    survey.add_argument("--fault-rate", type=float, default=0.0,
+                        help="fraction of domains given an injected "
+                             "fault (0 disables injection)")
+    survey.add_argument("--fault-seed", type=int, default=0,
+                        help="seed for fault plan + backoff jitter")
+    survey.add_argument("--max-retries", type=int, default=2,
+                        help="retries per target beyond the first "
+                             "attempt")
 
     parking = add("parking", "Table 3 zone scan")
     parking.add_argument("--divisor", type=int, default=5_000,
@@ -83,7 +91,10 @@ def _study(args) -> AcceptableAdsStudy:
         key_bits=128 if args.fast else 512,
         survey=SurveyConfig(
             top_n=getattr(args, "top", 800),
-            stratum_size=getattr(args, "stratum", 150)),
+            stratum_size=getattr(args, "stratum", 150),
+            fault_rate=getattr(args, "fault_rate", 0.0),
+            fault_seed=getattr(args, "fault_seed", 0),
+            max_retries=getattr(args, "max_retries", 2)),
         zone_scale_divisor=getattr(args, "divisor", 5_000),
     ))
 
@@ -156,7 +167,7 @@ def _cmd_table2(args, out) -> int:
 def _cmd_survey(args, out) -> int:
     from repro.measurement.stats import (section51_headline,
                                          table4_top_filters)
-    from repro.reporting.tables import render_table
+    from repro.reporting.tables import render_crawl_health, render_table
 
     study = _study(args)
     result = study.site_survey
@@ -172,6 +183,7 @@ def _cmd_survey(args, out) -> int:
           r.filter_text[:54])
          for r in table4_top_filters(result.top5k, top=10)],
         title="Table 4 (top 10)") + "\n")
+    out.write(render_crawl_health(result.crawl_health()) + "\n")
     return 0
 
 

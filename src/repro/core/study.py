@@ -113,6 +113,16 @@ class AcceptableAdsStudy:
     def site_survey(self) -> SurveyResult:
         return run_survey(self.history, self.config.survey)
 
+    def crawl_health(self):
+        """Crawl telemetry for the survey: the resilience layer's view.
+
+        Fault injection and retry depth are configured on
+        ``config.survey`` (``fault_rate`` / ``fault_seed`` /
+        ``max_retries``); with the defaults every visit succeeds on the
+        first attempt and this is an all-success report.
+        """
+        return self.site_survey.crawl_health()
+
     # -- Section 6: perception ---------------------------------------------
 
     @cached_property

@@ -18,6 +18,7 @@ generated whitelist history, the survey:
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
@@ -28,7 +29,16 @@ from repro.measurement.easylist import build_easylist
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.history.generator import WhitelistHistory
 from repro.measurement.samples import SampleGroup, build_samples
-from repro.web.crawler import Crawler, CrawlRecord, CrawlTarget
+from repro.web.crawler import (
+    Crawler,
+    CrawlHealth,
+    CrawlOutcome,
+    CrawlRecord,
+    CrawlTarget,
+    crawl_health,
+)
+from repro.web.faults import FaultInjector, FaultPlan
+from repro.web.resilience import RetryPolicy
 from repro.web.sites import SiteProfile, profile_for_domain
 
 __all__ = ["SurveyConfig", "SurveyResult", "run_survey",
@@ -40,21 +50,42 @@ EASYLIST_NAME = "easylist"
 
 @dataclass(slots=True)
 class SurveyConfig:
-    """Knobs for survey size (paper-scale by default)."""
+    """Knobs for survey size (paper-scale by default) and resilience.
+
+    ``fault_rate`` > 0 subjects every visit to an injected
+    :class:`~repro.web.faults.FaultPlan` seeded by ``fault_seed``;
+    ``max_retries`` is the number of *re*-attempts per target beyond
+    the first (so ``max_retries=2`` means up to three visits).  At the
+    default ``fault_rate=0.0`` the resilient pipeline is a clean
+    pass-through and results match the bare crawler exactly.
+    """
 
     top_n: int = 5_000
     stratum_size: int = 1_000
     with_whitelist: bool = True
     compare_without_whitelist: bool = True
+    fault_rate: float = 0.0
+    fault_seed: int = 0
+    max_retries: int = 2
 
 
 @dataclass
 class SurveyResult:
-    """Raw survey output for all groups and both configurations."""
+    """Raw survey output for all groups and both configurations.
+
+    ``records`` holds only successful crawls (what the tables and
+    figures aggregate); ``outcomes`` holds every target's
+    :class:`~repro.web.crawler.CrawlOutcome` including failure
+    tombstones, so the denominator of every downstream statistic is
+    explicit.
+    """
 
     groups: list[SampleGroup]
     records: dict[str, list[CrawlRecord]] = field(default_factory=dict)
     records_easylist_only: dict[str, list[CrawlRecord]] = field(
+        default_factory=dict)
+    outcomes: dict[str, list[CrawlOutcome]] = field(default_factory=dict)
+    outcomes_easylist_only: dict[str, list[CrawlOutcome]] = field(
         default_factory=dict)
     whitelist: FilterList | None = None
     easylist: FilterList | None = None
@@ -66,6 +97,18 @@ class SurveyResult:
     def all_records(self) -> list[CrawlRecord]:
         return [record for group in self.groups
                 for record in self.records[group.name]]
+
+    def all_outcomes(self) -> list[CrawlOutcome]:
+        """Every outcome from both engine configurations."""
+        return [outcome
+                for by_group in (self.outcomes,
+                                 self.outcomes_easylist_only)
+                for outcomes in by_group.values()
+                for outcome in outcomes]
+
+    def crawl_health(self) -> CrawlHealth:
+        """Aggregate health across both configurations' crawls."""
+        return crawl_health(self.all_outcomes())
 
 
 def build_engines(history: "WhitelistHistory",
@@ -142,15 +185,34 @@ def run_survey(history: "WhitelistHistory",
     result = SurveyResult(groups=groups, whitelist=whitelist,
                           easylist=easylist)
 
-    crawler = Crawler(engine, profile_factory=factory)
+    def make_crawler(an_engine: AdblockEngine) -> Crawler:
+        # Each configuration gets its own rng/injector chain seeded
+        # identically, so both crawls see the same faults on the same
+        # domains and the Figure 6 comparison stays apples-to-apples.
+        rng = random.Random(config.fault_seed)
+        injector = None
+        if config.fault_rate > 0.0:
+            injector = FaultInjector(
+                FaultPlan.uniform(config.fault_rate, rng=rng))
+        return Crawler(an_engine, profile_factory=factory,
+                       retry_policy=RetryPolicy(
+                           max_attempts=config.max_retries + 1),
+                       fault_injector=injector, rng=rng)
+
+    crawler = make_crawler(engine)
     for group in groups:
-        result.records[group.name] = crawler.survey(group.targets)
+        outcomes = crawler.survey(group.targets)
+        result.outcomes[group.name] = outcomes
+        result.records[group.name] = [
+            o.record for o in outcomes if o.record is not None]
 
     if config.compare_without_whitelist:
-        engine_plain, _, _ = build_engines(history, with_whitelist=False)
-        crawler_plain = Crawler(engine_plain, profile_factory=factory)
+        crawler_plain = make_crawler(
+            build_engines(history, with_whitelist=False)[0])
         for group in groups:
-            result.records_easylist_only[group.name] = (
-                crawler_plain.survey(group.targets))
+            outcomes = crawler_plain.survey(group.targets)
+            result.outcomes_easylist_only[group.name] = outcomes
+            result.records_easylist_only[group.name] = [
+                o.record for o in outcomes if o.record is not None]
 
     return result

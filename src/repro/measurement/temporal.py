@@ -87,7 +87,8 @@ def temporal_survey(history: "WhitelistHistory",
         filter_count = sum(
             1 for line in history.repository.checkout(rev)
             if line and not line.startswith("!"))
-        records = Crawler(engine, profile_factory=factory).survey(targets)
+        records = Crawler(engine,
+                          profile_factory=factory).survey_records(targets)
 
         activating = sum(
             1 for record in records

@@ -6,9 +6,12 @@ this renderer keeps that output aligned and diff-friendly.
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence
+from typing import TYPE_CHECKING, Iterable, Sequence
 
-__all__ = ["render_table", "render_comparison"]
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.web.crawler import CrawlHealth
+
+__all__ = ["render_table", "render_comparison", "render_crawl_health"]
 
 
 def render_table(headers: Sequence[str],
@@ -39,6 +42,33 @@ def render_comparison(title: str,
                   for name, paper, measured in rows]
     return render_table(("metric", "paper", "measured", "match"),
                         table_rows, title=title)
+
+
+def render_crawl_health(health: "CrawlHealth",
+                        title: str = "Crawl health") -> str:
+    """Render a :class:`~repro.web.crawler.CrawlHealth` summary.
+
+    One row per outcome status, then one per error class — failures
+    (tombstones) and the classes degraded visits recovered from — so a
+    survey's denominator and its loss profile read off one table.
+    """
+    total = health.total or 1
+    rows: list[tuple[object, object, object]] = [
+        ("visited", health.total, ""),
+        ("success", health.succeeded, f"{health.succeeded / total:.1%}"),
+        ("degraded", health.degraded, f"{health.degraded / total:.1%}"),
+        ("failed", health.failed, f"{health.failed / total:.1%}"),
+        ("retried", health.retried, f"{health.retried / total:.1%}"),
+        ("breaker skips", health.breaker_skips, ""),
+        ("attempts total", health.total_attempts, ""),
+        ("mean latency (ms)", round(health.mean_latency_ms, 1), ""),
+    ]
+    for label, count in sorted(health.failure_counts.items()):
+        rows.append((f"failed: {label}", count, f"{count / total:.1%}"))
+    for label, count in sorted(health.recovered_counts.items()):
+        rows.append((f"recovered: {label}", count,
+                     f"{count / total:.1%}"))
+    return render_table(("metric", "count", "share"), rows, title=title)
 
 
 def _fmt(value: object) -> str:

@@ -33,6 +33,12 @@ __all__ = [
     "CookieJar",
     "HttpClient",
     "HttpError",
+    "TransportError",
+    "DnsFailure",
+    "ConnectTimeout",
+    "ReadTimeout",
+    "TruncatedBody",
+    "ServerFault",
     "TooManyRedirects",
     "DEFAULT_USER_AGENT",
     "CURL_USER_AGENT",
@@ -46,11 +52,67 @@ _MAX_REDIRECTS = 10
 
 
 class HttpError(RuntimeError):
-    """Raised for transport-level failures (unknown host, no handler)."""
+    """Raised for transport-level failures (unknown host, no handler).
+
+    Every subclass carries an ``error_class`` label — the taxonomy the
+    resilience layer (:mod:`repro.web.resilience`) keys its retryable
+    predicate and the crawl-health tables on.
+    """
+
+    error_class = "transport"
+
+
+class TransportError(HttpError):
+    """Base class for the injectable network-level failure modes."""
+
+
+class DnsFailure(TransportError):
+    """The hostname did not resolve (NXDOMAIN / resolver loss)."""
+
+    error_class = "dns"
+
+
+class ConnectTimeout(TransportError):
+    """The TCP connection could not be established in time."""
+
+    error_class = "connect-timeout"
+
+
+class ReadTimeout(TransportError):
+    """The server accepted the connection but never finished the body."""
+
+    error_class = "read-timeout"
+
+
+class TruncatedBody(TransportError):
+    """The connection dropped mid-body (short read)."""
+
+    error_class = "truncated-body"
+
+
+class ServerFault(TransportError):
+    """A 5xx-class server failure surfaced as an exception.
+
+    The simulated HTTP layer returns 5xx as ordinary responses; the
+    resilient wrappers (and the browser-visit fault path, which has no
+    status codes) raise this instead so retry logic sees one taxonomy.
+    """
+
+    error_class = "server-error"
 
 
 class TooManyRedirects(HttpError):
-    """The redirect chain exceeded the client's limit."""
+    """The redirect chain exceeded the client's limit or looped.
+
+    ``chain`` holds every URL visited, in order, ending with the first
+    repeated (or limit-exceeding) hop.
+    """
+
+    error_class = "redirect-loop"
+
+    def __init__(self, message: str, chain: tuple[str, ...] = ()) -> None:
+        super().__init__(message)
+        self.chain = chain
 
 
 class Headers:
@@ -175,23 +237,44 @@ class HttpClient:
         """GET ``url``, following redirects, storing cookies.
 
         Raises :class:`HttpError` when the host does not resolve and
-        :class:`TooManyRedirects` on redirect loops.
+        :class:`TooManyRedirects` when the chain exceeds
+        ``max_redirects`` or revisits a URL without any cookie change —
+        a self-redirect that sets no new state can never terminate, so
+        it is cut short rather than burning the whole redirect budget.
         """
         target = parse_url(url) if isinstance(url, str) else url
+        chain: list[str] = [str(target)]
+        # States already served: (url, cookie snapshot for its host).
+        # A redirect that lands on a previously seen state is a loop —
+        # the server will answer identically forever.
+        seen_states: set[tuple[str, tuple[tuple[str, str], ...]]] = set()
         for _ in range(self.max_redirects + 1):
+            cookies = self.jar.for_host(target.host)
+            state = (str(target), tuple(sorted(cookies.items())))
+            if state in seen_states:
+                raise TooManyRedirects(
+                    "redirect loop detected (revisited "
+                    f"{target} with unchanged cookies): "
+                    + " -> ".join(chain),
+                    chain=tuple(chain))
+            seen_states.add(state)
             handler = self._resolver(target.host)
             if handler is None:
-                raise HttpError(f"cannot resolve host {target.host!r}")
+                raise DnsFailure(f"cannot resolve host {target.host!r}")
             headers = Headers([("User-Agent", self.user_agent),
                                ("Host", target.host)])
             for name, value in extra_headers:
                 headers.set(name, value)
             request = HttpRequest(url=target, headers=headers,
-                                  cookies=self.jar.for_host(target.host))
+                                  cookies=cookies)
             response = handler(request)
             self.jar.store(target.host, response.set_cookies)
             if 300 <= response.status < 400 and response.redirect_to:
                 target = parse_url(response.redirect_to)
+                chain.append(str(target))
                 continue
             return response
-        raise TooManyRedirects(f"redirect limit exceeded fetching {target}")
+        raise TooManyRedirects(
+            f"redirect limit ({self.max_redirects}) exceeded: "
+            + " -> ".join(chain),
+            chain=tuple(chain))

@@ -1,8 +1,20 @@
 """Unit tests for the survey crawler."""
 
+import random
+
+import pytest
+
 from repro.filters.engine import AdblockEngine
 from repro.filters.filterlist import parse_filter_list
-from repro.web.crawler import Crawler, CrawlTarget, crawl
+from repro.web.crawler import (
+    Crawler,
+    CrawlStatus,
+    CrawlTarget,
+    crawl,
+    crawl_health,
+)
+from repro.web.faults import FaultInjector, FaultKind, FaultPlan, FaultSpec
+from repro.web.resilience import RetryPolicy
 from repro.web.sites import SiteProfile
 
 
@@ -47,7 +59,7 @@ class TestCrawl:
 
         crawler = Crawler(engine_with("||adzerk.net^$third-party"),
                           profile_factory=factory)
-        records = crawler.survey(TARGETS)
+        records = crawler.survey_records(TARGETS)
         assert all(r.total_matches >= 1 for r in records)
 
     def test_deterministic_across_runs(self):
@@ -55,6 +67,14 @@ class TestCrawl:
         second = crawl(engine_with("||adzerk.net^"), TARGETS)
         assert [r.total_matches for r in first] == \
             [r.total_matches for r in second]
+
+    def test_survey_outcomes_clean_run(self):
+        crawler = Crawler(engine_with("||adzerk.net^"))
+        outcomes = crawler.survey(TARGETS)
+        assert all(o.status is CrawlStatus.SUCCESS for o in outcomes)
+        assert all(o.attempts == 1 for o in outcomes)
+        assert all(o.record is not None for o in outcomes)
+        assert all(o.error_class is None for o in outcomes)
 
     def test_group_index_influences_profile(self):
         deep_targets = [
@@ -71,3 +91,139 @@ class TestCrawl:
         top = crawl(engine_with("||doubleclick.net^"), top_targets)
         assert sum(len(r.profile.networks) for r in top) >= \
             sum(len(r.profile.networks) for r in deep)
+
+
+class TestTargetValidation:
+    """Satellite: malformed targets must fail loudly, not crawl garbage."""
+
+    def test_empty_domain_rejected(self):
+        crawler = Crawler(engine_with("||adzerk.net^"))
+        with pytest.raises(ValueError, match="empty domain"):
+            crawler.survey([CrawlTarget(domain="", rank=1)])
+
+    def test_whitespace_domain_rejected(self):
+        crawler = Crawler(engine_with("||adzerk.net^"))
+        with pytest.raises(ValueError, match="empty domain"):
+            crawler.survey([CrawlTarget(domain="   ", rank=1)])
+
+    def test_padded_domain_rejected(self):
+        crawler = Crawler(engine_with("||adzerk.net^"))
+        with pytest.raises(ValueError, match="stray whitespace"):
+            crawler.survey([CrawlTarget(domain=" a.com ", rank=1)])
+
+    def test_negative_rank_rejected(self):
+        crawler = Crawler(engine_with("||adzerk.net^"))
+        with pytest.raises(ValueError, match="negative rank"):
+            crawler.survey([CrawlTarget(domain="a.com", rank=-5)])
+
+    def test_validation_applies_under_fault_injection(self):
+        crawler = Crawler(
+            engine_with("||adzerk.net^"),
+            fault_injector=FaultInjector(FaultPlan.uniform(1.0, seed=1)))
+        with pytest.raises(ValueError):
+            crawler.survey([CrawlTarget(domain="", rank=1)])
+
+
+def dns_only_injector():
+    return FaultInjector(FaultPlan(
+        [FaultSpec(kind=FaultKind.DNS_FAILURE, rate=1.0)], seed=1))
+
+
+def flaky_injector(failures=1):
+    return FaultInjector(FaultPlan(
+        [FaultSpec(kind=FaultKind.FLAKY, rate=1.0,
+                   flaky_failures=failures)], seed=1))
+
+
+class TestResilientSurvey:
+    def test_hard_faults_become_tombstones_not_raises(self):
+        crawler = Crawler(engine_with("||adzerk.net^"),
+                          fault_injector=dns_only_injector())
+        outcomes = crawler.survey(TARGETS)
+        assert [o.domain for o in outcomes] == [t.domain for t in TARGETS]
+        assert all(o.status is CrawlStatus.FAILED for o in outcomes)
+        assert all(o.record is None for o in outcomes)
+        assert all(o.error_class == "dns" for o in outcomes)
+        assert all(o.is_tombstone for o in outcomes)
+
+    def test_flaky_targets_degrade_but_succeed(self):
+        crawler = Crawler(engine_with("||adzerk.net^"),
+                          fault_injector=flaky_injector(failures=1))
+        outcomes = crawler.survey(TARGETS)
+        assert all(o.status is CrawlStatus.DEGRADED for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)
+        assert all(o.record is not None for o in outcomes)
+        assert all(o.error_class == "connect-timeout" for o in outcomes)
+
+    def test_flaky_beyond_retry_budget_fails(self):
+        crawler = Crawler(
+            engine_with("||adzerk.net^"),
+            retry_policy=RetryPolicy(max_attempts=2),
+            fault_injector=flaky_injector(failures=5))
+        outcomes = crawler.survey(TARGETS)
+        assert all(o.status is CrawlStatus.FAILED for o in outcomes)
+        assert all(o.attempts == 2 for o in outcomes)
+
+    def test_degraded_records_match_clean_run(self):
+        """A recovered visit must look exactly like an unfaulted one."""
+        clean = crawl(engine_with("||adzerk.net^$third-party"), TARGETS)
+        crawler = Crawler(engine_with("||adzerk.net^$third-party"),
+                          fault_injector=flaky_injector(failures=1))
+        degraded = [o.record for o in crawler.survey(TARGETS)]
+        assert [r.total_matches for r in clean] == \
+            [r.total_matches for r in degraded]
+        assert [r.visit.blocked_count for r in clean] == \
+            [r.visit.blocked_count for r in degraded]
+
+    def test_latency_accumulates_on_simulated_clock(self):
+        crawler = Crawler(engine_with("||adzerk.net^"),
+                          fault_injector=flaky_injector(failures=1))
+        outcomes = crawler.survey(TARGETS)
+        assert all(o.latency_ms > 0 for o in outcomes)
+        assert crawler.clock.now() > 0
+
+    def test_crawl_health_summary(self):
+        crawler = Crawler(engine_with("||adzerk.net^"),
+                          fault_injector=dns_only_injector())
+        health = crawl_health(crawler.survey(TARGETS))
+        assert health.total == len(TARGETS)
+        assert health.failed == len(TARGETS)
+        assert health.failure_counts == {"dns": len(TARGETS)}
+        assert health.success_fraction == 0.0
+
+    def test_breaker_opens_for_repeat_offender(self):
+        # Same registered domain hammered repeatedly with hard faults
+        # trips its circuit; later targets are skipped, not retried.
+        targets = [CrawlTarget(domain="dead.com", rank=i + 1)
+                   for i in range(6)]
+        crawler = Crawler(engine_with("||adzerk.net^"),
+                          retry_policy=RetryPolicy(max_attempts=2),
+                          fault_injector=dns_only_injector())
+        outcomes = crawler.survey(targets)
+        skipped = [o for o in outcomes if o.breaker_open]
+        assert skipped, "circuit never opened"
+        assert all(o.attempts == 0 for o in skipped)
+        assert all(o.error_class == "circuit-open" for o in skipped)
+
+
+class TestDeterminism:
+    """Satellite: same seed -> identical CrawlOutcome sequences."""
+
+    @staticmethod
+    def run_once(seed):
+        rng = random.Random(seed)
+        injector = FaultInjector(FaultPlan.uniform(0.5, rng=rng))
+        crawler = Crawler(engine_with("||adzerk.net^"),
+                          fault_injector=injector, rng=rng)
+        targets = [CrawlTarget(domain=f"site{i}.com", rank=i + 1,
+                               group_index=i % 4)
+                   for i in range(120)]
+        return [(o.domain, o.status, o.error_class, o.attempts,
+                 round(o.latency_ms, 9), o.breaker_open)
+                for o in crawler.survey(targets)]
+
+    def test_same_seed_identical_outcomes(self):
+        assert self.run_once(7) == self.run_once(7)
+
+    def test_different_seed_differs(self):
+        assert self.run_once(7) != self.run_once(8)

@@ -4,12 +4,14 @@ import pytest
 
 from repro.web.http import (
     CookieJar,
+    DnsFailure,
     Headers,
     HttpClient,
     HttpError,
     HttpRequest,
     HttpResponse,
     TooManyRedirects,
+    TransportError,
 )
 from repro.web.url import parse_url
 
@@ -137,3 +139,75 @@ class TestHttpClient:
             [("X-Adblock-Key", "KEY_SIG")]))
         assert response.adblock_key_header == "KEY_SIG"
         assert HttpResponse().adblock_key_header is None
+
+    def test_unknown_host_is_dns_failure(self):
+        client = HttpClient(lambda host: None)
+        with pytest.raises(DnsFailure) as info:
+            client.get("http://nowhere.invalid/")
+        assert isinstance(info.value, TransportError)
+        assert info.value.error_class == "dns"
+
+
+class TestRedirectHardening:
+    """Satellite: capped chains, early loop detection, full-chain errors."""
+
+    def test_self_redirect_loop_cut_short(self):
+        calls = []
+
+        def handler(request):
+            calls.append(str(request.url))
+            return HttpResponse(status=302, redirect_to="http://e.com/")
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        with pytest.raises(TooManyRedirects) as info:
+            client.get("http://e.com/")
+        # The loop is detected on the first revisit, not after burning
+        # the whole redirect budget.
+        assert len(calls) == 1
+        assert "redirect loop detected" in str(info.value)
+        assert info.value.chain == ("http://e.com/", "http://e.com/")
+
+    def test_cookie_setting_self_redirect_is_not_a_loop(self):
+        """A self-redirect that sets new state may legally terminate."""
+        def handler(request):
+            if "seen" not in request.cookies:
+                return HttpResponse(status=302,
+                                    redirect_to="http://e.com/",
+                                    set_cookies={"seen": "1"})
+            return HttpResponse(status=200, body="done")
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        assert client.get("http://e.com/").body == "done"
+
+    def test_configurable_redirect_limit(self):
+        def handler(request):
+            n = int(request.url.path.lstrip("/") or 0)
+            return HttpResponse(status=302,
+                                redirect_to=f"http://e.com/{n + 1}")
+
+        client = HttpClient(_one_host_resolver("e.com", handler),
+                            max_redirects=3)
+        with pytest.raises(TooManyRedirects) as info:
+            client.get("http://e.com/0")
+        message = str(info.value)
+        assert "redirect limit (3) exceeded" in message
+        # The message carries the full chain for post-mortems.
+        for hop in ("http://e.com/0", "http://e.com/1",
+                    "http://e.com/2", "http://e.com/3"):
+            assert hop in message
+        assert len(info.value.chain) == 5
+
+    def test_two_hop_ping_pong_loop_detected(self):
+        def handler(request):
+            target = "/b" if request.url.path == "/a" else "/a"
+            return HttpResponse(status=302,
+                                redirect_to=f"http://e.com{target}")
+
+        client = HttpClient(_one_host_resolver("e.com", handler))
+        with pytest.raises(TooManyRedirects) as info:
+            client.get("http://e.com/a")
+        assert "redirect loop detected" in str(info.value)
+        assert len(info.value.chain) == 3
+
+    def test_error_class_label(self):
+        assert TooManyRedirects("x").error_class == "redirect-loop"
