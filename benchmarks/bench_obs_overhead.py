@@ -1,0 +1,146 @@
+"""Micro-benchmark: the observability layer must be close to free.
+
+Two bounds, both on the Figure 6/7 pipeline (``run_survey`` plus the
+figure/table statistics):
+
+* **enabled < 10%** — measured directly: the pipeline under a live
+  registry + tracer vs the pipeline with observability off;
+* **disabled < 3%** — the disabled cost is one ``OBS.enabled``
+  attribute check per instrumentation site, which is far below timer
+  noise for a pipeline of seconds.  We bound it by *projection*: time a
+  guard check in a tight loop, count how often the pipeline evaluates
+  guards (every enabled-run counter increment implies at least one
+  guard evaluation, so the enabled run's total event count is a
+  conservative over-estimate), and divide by the disabled pipeline
+  time.
+
+A third assertion checks the other half of the contract: enabled and
+disabled runs produce *identical* analysis results (docs/OBSERVABILITY.md).
+
+Run standalone::
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_obs_overhead.py -s
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.history.generator import generate_history
+from repro.measurement.stats import (
+    figure6_site_matches,
+    figure7_ecdf,
+    table4_top_filters,
+)
+from repro.measurement.survey import SurveyConfig, run_survey
+from repro.obs import OBS, observe
+
+#: Scaled Figure 6/7 pipeline: big enough that per-visit and per-match
+#: work dominates, small enough to repeat a few times.
+_CONFIG = SurveyConfig(top_n=200, stratum_size=40)
+
+_HISTORY = None
+
+
+def get_history():
+    """The 989-revision history, built once outside all timings."""
+    global _HISTORY
+    if _HISTORY is None:
+        _HISTORY = generate_history(seed=2015, key_bits=128)
+    return _HISTORY
+
+
+def pipeline():
+    """run_survey -> Figure 6 / Figure 7 / Table 4, returning results."""
+    result = run_survey(get_history(), _CONFIG)
+    return {
+        "figure6": figure6_site_matches(result),
+        "figure7": figure7_ecdf(result.top5k),
+        "table4": table4_top_filters(result.top5k, top=10),
+    }
+
+
+def _best_of(fn, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _guard_check_cost(iterations: int = 2_000_000) -> float:
+    """Seconds per ``if OBS.enabled`` check, measured in a tight loop."""
+    obs = OBS
+    counted = 0
+    start = time.perf_counter()
+    for _ in range(iterations):
+        if obs.enabled:
+            counted += 1  # pragma: no cover - observability is off here
+    elapsed = time.perf_counter() - start
+    assert counted == 0
+    # Subtract the cost of the bare loop itself so we charge only the
+    # attribute check.
+    start = time.perf_counter()
+    for _ in range(iterations):
+        pass
+    bare = time.perf_counter() - start
+    return max(elapsed - bare, elapsed / 10) / iterations
+
+
+def _enabled_event_count() -> int:
+    """Counter increments in one enabled pipeline run (>= guard evals)."""
+    with observe() as (registry, _):
+        pipeline()
+        counters = sum(int(m.value) for m in registry.samples()
+                       if m.kind == "counter")
+        histograms = sum(m.count for m in registry.samples()
+                         if m.kind == "histogram")
+    return counters + histograms
+
+
+def run_benchmark(repeats: int = 3) -> dict:
+    get_history()
+    pipeline()  # warm imports and caches before timing
+    disabled = _best_of(pipeline, repeats)
+
+    def observed_pipeline():
+        with observe():
+            pipeline()
+
+    enabled = _best_of(observed_pipeline, repeats)
+    events = _enabled_event_count()
+    guard_cost = _guard_check_cost()
+    projected_disabled = guard_cost * events / disabled
+    return {
+        "disabled_s": disabled,
+        "enabled_s": enabled,
+        "enabled_ratio": enabled / disabled,
+        "events": events,
+        "guard_ns": guard_cost * 1e9,
+        "projected_disabled_overhead": projected_disabled,
+    }
+
+
+def test_obs_overhead_bounds():
+    result = run_benchmark(repeats=3)
+    print(f"\ndisabled: {result['disabled_s'] * 1e3:.0f} ms, "
+          f"enabled: {result['enabled_s'] * 1e3:.0f} ms "
+          f"(ratio {result['enabled_ratio']:.3f}x); "
+          f"{result['events']:,} instrumentation events, "
+          f"guard check {result['guard_ns']:.1f} ns, "
+          f"projected disabled overhead "
+          f"{result['projected_disabled_overhead']:.2%}")
+    assert result["enabled_ratio"] < 1.10, (
+        f"enabled observability costs {result['enabled_ratio']:.3f}x "
+        "(bound: 1.10x)")
+    assert result["projected_disabled_overhead"] < 0.03, (
+        f"disabled guards project to "
+        f"{result['projected_disabled_overhead']:.2%} (bound: 3%)")
+
+
+def test_results_identical_with_and_without_observability():
+    plain = pipeline()
+    with observe():
+        observed = pipeline()
+    assert plain == observed

@@ -9,6 +9,11 @@ undocumented A-filter mining (Section 7), and the hygiene audit
 
 Run:  python examples/whitelist_audit.py        (full 512-bit keys)
       python examples/whitelist_audit.py --fast (small demo keys)
+
+Observability (see docs/OBSERVABILITY.md):
+
+      python examples/whitelist_audit.py --fast --metrics-out audit.jsonl
+      python examples/whitelist_audit.py --fast --trace audit-trace.jsonl
 """
 
 import sys
@@ -21,11 +26,20 @@ from repro.history import (
     update_cadence,
     yearly_activity,
 )
+from repro.obs import JsonLinesExporter, observe, summary_table
 from repro.reporting import render_table, sparkline
 
 
-def main() -> None:
-    key_bits = 128 if "--fast" in sys.argv else 512
+def _flag_value(name: str) -> str | None:
+    if name not in sys.argv:
+        return None
+    index = sys.argv.index(name)
+    if index + 1 >= len(sys.argv):
+        raise SystemExit(f"{name} requires a PATH argument")
+    return sys.argv[index + 1]
+
+
+def _audit(key_bits: int) -> None:
     print(f"Reconstructing whitelist history (key_bits={key_bits})...")
     history = generate_history(seed=2015, key_bits=key_bits)
     repo = history.repository
@@ -86,6 +100,23 @@ def main() -> None:
     print(f"\nHygiene: {hygiene.duplicate_filter_count} duplicate "
           f"filters, {hygiene.malformed_count} malformed "
           f"({hygiene.truncated_count} truncated at 4,095 chars)")
+
+
+def main() -> None:
+    key_bits = 128 if "--fast" in sys.argv else 512
+    metrics_out = _flag_value("--metrics-out")
+    trace_out = _flag_value("--trace")
+    if not metrics_out and not trace_out:
+        _audit(key_bits)
+        return
+    with observe() as (registry, tracer):
+        with tracer.span("whitelist_audit.run", key_bits=key_bits):
+            _audit(key_bits)
+        if metrics_out:
+            JsonLinesExporter(metrics_out).export(registry=registry)
+        if trace_out:
+            JsonLinesExporter(trace_out).export(tracer=tracer)
+        print("\n" + summary_table(registry, tracer))
 
 
 if __name__ == "__main__":

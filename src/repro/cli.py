@@ -34,6 +34,14 @@ def build_parser() -> argparse.ArgumentParser:
     common.add_argument("--seed", type=int, default=2015)
     common.add_argument("--fast", action="store_true",
                         help="use small demo RSA keys (faster)")
+    common.add_argument("--metrics-out", metavar="PATH", default=None,
+                        help="collect pipeline metrics (repro.obs) and "
+                             "write them as JSON lines to PATH; also "
+                             "prints the observability summary table")
+    common.add_argument("--trace", metavar="PATH", default=None,
+                        help="record nested timing spans and write them "
+                             "as JSON lines to PATH; also prints the "
+                             "observability summary table")
 
     parser = argparse.ArgumentParser(
         prog="repro", parents=[common],
@@ -327,7 +335,24 @@ _COMMANDS = {
 def main(argv: list[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     out = out or sys.stdout
-    return _COMMANDS[args.command](args, out)
+    command = _COMMANDS[args.command]
+    metrics_out = getattr(args, "metrics_out", None)
+    trace_out = getattr(args, "trace", None)
+    if not metrics_out and not trace_out:
+        return command(args, out)
+
+    # Observability requested: run the command under a live registry and
+    # tracer, export JSON lines, and finish with the summary table.
+    from repro.obs import JsonLinesExporter, observe, summary_table
+
+    with observe() as (registry, tracer):
+        status = command(args, out)
+        if metrics_out:
+            JsonLinesExporter(metrics_out).export(registry=registry)
+        if trace_out:
+            JsonLinesExporter(trace_out).export(tracer=tracer)
+        out.write("\n" + summary_table(registry, tracer) + "\n")
+    return status
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -4,7 +4,8 @@ This subpackage is a from-scratch implementation of the filter language
 and blocking semantics described in Section 2 and Appendix A of the
 paper.  The most useful entry points:
 
->>> from repro.filters import parse_filter, AdblockEngine, parse_filter_list
+>>> from repro.filters import (parse_filter, AdblockEngine, ContentType,
+...                            parse_filter_list)
 >>> flt = parse_filter("||adzerk.net^$third-party")
 >>> flt.matches("http://static.adzerk.net/ads.html",
 ...             ContentType.SUBDOCUMENT, "reddit.com", "static.adzerk.net")

@@ -31,6 +31,7 @@ from repro.filters.filterlist import FilterList
 from repro.filters.index import FilterIndex
 from repro.filters.options import ContentType
 from repro.filters.parser import ElementFilter, RequestFilter
+from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.web.dom import Element
@@ -190,6 +191,11 @@ class AdblockEngine:
                 kind="document",
                 is_exception=True,
             ))
+        if OBS.enabled:
+            OBS.registry.counter("filters.engine.document_checks").inc()
+            if granted:
+                OBS.registry.counter(
+                    "filters.engine.privileges_granted").inc(len(granted))
         return DocumentPrivileges(
             allow_all=allow_all,
             disable_elemhide=disable_elemhide,
@@ -210,6 +216,10 @@ class AdblockEngine:
     ) -> RequestDecision:
         """Decide one request; records all activations when instrumented."""
         if privileges is not None and privileges.allow_all:
+            if OBS.enabled:
+                OBS.registry.counter("filters.engine.verdicts",
+                                     verdict="allow",
+                                     via="document-privilege").inc()
             return RequestDecision(verdict=Verdict.ALLOW)
 
         # ``$donottrack`` filters only steer the DNT header (see
@@ -245,10 +255,23 @@ class AdblockEngine:
             ))
 
         if exceptions:
-            return RequestDecision(Verdict.ALLOW, blocking, exceptions)
-        if blocking:
-            return RequestDecision(Verdict.BLOCK, blocking, exceptions)
-        return RequestDecision(Verdict.NO_MATCH)
+            verdict = Verdict.ALLOW
+        elif blocking:
+            verdict = Verdict.BLOCK
+        else:
+            verdict = Verdict.NO_MATCH
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("filters.engine.verdicts",
+                        verdict=verdict.value, via="match").inc()
+            if exceptions and not blocking:
+                # The paper's "needless activations": the whitelist fired
+                # with nothing to override.
+                reg.counter("filters.engine.needless_activations").inc(
+                    len(exceptions))
+        if verdict is Verdict.NO_MATCH:
+            return RequestDecision(Verdict.NO_MATCH)
+        return RequestDecision(verdict, blocking, exceptions)
 
     # -- element hiding ---------------------------------------------------
 

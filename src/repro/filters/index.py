@@ -3,9 +3,43 @@
 Real Adblock Plus does not test every filter against every request; it
 buckets filters by a *keyword* (a literal substring every matching URL
 must contain) and, per request, only evaluates the buckets whose keyword
-occurs in the URL.  We reproduce that design: it keeps the top-5K survey
-tractable (tens of thousands of filters x dozens of requests per page)
-and it is itself benchmarked against the naive linear scan.
+occurs in the URL.  We reproduce that design: it keeps the Section 5
+survey tractable at any scale (tens of thousands of filters x dozens of
+requests per page) and it is itself benchmarked against the naive
+linear scan (``benchmarks/bench_ablation_engine.py``).
+
+Two semantics downstream code relies on, documented precisely because
+the engine's correctness depends on them:
+
+**Fallback-bucket probing.**  Not every filter can be keyword-bucketed:
+raw ``/regex/`` patterns, patterns whose only literals are shorter than
+three characters or wildcard-adjacent, and pattern-less pure-sitekey
+exceptions offer no token guaranteed to appear in every matching URL.
+Those filters land in a *fallback* bucket that :meth:`FilterIndex.candidates`
+yields on **every** probe, after all keyword buckets.  The guarantee the
+engine's verdicts rest on: every filter that matches a URL is yielded
+for that URL — keyword-bucketed ones because their keyword must occur
+as a token of the URL, fallback ones unconditionally.  The index never
+filters *out* a match; it only skips buckets that provably cannot match.
+
+>>> from repro.filters.parser import parse_filter
+>>> index = FilterIndex([parse_filter("||adzerk.net^"),
+...                      parse_filter("/banner[0-9]+/")])
+>>> [f.text for f in index.candidates("http://example.com/page")]
+['/banner[0-9]+/']
+>>> [f.text for f in index.candidates("http://adzerk.net/x")]
+['||adzerk.net^', '/banner[0-9]+/']
+
+**Keyword choice.**  :meth:`FilterIndex._choose_keyword` picks, among a
+pattern's candidate keywords, the one whose bucket is currently
+smallest, breaking ties toward the *longest* keyword (rarer in URLs, so
+probed less often).  Insertion order therefore shapes the buckets —
+see the method docstring for the exact tie-breaking doctest.
+
+When observability is enabled (:mod:`repro.obs`), every probe records
+bucket hit/miss counts and fallback scan sizes under
+``filters.index.*``; with the default null registry the only cost is
+one flag check per probe.
 """
 
 from __future__ import annotations
@@ -16,6 +50,7 @@ from typing import Iterable, Iterator
 
 from repro.filters.options import ContentType
 from repro.filters.parser import RequestFilter
+from repro.obs import OBS
 
 __all__ = ["FilterIndex"]
 
@@ -52,6 +87,10 @@ class FilterIndex:
         else:
             self._fallback.append(flt)
         self._count += 1
+        if OBS.enabled:
+            OBS.registry.counter(
+                "filters.index.filters",
+                bucket="keyword" if keyword else "fallback").inc()
 
     def _choose_keyword(self, flt: RequestFilter) -> str:
         """Pick the least-crowded candidate keyword (real-ABP heuristic).
@@ -59,6 +98,26 @@ class FilterIndex:
         Thousands of filters can share a common token (an ad server's
         hostname); bucketing by the rarest token each pattern offers
         keeps every bucket small, which is the whole point of the index.
+
+        The exact rule: among the pattern's candidate keywords (see
+        :func:`repro.filters.pattern.keyword_candidates`), minimise
+        ``(current bucket size, -len(keyword))`` — i.e. prefer the
+        emptiest bucket *at insertion time*, and between equally empty
+        buckets prefer the longest keyword, which occurs in fewer URLs
+        and is therefore probed less often.  Filters with no candidates
+        (raw regexes, pattern-less sitekey exceptions) get ``""``,
+        routing them to the fallback bucket.
+
+        >>> from repro.filters.parser import parse_filter
+        >>> index = FilterIndex()
+        >>> flt = parse_filter("||ads.examplecdn.org/banner")
+        >>> index._choose_keyword(flt)   # all buckets empty: longest wins
+        'examplecdn'
+        >>> index.add(parse_filter("||static.examplecdn.org/px"))
+        >>> index._choose_keyword(flt)   # that bucket is now crowded
+        'ads'
+        >>> index._choose_keyword(parse_filter("/^ad[0-9]/"))
+        ''
         """
         from repro.filters.pattern import keyword_candidates
 
@@ -76,17 +135,60 @@ class FilterIndex:
         Every filter that *matches* the URL is guaranteed to be yielded
         (keyword extraction only picks substrings required by the
         pattern); non-matching filters may be yielded too — callers must
-        still run the full match.
+        still run the full match.  The fallback bucket is yielded last,
+        unconditionally (see the module docstring).
         """
+        if not OBS.enabled:
+            # The bare fast path: this is the hottest loop in the whole
+            # survey, so the disabled cost of observability is exactly
+            # the one flag check above.
+            seen_buckets: set[str] = set()
+            for word in _URL_KEYWORD_RE.findall(url.lower()):
+                # Keyword extraction only emits separator-delimited
+                # tokens, so every matching filter's keyword appears as
+                # a full token of the URL; tokenising the URL the same
+                # way and probing each token covers all candidate
+                # buckets.
+                if word in self._by_keyword and word not in seen_buckets:
+                    seen_buckets.add(word)
+                    yield from self._by_keyword[word]
+            yield from self._fallback
+            return
+        yield from self._instrumented_candidates(url)
+
+    def _instrumented_candidates(self, url: str) -> Iterator[RequestFilter]:
+        """:meth:`candidates` with ``filters.index.*`` accounting.
+
+        Counts are recorded eagerly (before any bucket is yielded), so a
+        caller that stops at the first match still leaves an accurate
+        probe record behind.  ``bucket_hits`` counts distinct matching
+        buckets; ``bucket_misses`` counts URL tokens (with multiplicity)
+        absent from the index.
+        """
+        reg = OBS.registry
+        hits = 0
+        misses = 0
+        probe_order: list[str] = []
         seen_buckets: set[str] = set()
         for word in _URL_KEYWORD_RE.findall(url.lower()):
-            # Keyword extraction only emits separator-delimited tokens, so
-            # every matching filter's keyword appears as a full token of
-            # the URL; tokenising the URL the same way and probing each
-            # token covers all candidate buckets.
-            if word in self._by_keyword and word not in seen_buckets:
-                seen_buckets.add(word)
-                yield from self._by_keyword[word]
+            if word in self._by_keyword:
+                if word not in seen_buckets:
+                    seen_buckets.add(word)
+                    probe_order.append(word)
+                    hits += 1
+            else:
+                misses += 1
+        reg.counter("filters.index.probes").inc()
+        reg.counter("filters.index.bucket_hits").inc(hits)
+        reg.counter("filters.index.bucket_misses").inc(misses)
+        reg.counter("filters.index.candidates_yielded").inc(
+            sum(len(self._by_keyword[w]) for w in probe_order)
+            + len(self._fallback))
+        if self._fallback:
+            reg.counter("filters.index.fallback_scanned").inc(
+                len(self._fallback))
+        for word in probe_order:
+            yield from self._by_keyword[word]
         yield from self._fallback
 
     def match_first(

@@ -37,6 +37,7 @@ from repro.filters.pattern import (
     extract_keyword,
 )
 from repro.filters.selectors import SelectorError, SelectorList, parse_selector
+from repro.obs import OBS
 
 __all__ = [
     "Filter",
@@ -224,6 +225,15 @@ class InvalidFilter(Filter):
 _ELEMENT_SEPARATOR_RE = re.compile(r"(#@#|##)")
 
 
+#: Metric label for each parse outcome (``filters.parse.lines``).
+_PARSE_KIND = {
+    Comment: "comment",
+    RequestFilter: "request",
+    ElementFilter: "element",
+    InvalidFilter: "invalid",
+}
+
+
 def parse_filter(line: str) -> Filter:
     """Parse one filter-list line into its :class:`Filter` subtype.
 
@@ -231,6 +241,14 @@ def parse_filter(line: str) -> Filter:
     because real lists contain malformed entries that downstream analyses
     must count rather than crash on.
     """
+    result = _parse_line(line)
+    if OBS.enabled:
+        OBS.registry.counter("filters.parse.lines",
+                             kind=_PARSE_KIND[type(result)]).inc()
+    return result
+
+
+def _parse_line(line: str) -> Filter:
     text = line.rstrip("\n")
     stripped = text.strip()
     if not stripped:

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING
 from repro.filters.engine import AdblockEngine
 from repro.filters.filterlist import FilterList
 from repro.measurement.easylist import build_easylist
+from repro.obs import OBS
 
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.history.generator import WhitelistHistory
@@ -175,44 +176,63 @@ def run_survey(history: "WhitelistHistory",
     of minutes; tests shrink ``config``.
     """
     config = config or SurveyConfig()
-    groups = build_samples(history.population.ranking,
-                           top_n=config.top_n,
-                           stratum_size=config.stratum_size)
-    factory = make_profile_factory(history)
+    tracer = OBS.tracer
+    with tracer.span("survey.run", top_n=config.top_n,
+                     stratum_size=config.stratum_size,
+                     fault_rate=config.fault_rate):
+        with tracer.span("survey.build_samples"):
+            groups = build_samples(history.population.ranking,
+                                   top_n=config.top_n,
+                                   stratum_size=config.stratum_size)
+        factory = make_profile_factory(history)
 
-    engine, easylist, whitelist = build_engines(
-        history, with_whitelist=config.with_whitelist)
-    result = SurveyResult(groups=groups, whitelist=whitelist,
-                          easylist=easylist)
+        with tracer.span("survey.build_engines",
+                         config="easylist+whitelist"):
+            engine, easylist, whitelist = build_engines(
+                history, with_whitelist=config.with_whitelist)
+        result = SurveyResult(groups=groups, whitelist=whitelist,
+                              easylist=easylist)
 
-    def make_crawler(an_engine: AdblockEngine) -> Crawler:
-        # Each configuration gets its own rng/injector chain seeded
-        # identically, so both crawls see the same faults on the same
-        # domains and the Figure 6 comparison stays apples-to-apples.
-        rng = random.Random(config.fault_seed)
-        injector = None
-        if config.fault_rate > 0.0:
-            injector = FaultInjector(
-                FaultPlan.uniform(config.fault_rate, rng=rng))
-        return Crawler(an_engine, profile_factory=factory,
-                       retry_policy=RetryPolicy(
-                           max_attempts=config.max_retries + 1),
-                       fault_injector=injector, rng=rng)
+        def make_crawler(an_engine: AdblockEngine) -> Crawler:
+            # Each configuration gets its own rng/injector chain seeded
+            # identically, so both crawls see the same faults on the same
+            # domains and the Figure 6 comparison stays apples-to-apples.
+            rng = random.Random(config.fault_seed)
+            injector = None
+            if config.fault_rate > 0.0:
+                injector = FaultInjector(
+                    FaultPlan.uniform(config.fault_rate, rng=rng))
+            return Crawler(an_engine, profile_factory=factory,
+                           retry_policy=RetryPolicy(
+                               max_attempts=config.max_retries + 1),
+                           fault_injector=injector, rng=rng)
 
-    crawler = make_crawler(engine)
-    for group in groups:
-        outcomes = crawler.survey(group.targets)
-        result.outcomes[group.name] = outcomes
-        result.records[group.name] = [
-            o.record for o in outcomes if o.record is not None]
+        if OBS.enabled:
+            OBS.registry.gauge("measurement.survey.groups").set(
+                len(groups))
+            OBS.registry.gauge("measurement.survey.targets").set(
+                sum(len(g.targets) for g in groups))
 
-    if config.compare_without_whitelist:
-        crawler_plain = make_crawler(
-            build_engines(history, with_whitelist=False)[0])
+        crawler = make_crawler(engine)
         for group in groups:
-            outcomes = crawler_plain.survey(group.targets)
-            result.outcomes_easylist_only[group.name] = outcomes
-            result.records_easylist_only[group.name] = [
+            with tracer.span("survey.crawl", group=group.name,
+                             config="easylist+whitelist"):
+                outcomes = crawler.survey(group.targets)
+            result.outcomes[group.name] = outcomes
+            result.records[group.name] = [
                 o.record for o in outcomes if o.record is not None]
+
+        if config.compare_without_whitelist:
+            with tracer.span("survey.build_engines",
+                             config="easylist-only"):
+                crawler_plain = make_crawler(
+                    build_engines(history, with_whitelist=False)[0])
+            for group in groups:
+                with tracer.span("survey.crawl", group=group.name,
+                                 config="easylist-only"):
+                    outcomes = crawler_plain.survey(group.targets)
+                result.outcomes_easylist_only[group.name] = outcomes
+                result.records_easylist_only[group.name] = [
+                    o.record for o in outcomes if o.record is not None]
 
     return result

@@ -1,0 +1,149 @@
+"""repro.obs — zero-dependency observability for the whole pipeline.
+
+The survey pipeline runs tens of thousands of filter consultations per
+crawl; this subpackage is how the repo sees *where time and matches go*
+without paying for it when nobody is looking.  Three pieces:
+
+* :mod:`repro.obs.metrics` — counters, gauges, and fixed-bucket
+  histograms collected in a :class:`~repro.obs.metrics.MetricsRegistry`;
+* :mod:`repro.obs.trace` — a :class:`~repro.obs.trace.Tracer` of nested
+  timing spans with structured attributes;
+* :mod:`repro.obs.export` — JSON-lines and in-memory exporters, plus
+  the rendered summary table.
+
+The contract with instrumented code
+-----------------------------------
+
+Instrumentation sites read one module-level singleton, :data:`OBS`, and
+guard on its ``enabled`` flag::
+
+    from repro.obs import OBS
+    ...
+    if OBS.enabled:
+        OBS.registry.counter("filters.engine.verdicts",
+                             verdict=verdict.value).inc()
+
+When observability is off (the default), :data:`OBS` holds the null
+registry and null tracer, ``OBS.enabled`` is ``False``, and every
+instrumentation site costs a single attribute check — that is the
+"no-op-cheap" guarantee ``benchmarks/bench_obs_overhead.py`` enforces.
+Even an unguarded update is safe: the null instruments discard writes.
+
+Enabling is explicit and scoped:
+
+>>> from repro.obs import OBS, observe
+>>> with observe() as (registry, tracer):
+...     with tracer.span("demo"):
+...         registry.counter("demo.events").inc()
+...     enabled_inside = OBS.enabled
+>>> enabled_inside, OBS.enabled
+(True, False)
+>>> registry.counter("demo.events").value
+1
+
+``enable``/``disable`` are the unscoped equivalents the CLI uses.  Both
+tools accept pre-built registry/tracer instances, so tests can inject a
+deterministic clock.  See ``docs/OBSERVABILITY.md`` for metric names,
+span conventions, and exporter formats.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+from repro.obs.export import (
+    InMemoryExporter,
+    JsonLinesExporter,
+    metric_records,
+    span_records,
+    summary_table,
+)
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NullRegistry,
+    NULL_REGISTRY,
+)
+from repro.obs.trace import NullTracer, NULL_TRACER, Span, Tracer
+
+__all__ = [
+    "OBS",
+    "ObsState",
+    "enable",
+    "disable",
+    "observe",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "DEFAULT_BUCKETS",
+    "Tracer",
+    "NullTracer",
+    "NULL_TRACER",
+    "Span",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "metric_records",
+    "span_records",
+    "summary_table",
+]
+
+
+class ObsState:
+    """The process-wide observability switchboard (one instance: ``OBS``).
+
+    ``registry`` and ``tracer`` are never ``None`` — disabled means
+    *null* implementations, so instrumented code can always call through
+    them.  ``enabled`` is the one-word guard hot paths check.
+    """
+
+    __slots__ = ("registry", "tracer", "enabled")
+
+    def __init__(self) -> None:
+        self.registry: MetricsRegistry = NULL_REGISTRY
+        self.tracer: Tracer = NULL_TRACER
+        self.enabled: bool = False
+
+
+OBS = ObsState()
+
+
+def enable(registry: MetricsRegistry | None = None,
+           tracer: Tracer | None = None
+           ) -> tuple[MetricsRegistry, Tracer]:
+    """Install a live registry/tracer pair (created fresh when omitted).
+
+    Passing only one of the two leaves the other disabled (null), so a
+    caller can collect metrics without paying for span bookkeeping.
+    """
+    if registry is None and tracer is None:
+        registry, tracer = MetricsRegistry(), Tracer()
+    OBS.registry = registry if registry is not None else NULL_REGISTRY
+    OBS.tracer = tracer if tracer is not None else NULL_TRACER
+    OBS.enabled = (OBS.registry.enabled or OBS.tracer.enabled)
+    return OBS.registry, OBS.tracer
+
+
+def disable() -> None:
+    """Return to the null registry/tracer (the default state)."""
+    OBS.registry = NULL_REGISTRY
+    OBS.tracer = NULL_TRACER
+    OBS.enabled = False
+
+
+@contextmanager
+def observe(registry: MetricsRegistry | None = None,
+            tracer: Tracer | None = None
+            ) -> Iterator[tuple[MetricsRegistry, Tracer]]:
+    """Scoped :func:`enable`: restores the previous state on exit."""
+    previous = (OBS.registry, OBS.tracer, OBS.enabled)
+    try:
+        yield enable(registry, tracer)
+    finally:
+        OBS.registry, OBS.tracer, OBS.enabled = previous

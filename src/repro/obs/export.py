@@ -1,0 +1,110 @@
+"""Exporters: turn a registry + tracer into files, lists, or tables.
+
+Three export surfaces, all driven by the same records:
+
+* :class:`JsonLinesExporter` — one JSON object per line, metrics first
+  then spans, suitable for ``jq``/pandas post-processing (this is what
+  ``--metrics-out`` and ``--trace`` write);
+* :class:`InMemoryExporter` — the same records as Python dicts, for
+  tests and ad-hoc analysis;
+* :func:`summary_table` — the human-readable "where did the time go"
+  report, rendered through :mod:`repro.reporting.tables`.
+
+Record schemas are documented in ``docs/OBSERVABILITY.md``; the short
+version:
+
+>>> from repro.obs.metrics import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> registry.counter("filters.parse.lines", kind="comment").inc(3)
+>>> InMemoryExporter().export(registry)
+[{'type': 'counter', 'name': 'filters.parse.lines', \
+'labels': {'kind': 'comment'}, 'value': 3}]
+"""
+
+from __future__ import annotations
+
+import json
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
+
+__all__ = [
+    "metric_records",
+    "span_records",
+    "InMemoryExporter",
+    "JsonLinesExporter",
+    "summary_table",
+]
+
+
+def metric_records(registry: "MetricsRegistry") -> list[dict]:
+    """JSON-ready records for every instrument in ``registry``."""
+    return registry.snapshot()
+
+
+def span_records(tracer: "Tracer") -> list[dict]:
+    """JSON-ready records for every *finished* span, in start order."""
+    return [
+        {
+            "type": "span",
+            "name": span.name,
+            "depth": span.depth,
+            "start_s": round(span.start, 6),
+            "duration_ms": round(span.duration_ms, 3),
+            "attrs": dict(span.attrs),
+        }
+        for span in tracer.finished_spans()
+    ]
+
+
+class InMemoryExporter:
+    """Collects export records in a list — the test-friendly exporter."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+
+    def export(self, registry: "MetricsRegistry | None" = None,
+               tracer: "Tracer | None" = None) -> list[dict]:
+        if registry is not None:
+            self.records.extend(metric_records(registry))
+        if tracer is not None:
+            self.records.extend(span_records(tracer))
+        return self.records
+
+
+class JsonLinesExporter:
+    """Writes export records as JSON lines to ``path``.
+
+    Each ``export`` call truncates and rewrites the file (an export is a
+    snapshot, not an append-only log) and returns the number of records
+    written.  Keys are emitted in a fixed order and with sorted label
+    keys, so two identical runs produce byte-identical files.
+    """
+
+    def __init__(self, path: str) -> None:
+        self.path = path
+
+    def export(self, registry: "MetricsRegistry | None" = None,
+               tracer: "Tracer | None" = None) -> int:
+        records: list[dict] = []
+        if registry is not None:
+            records.extend(metric_records(registry))
+        if tracer is not None:
+            records.extend(span_records(tracer))
+        with open(self.path, "w", encoding="utf-8") as handle:
+            for record in records:
+                handle.write(json.dumps(record, sort_keys=False,
+                                        ensure_ascii=False))
+                handle.write("\n")
+        return len(records)
+
+
+def summary_table(registry: "MetricsRegistry | None" = None,
+                  tracer: "Tracer | None" = None,
+                  title: str = "Observability summary") -> str:
+    """The one-screen human-readable report (spans, then metrics)."""
+    from repro.reporting.tables import render_metrics_summary
+
+    return render_metrics_summary(registry, tracer, title=title)

@@ -1,0 +1,296 @@
+"""Metric instruments: counters, gauges, and fixed-bucket histograms.
+
+The registry is deliberately tiny — the survey consults the engine tens
+of thousands of times per crawl, so an instrument lookup must be one
+dict probe and an update must be one attribute bump.  Three instrument
+kinds cover everything the pipeline needs:
+
+* :class:`Counter` — a monotonically increasing event count
+  (``filters.index.probes``, ``web.crawl.outcomes``);
+* :class:`Gauge` — a point-in-time value set by the producer
+  (``filters.index.size``);
+* :class:`Histogram` — a distribution over *fixed* bucket boundaries,
+  chosen at registration time so two runs always bucket identically
+  (``web.crawl.latency_ms``).
+
+Instruments are identified by a dotted lowercase name plus an optional
+set of label key/values (see ``docs/OBSERVABILITY.md`` for the naming
+conventions):
+
+>>> registry = MetricsRegistry()
+>>> registry.counter("filters.engine.verdicts", verdict="block").inc()
+>>> registry.counter("filters.engine.verdicts", verdict="block").inc(2)
+>>> registry.counter("filters.engine.verdicts", verdict="block").value
+3
+
+The module also provides the *null* registry: a shared, always-disabled
+registry whose instruments discard every update.  Instrumented code
+never needs to branch per update — it checks one ``enabled`` flag, and
+even an unguarded update against the null registry is a no-op:
+
+>>> NULL_REGISTRY.counter("anything").inc()
+>>> NULL_REGISTRY.samples()
+[]
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Iterable
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NullRegistry",
+    "NULL_REGISTRY",
+    "DEFAULT_BUCKETS",
+]
+
+#: Default histogram boundaries (upper-inclusive edges) in milliseconds —
+#: tuned for crawl latencies, which span sub-ms cache hits to multi-second
+#: backoff chains.  The final implicit bucket is ``+inf``.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0, 500.0,
+    1_000.0, 2_500.0, 5_000.0, 10_000.0,
+)
+
+#: Canonical label encoding: a sorted tuple of ``(key, value)`` pairs.
+Labels = tuple[tuple[str, object], ...]
+
+
+class Counter:
+    """A monotonically increasing count of events."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "counter"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Counter({self.name!r}, {dict(self.labels)}, {self.value})"
+
+
+class Gauge:
+    """A point-in-time value (sizes, ratios, configuration)."""
+
+    __slots__ = ("name", "labels", "value")
+    kind = "gauge"
+
+    def __init__(self, name: str, labels: Labels = ()) -> None:
+        self.name = name
+        self.labels = labels
+        self.value: int | float = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+    def inc(self, amount: int | float = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Gauge({self.name!r}, {dict(self.labels)}, {self.value})"
+
+
+class Histogram:
+    """A distribution over fixed, registration-time bucket boundaries.
+
+    ``bounds`` are upper-inclusive edges; observations beyond the last
+    edge land in an implicit ``+inf`` bucket, so ``len(counts) ==
+    len(bounds) + 1`` always holds.
+
+    >>> h = Histogram("lat", bounds=(10.0, 100.0))
+    >>> for v in (3, 30, 300):
+    ...     h.observe(v)
+    >>> h.counts, h.count, h.sum
+    ([1, 1, 1], 3, 333)
+    """
+
+    __slots__ = ("name", "labels", "bounds", "counts", "count", "sum")
+    kind = "histogram"
+
+    def __init__(self, name: str, labels: Labels = (),
+                 bounds: Iterable[float] = DEFAULT_BUCKETS) -> None:
+        self.name = name
+        self.labels = labels
+        self.bounds: tuple[float, ...] = tuple(bounds)
+        if list(self.bounds) != sorted(set(self.bounds)):
+            raise ValueError(
+                f"histogram bounds must be strictly increasing: "
+                f"{self.bounds}")
+        self.counts: list[int] = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum: int | float = 0
+
+    def observe(self, value: int | float) -> None:
+        # bisect_left makes each bound upper-inclusive: observe(10) with
+        # bounds (10, 100) lands in the first bucket.
+        self.counts[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"Histogram({self.name!r}, {dict(self.labels)}, "
+                f"n={self.count}, sum={self.sum})")
+
+
+class MetricsRegistry:
+    """A process-local collection of named instruments.
+
+    Accessors are get-or-create and return the *same* instrument for the
+    same ``(name, labels)``, so hot paths can simply call
+    ``registry.counter(name).inc()`` without caching anything:
+
+    >>> r = MetricsRegistry()
+    >>> r.counter("a").inc()
+    >>> r.counter("a") is r.counter("a")
+    True
+
+    ``samples()`` returns the live instruments in a deterministic order
+    (sorted by kind, name, labels), which keeps exports and rendered
+    tables diff-friendly across runs.
+    """
+
+    #: Instrumented code checks this flag once per event-site; the null
+    #: registry overrides it to ``False``.
+    enabled = True
+
+    def __init__(self) -> None:
+        self._metrics: dict[tuple, Counter | Gauge | Histogram] = {}
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, "c",
+               tuple(sorted(labels.items())) if labels else ())
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Counter(name, key[2])
+        return metric  # type: ignore[return-value]
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, "g",
+               tuple(sorted(labels.items())) if labels else ())
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Gauge(name, key[2])
+        return metric  # type: ignore[return-value]
+
+    def histogram(self, name: str,
+                  bounds: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels: object) -> Histogram:
+        key = (name, "h",
+               tuple(sorted(labels.items())) if labels else ())
+        metric = self._metrics.get(key)
+        if metric is None:
+            metric = self._metrics[key] = Histogram(name, key[2],
+                                                    bounds=bounds)
+        return metric  # type: ignore[return-value]
+
+    def samples(self) -> list[Counter | Gauge | Histogram]:
+        """Live instruments, deterministically ordered."""
+        return [self._metrics[key]
+                for key in sorted(self._metrics,
+                                  key=lambda k: (k[0], k[1], repr(k[2])))]
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready records, one per instrument (exporter format)."""
+        records: list[dict] = []
+        for metric in self.samples():
+            record: dict = {
+                "type": metric.kind,
+                "name": metric.name,
+                "labels": {k: v for k, v in metric.labels},
+            }
+            if isinstance(metric, Histogram):
+                record["count"] = metric.count
+                record["sum"] = metric.sum
+                record["buckets"] = [
+                    {"le": bound, "count": count}
+                    for bound, count in zip(
+                        list(metric.bounds) + ["+inf"], metric.counts)
+                ]
+            else:
+                record["value"] = metric.value
+            records.append(record)
+        return records
+
+    def flat(self) -> dict[str, int | float]:
+        """A flat ``name{labels} -> value`` view for summary tables.
+
+        Histograms flatten to ``.count`` and ``.mean`` entries; counters
+        and gauges keep their raw value.
+        """
+        out: dict[str, int | float] = {}
+        for metric in self.samples():
+            label = metric.name
+            if metric.labels:
+                inner = ",".join(f"{k}={v}" for k, v in metric.labels)
+                label = f"{metric.name}{{{inner}}}"
+            if isinstance(metric, Histogram):
+                out[f"{label}.count"] = metric.count
+                out[f"{label}.mean"] = round(metric.mean, 3)
+            else:
+                out[label] = metric.value
+        return out
+
+    def reset(self) -> None:
+        self._metrics.clear()
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+
+class _NullInstrument:
+    """One shared instrument that satisfies every update API as a no-op."""
+
+    __slots__ = ()
+    kind = "null"
+    name = ""
+    labels: Labels = ()
+    value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NULL_INSTRUMENT = _NullInstrument()
+
+
+class NullRegistry(MetricsRegistry):
+    """The disabled registry: every accessor returns the null instrument.
+
+    Shared process-wide as :data:`NULL_REGISTRY`; instrumented code must
+    not mutate it, and it records nothing.
+    """
+
+    enabled = False
+
+    def counter(self, name: str, **labels: object):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def gauge(self, name: str, **labels: object):  # type: ignore[override]
+        return _NULL_INSTRUMENT
+
+    def histogram(self, name: str,  # type: ignore[override]
+                  bounds: Iterable[float] = DEFAULT_BUCKETS,
+                  **labels: object):
+        return _NULL_INSTRUMENT
+
+
+NULL_REGISTRY = NullRegistry()

@@ -2,7 +2,12 @@
 
 from repro.reporting.series import Series, find_jumps, sparkline
 from repro.reporting.svg import SvgCanvas, grouped_bars, line_chart, stacked_bars
-from repro.reporting.tables import render_comparison, render_table
+from repro.reporting.tables import (
+    render_comparison,
+    render_crawl_health,
+    render_metrics_summary,
+    render_table,
+)
 
 __all__ = [
     "Series",
@@ -12,6 +17,8 @@ __all__ = [
     "stacked_bars",
     "find_jumps",
     "render_comparison",
+    "render_crawl_health",
+    "render_metrics_summary",
     "render_table",
     "sparkline",
 ]

@@ -1,7 +1,10 @@
 """ASCII table rendering for benchmark output.
 
 Every benchmark prints the paper's rows next to the measured ones;
-this renderer keeps that output aligned and diff-friendly.
+this renderer keeps that output aligned and diff-friendly.  It is also
+the human-readable exporter for :mod:`repro.obs`:
+:func:`render_metrics_summary` turns a metrics registry and a span
+trace into the "where did the time go" report.
 """
 
 from __future__ import annotations
@@ -9,9 +12,12 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Iterable, Sequence
 
 if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.trace import Tracer
     from repro.web.crawler import CrawlHealth
 
-__all__ = ["render_table", "render_comparison", "render_crawl_health"]
+__all__ = ["render_table", "render_comparison", "render_crawl_health",
+           "render_metrics_summary"]
 
 
 def render_table(headers: Sequence[str],
@@ -68,7 +74,62 @@ def render_crawl_health(health: "CrawlHealth",
     for label, count in sorted(health.recovered_counts.items()):
         rows.append((f"recovered: {label}", count,
                      f"{count / total:.1%}"))
+    # When the crawl ran under an enabled observability registry, the
+    # health snapshot carries pipeline metrics — append them so the one
+    # table answers both "what did we lose" and "where did matches go".
+    for name, value in health.metrics.items():
+        rows.append((name, value, ""))
     return render_table(("metric", "count", "share"), rows, title=title)
+
+
+def render_metrics_summary(registry: "MetricsRegistry | None" = None,
+                           tracer: "Tracer | None" = None,
+                           title: str = "Observability summary") -> str:
+    """Render the one-screen observability report.
+
+    Two stacked tables: a span rollup (count, total/mean duration, and
+    share of top-level traced time) when ``tracer`` has finished spans,
+    then one row per metric from ``registry``.  Either input may be
+    ``None`` or empty — an empty report still renders (headers plus an
+    explicit "(none recorded)" row) so callers can print it
+    unconditionally.
+    """
+    blocks: list[str] = [title]
+
+    spans = tracer.finished_spans() if tracer is not None else []
+    if spans:
+        rollup: dict[str, list[float]] = {}
+        order: list[str] = []
+        for span in spans:
+            stats = rollup.get(span.name)
+            if stats is None:
+                stats = rollup[span.name] = [0.0, 0.0]
+                order.append(span.name)
+            stats[0] += 1
+            stats[1] += span.duration_ms
+        # Share is relative to top-level traced time: nested spans count
+        # inside their parents, so only depth-0 spans form the 100%.
+        top_level_ms = sum(s.duration_ms for s in spans if s.depth == 0)
+        denominator = top_level_ms or sum(s[1] for s in rollup.values())
+        span_rows = [
+            (name, int(rollup[name][0]),
+             f"{rollup[name][1]:.1f}",
+             f"{rollup[name][1] / rollup[name][0]:.2f}",
+             f"{rollup[name][1] / denominator:.1%}" if denominator else "")
+            for name in order
+        ]
+        blocks.append(render_table(
+            ("span", "count", "total ms", "mean ms", "share"),
+            span_rows, title="Where the time went"))
+
+    metric_rows: list[tuple[object, object]] = []
+    if registry is not None:
+        metric_rows = list(registry.flat().items())
+    if not metric_rows:
+        metric_rows = [("(none recorded)", "")]
+    blocks.append(render_table(("metric", "value"), metric_rows,
+                               title="Metrics"))
+    return "\n\n".join(blocks)
 
 
 def _fmt(value: object) -> str:

@@ -34,6 +34,7 @@ from dataclasses import dataclass, field
 from typing import Iterable, Sequence
 
 from repro.filters.engine import AdblockEngine
+from repro.obs import OBS
 from repro.web.browser import InstrumentedBrowser, PageVisit
 from repro.web.faults import FaultInjector
 from repro.web.resilience import (
@@ -144,6 +145,10 @@ class CrawlHealth:
     failure_counts: dict[str, int] = field(default_factory=dict)
     #: Error class recovered from -> degraded-outcome count.
     recovered_counts: dict[str, int] = field(default_factory=dict)
+    #: Flat observability snapshot (``repro.obs``) taken when the health
+    #: summary was built with an enabled registry; empty otherwise, so
+    #: un-instrumented runs render byte-identically to pre-obs output.
+    metrics: dict[str, int | float] = field(default_factory=dict)
 
     @property
     def completed(self) -> int:
@@ -181,6 +186,8 @@ def crawl_health(outcomes: Iterable[CrawlOutcome]) -> CrawlHealth:
             label = outcome.error_class or "unknown"
             health.failure_counts[label] = (
                 health.failure_counts.get(label, 0) + 1)
+    if OBS.enabled:
+        health.metrics = OBS.registry.flat()
     return health
 
 
@@ -254,9 +261,26 @@ class Crawler:
                     group_index=target.group_index)
             return self.browser.visit(profile)
 
-        call = execute_with_policy(
-            attempt, policy=self.policy, clock=self.clock, rng=self.rng,
-            breaker=breaker)
+        if OBS.enabled:
+            with OBS.tracer.span("web.crawl.visit", domain=target.domain,
+                                 group=target.group_index):
+                call = execute_with_policy(
+                    attempt, policy=self.policy, clock=self.clock,
+                    rng=self.rng, breaker=breaker)
+            reg = OBS.registry
+            reg.counter("web.crawl.outcomes",
+                        status=call.status.value).inc()
+            reg.counter("web.crawl.attempts").inc(call.attempts)
+            if call.attempts > 1:
+                reg.counter("web.crawl.retries").inc(call.attempts - 1)
+            if call.breaker_open:
+                reg.counter("web.crawl.breaker_skips").inc()
+            reg.histogram("web.crawl.latency_ms").observe(
+                call.elapsed * 1000.0)
+        else:
+            call = execute_with_policy(
+                attempt, policy=self.policy, clock=self.clock,
+                rng=self.rng, breaker=breaker)
         record = None
         if call.value is not None:
             record = CrawlRecord(target=target, visit=call.value,

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Callable, Generic, TypeVar
 
+from repro.obs import OBS
 from repro.web.http import HttpClient, HttpResponse, ServerFault
 from repro.web.url import URL, parse_url, registered_domain
 
@@ -190,6 +191,9 @@ class CircuitBreaker:
             assert self.opened_at is not None
             if now - self.opened_at >= self.cooldown:
                 self.state = BreakerState.HALF_OPEN
+                if OBS.enabled:
+                    OBS.registry.counter("web.breaker.transitions",
+                                         to="half-open").inc()
                 return True
             return False
         # HALF_OPEN: one probe is already in flight per allow() call;
@@ -197,6 +201,9 @@ class CircuitBreaker:
         return False
 
     def record_success(self) -> None:
+        if self.state is not BreakerState.CLOSED and OBS.enabled:
+            OBS.registry.counter("web.breaker.transitions",
+                                 to="closed").inc()
         self.state = BreakerState.CLOSED
         self.consecutive_failures = 0
         self.opened_at = None
@@ -214,6 +221,9 @@ class CircuitBreaker:
         self.opened_at = now
         self.open_count += 1
         self.consecutive_failures = 0
+        if OBS.enabled:
+            OBS.registry.counter("web.breaker.transitions",
+                                 to="open").inc()
 
 
 class BreakerRegistry:
@@ -299,7 +309,15 @@ def execute_with_policy(
                                    attempts=attempts,
                                    error_class="deadline-exceeded",
                                    elapsed=clock.now() - start)
-            clock.sleep(policy.backoff_delay(attempts, rng))
+            delay = policy.backoff_delay(attempts, rng)
+            if OBS.enabled:
+                reg = OBS.registry
+                reg.counter("web.retry.backoff_sleeps").inc()
+                reg.counter("web.retry.failures",
+                            error_class=last_error).inc()
+                reg.histogram("web.retry.backoff_delay_ms").observe(
+                    delay * 1000.0)
+            clock.sleep(delay)
             continue
         if breaker is not None:
             breaker.record_success()

@@ -1,0 +1,127 @@
+"""End-to-end observability: the survey CLI with and without the flags.
+
+The contract under test (docs/OBSERVABILITY.md): a run *without*
+``--metrics-out``/``--trace`` is byte-identical to pre-observability
+behaviour; a run *with* them appends the summary table and writes
+deterministic JSON-lines files — without changing the survey's own
+output (Table 4, crawl health) by a single byte.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.obs import OBS
+
+ARGS = ("survey", "--top", "60", "--stratum", "15", "--fast")
+
+
+def run_cli(*argv: str) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == 0, out.getvalue()
+    return out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def outputs(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("obs")
+    metrics_path = tmp / "metrics.jsonl"
+    trace_path = tmp / "trace.jsonl"
+    plain = run_cli(*ARGS)
+    observed = run_cli(*ARGS, "--metrics-out", str(metrics_path),
+                       "--trace", str(trace_path))
+    return plain, observed, metrics_path, trace_path
+
+
+class TestByteIdentity:
+    def test_headline_and_table4_byte_identical(self, outputs):
+        # The survey's own analysis output (headline + Table 4) must
+        # not change by a byte when observability is on.  The crawl
+        # health table legitimately differs: an enabled registry embeds
+        # its metric snapshot there (docs/OBSERVABILITY.md).
+        plain, observed, _, _ = outputs
+        marker = "Crawl health"
+        assert marker in plain and marker in observed
+        assert plain.split(marker)[0] == observed.split(marker)[0]
+
+    def test_observed_crawl_health_embeds_metrics(self, outputs):
+        plain, observed, _, _ = outputs
+        assert "filters.index.probes" in observed
+        assert "filters.index.probes" not in plain
+
+    def test_plain_run_mentions_no_observability(self, outputs):
+        plain, _, _, _ = outputs
+        assert "Observability summary" not in plain
+        assert "filters.index" not in plain
+
+    def test_global_state_restored(self, outputs):
+        assert OBS.enabled is False
+
+
+class TestSummaryTable:
+    def test_appended_summary_sections(self, outputs):
+        _, observed, _, _ = outputs
+        assert "Observability summary" in observed
+        assert "Where the time went" in observed
+        assert "survey.run" in observed
+        assert "filters.engine.verdicts{verdict=" in observed
+
+
+class TestMetricsFile:
+    def test_valid_jsonl_with_documented_names(self, outputs):
+        _, _, metrics_path, _ = outputs
+        records = [json.loads(line) for line in
+                   metrics_path.read_text(encoding="utf-8").splitlines()]
+        assert records
+        names = {r["name"] for r in records}
+        for expected in ("filters.parse.lines", "filters.index.probes",
+                         "filters.engine.verdicts", "web.crawl.outcomes",
+                         "web.crawl.latency_ms",
+                         "measurement.survey.targets"):
+            assert expected in names, f"missing metric {expected}"
+
+    def test_metrics_sorted_and_typed(self, outputs):
+        _, _, metrics_path, _ = outputs
+        records = [json.loads(line) for line in
+                   metrics_path.read_text(encoding="utf-8").splitlines()]
+        keys = [(r["name"], r["type"]) for r in records]
+        assert keys == sorted(keys)
+        assert {r["type"] for r in records} <= {
+            "counter", "gauge", "histogram"}
+
+    def test_histogram_buckets_sum_to_count(self, outputs):
+        _, _, metrics_path, _ = outputs
+        for line in metrics_path.read_text(encoding="utf-8").splitlines():
+            record = json.loads(line)
+            if record["type"] != "histogram":
+                continue
+            assert record["buckets"][-1]["le"] == "+inf"
+            assert sum(b["count"] for b in record["buckets"]) == \
+                record["count"]
+
+
+class TestTraceFile:
+    def test_span_tree_shape(self, outputs):
+        _, _, _, trace_path = outputs
+        spans = [json.loads(line) for line in
+                 trace_path.read_text(encoding="utf-8").splitlines()]
+        assert spans[0]["name"] == "survey.run"
+        assert spans[0]["depth"] == 0
+        names = {s["name"] for s in spans}
+        assert {"survey.build_samples", "survey.build_engines",
+                "survey.crawl", "web.crawl.visit"} <= names
+        # Depth never jumps by more than one between consecutive spans
+        # (start-order + depth is enough to rebuild the tree).
+        depths = [s["depth"] for s in spans]
+        assert all(b <= a + 1 for a, b in zip(depths, depths[1:]))
+
+    def test_visit_spans_carry_domain_attrs(self, outputs):
+        _, _, _, trace_path = outputs
+        visits = [json.loads(line) for line in
+                  trace_path.read_text(encoding="utf-8").splitlines()
+                  if '"web.crawl.visit"' in line]
+        assert visits
+        assert all(v["attrs"].get("domain") for v in visits)

@@ -1,0 +1,173 @@
+"""Unit tests for the JSON-lines / in-memory exporters and state scoping."""
+
+import json
+
+from repro.obs import (
+    OBS,
+    InMemoryExporter,
+    JsonLinesExporter,
+    MetricsRegistry,
+    Tracer,
+    disable,
+    enable,
+    metric_records,
+    observe,
+    span_records,
+    summary_table,
+)
+
+
+def _clock():
+    return iter(range(1000)).__next__
+
+
+def make_pair():
+    registry = MetricsRegistry()
+    registry.counter("filters.parse.lines", kind="comment").inc(3)
+    registry.gauge("measurement.survey.targets").set(105)
+    registry.histogram("web.crawl.latency_ms", bounds=(1.0,)).observe(0.5)
+    tracer = Tracer(clock=_clock())
+    with tracer.span("survey.run"):
+        with tracer.span("survey.crawl", group="top-5k"):
+            pass
+    return registry, tracer
+
+
+class TestRecords:
+    def test_metric_records_match_snapshot(self):
+        registry, _ = make_pair()
+        assert metric_records(registry) == registry.snapshot()
+
+    def test_span_records_shape(self):
+        _, tracer = make_pair()
+        records = span_records(tracer)
+        assert [r["name"] for r in records] == ["survey.run",
+                                                "survey.crawl"]
+        inner = records[1]
+        assert inner["type"] == "span"
+        assert inner["depth"] == 1
+        assert inner["duration_ms"] == 1000.0
+        assert inner["attrs"] == {"group": "top-5k"}
+
+
+class TestInMemoryExporter:
+    def test_collects_metrics_then_spans(self):
+        registry, tracer = make_pair()
+        records = InMemoryExporter().export(registry=registry,
+                                            tracer=tracer)
+        types = [r["type"] for r in records]
+        assert types.index("span") > types.index("counter")
+        assert len(records) == 3 + 2
+
+    def test_partial_export(self):
+        registry, tracer = make_pair()
+        assert all(r["type"] != "span"
+                   for r in InMemoryExporter().export(registry=registry))
+        assert all(r["type"] == "span"
+                   for r in InMemoryExporter().export(tracer=tracer))
+
+
+class TestJsonLinesExporter:
+    def test_writes_parseable_lines(self, tmp_path):
+        registry, tracer = make_pair()
+        path = tmp_path / "out.jsonl"
+        written = JsonLinesExporter(str(path)).export(registry=registry,
+                                                      tracer=tracer)
+        lines = path.read_text(encoding="utf-8").splitlines()
+        assert written == len(lines) == 5
+        records = [json.loads(line) for line in lines]
+        assert records[-1]["name"] == "survey.crawl"
+
+    def test_identical_registries_byte_identical_files(self, tmp_path):
+        paths = []
+        for name in ("a.jsonl", "b.jsonl"):
+            registry = MetricsRegistry()
+            # Insertion order differs; export order must not.
+            if name == "a.jsonl":
+                registry.counter("x").inc()
+                registry.counter("w", k="v").inc(2)
+            else:
+                registry.counter("w", k="v").inc(2)
+                registry.counter("x").inc()
+            path = tmp_path / name
+            JsonLinesExporter(str(path)).export(registry=registry)
+            paths.append(path)
+        assert paths[0].read_bytes() == paths[1].read_bytes()
+
+    def test_export_truncates_previous_snapshot(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("a").inc()
+        path = tmp_path / "m.jsonl"
+        exporter = JsonLinesExporter(str(path))
+        exporter.export(registry=registry)
+        exporter.export(registry=registry)
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_unicode_not_escaped(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("filters.top", filter="@@||müller.de^").inc()
+        path = tmp_path / "m.jsonl"
+        JsonLinesExporter(str(path)).export(registry=registry)
+        assert "müller" in path.read_text(encoding="utf-8")
+
+
+class TestSummaryTable:
+    def test_renders_spans_and_metrics(self):
+        registry, tracer = make_pair()
+        text = summary_table(registry, tracer)
+        assert "Where the time went" in text
+        assert "survey.run" in text
+        assert "filters.parse.lines{kind=comment}" in text
+
+    def test_renders_empty(self):
+        text = summary_table(None, None)
+        assert "(none recorded)" in text
+
+
+class TestObsState:
+    def test_default_is_disabled(self):
+        assert OBS.enabled is False
+        assert OBS.registry.enabled is False
+        assert OBS.tracer.enabled is False
+
+    def test_observe_scopes_and_restores(self):
+        with observe() as (registry, tracer):
+            assert OBS.enabled is True
+            assert OBS.registry is registry and OBS.tracer is tracer
+            registry.counter("demo").inc()
+        assert OBS.enabled is False
+        assert registry.counter("demo").value == 1
+
+    def test_observe_restores_on_exception(self):
+        try:
+            with observe():
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert OBS.enabled is False
+
+    def test_observe_nests(self):
+        with observe() as (outer_registry, _):
+            with observe() as (inner_registry, _):
+                assert OBS.registry is inner_registry
+            assert OBS.registry is outer_registry
+        assert OBS.enabled is False
+
+    def test_enable_metrics_only_leaves_tracer_null(self):
+        try:
+            registry, tracer = enable(registry=MetricsRegistry())
+            assert OBS.enabled is True
+            assert registry.enabled is True
+            assert tracer.enabled is False
+        finally:
+            disable()
+        assert OBS.enabled is False
+
+    def test_enable_with_injected_clock_tracer(self):
+        try:
+            _, tracer = enable(tracer=Tracer(clock=_clock()))
+            with tracer.span("t"):
+                pass
+            assert tracer.spans[0].duration == 1
+        finally:
+            disable()

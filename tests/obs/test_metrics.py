@@ -1,0 +1,166 @@
+"""Unit tests for the metric instruments and the registry."""
+
+import pytest
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        c = Counter("events")
+        assert c.value == 0
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_kind(self):
+        assert Counter("x").kind == "counter"
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        g = Gauge("size")
+        g.set(10)
+        g.set(3)
+        assert g.value == 3
+
+    def test_inc(self):
+        g = Gauge("size")
+        g.inc(2)
+        g.inc(-1)
+        assert g.value == 1
+
+
+class TestHistogram:
+    def test_bucket_edges_are_upper_inclusive(self):
+        h = Histogram("lat", bounds=(10.0, 100.0))
+        h.observe(10.0)   # lands in the first bucket, not the second
+        h.observe(10.001)
+        h.observe(100.0)
+        h.observe(100.001)  # beyond the last edge -> +inf bucket
+        assert h.counts == [1, 2, 1]
+
+    def test_counts_has_inf_bucket(self):
+        h = Histogram("lat", bounds=DEFAULT_BUCKETS)
+        assert len(h.counts) == len(DEFAULT_BUCKETS) + 1
+
+    def test_sum_count_mean(self):
+        h = Histogram("lat", bounds=(10.0,))
+        for v in (2, 4, 6):
+            h.observe(v)
+        assert (h.count, h.sum, h.mean) == (3, 12, 4.0)
+
+    def test_empty_mean_is_zero(self):
+        assert Histogram("lat").mean == 0.0
+
+    def test_unsorted_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(10.0, 5.0))
+
+    def test_duplicate_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            Histogram("lat", bounds=(5.0, 5.0))
+
+
+class TestMetricsRegistry:
+    def test_get_or_create_returns_same_instrument(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.gauge("g") is r.gauge("g")
+        assert r.histogram("h") is r.histogram("h")
+
+    def test_label_order_is_canonical(self):
+        r = MetricsRegistry()
+        assert (r.counter("a", x=1, y=2)
+                is r.counter("a", y=2, x=1))
+
+    def test_distinct_labels_are_distinct_instruments(self):
+        r = MetricsRegistry()
+        r.counter("verdicts", verdict="block").inc()
+        r.counter("verdicts", verdict="allow").inc(2)
+        assert r.counter("verdicts", verdict="block").value == 1
+        assert r.counter("verdicts", verdict="allow").value == 2
+
+    def test_same_name_different_kinds_coexist(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.gauge("x").set(7)
+        assert r.counter("x").value == 1
+        assert r.gauge("x").value == 7
+
+    def test_samples_deterministic_order(self):
+        r = MetricsRegistry()
+        r.counter("b").inc()
+        r.counter("a", z=1).inc()
+        r.counter("a").inc()
+        names = [(m.name, m.labels) for m in r.samples()]
+        r2 = MetricsRegistry()
+        r2.counter("a").inc()
+        r2.counter("b").inc()
+        r2.counter("a", z=1).inc()
+        assert names == [(m.name, m.labels) for m in r2.samples()]
+
+    def test_snapshot_counter_record(self):
+        r = MetricsRegistry()
+        r.counter("parse.lines", kind="comment").inc(3)
+        assert r.snapshot() == [{
+            "type": "counter", "name": "parse.lines",
+            "labels": {"kind": "comment"}, "value": 3}]
+
+    def test_snapshot_histogram_buckets_disjoint_with_inf(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", bounds=(1.0, 5.0))
+        h.observe(0.5)
+        h.observe(3.0)
+        h.observe(99.0)
+        (record,) = r.snapshot()
+        assert record["count"] == 3
+        assert record["buckets"] == [
+            {"le": 1.0, "count": 1},
+            {"le": 5.0, "count": 1},
+            {"le": "+inf", "count": 1},
+        ]
+
+    def test_flat_formats_labels_and_histograms(self):
+        r = MetricsRegistry()
+        r.counter("verdicts", verdict="block").inc(2)
+        h = r.histogram("lat", bounds=(10.0,))
+        h.observe(3)
+        h.observe(6)
+        flat = r.flat()
+        assert flat["verdicts{verdict=block}"] == 2
+        assert flat["lat.count"] == 2
+        assert flat["lat.mean"] == 4.5
+
+    def test_reset_and_len(self):
+        r = MetricsRegistry()
+        r.counter("a").inc()
+        assert len(r) == 1
+        r.reset()
+        assert len(r) == 0 and r.samples() == []
+
+
+class TestNullRegistry:
+    def test_disabled_flag(self):
+        assert NULL_REGISTRY.enabled is False
+        assert MetricsRegistry.enabled is True
+
+    def test_all_accessors_discard_updates(self):
+        NULL_REGISTRY.counter("x", any_label="y").inc(100)
+        NULL_REGISTRY.gauge("x").set(5)
+        NULL_REGISTRY.histogram("x").observe(1.0)
+        assert NULL_REGISTRY.samples() == []
+        assert NULL_REGISTRY.snapshot() == []
+        assert NULL_REGISTRY.flat() == {}
+
+    def test_shared_instrument_never_accumulates(self):
+        instrument = NULL_REGISTRY.counter("a")
+        instrument.inc(10)
+        assert instrument.value == 0

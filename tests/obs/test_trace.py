@@ -1,0 +1,88 @@
+"""Unit tests for the span tracer."""
+
+from repro.obs.trace import NULL_TRACER, NullTracer, Tracer
+
+
+def counting_clock():
+    """A deterministic clock: 0, 1, 2, ... seconds."""
+    return iter(range(1000)).__next__
+
+
+class TestTracer:
+    def test_spans_record_in_start_order_with_depth(self):
+        tracer = Tracer(clock=counting_clock())
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+            with tracer.span("sibling"):
+                pass
+        assert [(s.name, s.depth) for s in tracer.spans] == [
+            ("outer", 0), ("inner", 1), ("sibling", 1)]
+
+    def test_durations_from_injected_clock(self):
+        tracer = Tracer(clock=counting_clock())
+        # Clock ticks: outer start=0, inner start=1, inner end=2,
+        # outer end=3.
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                pass
+        outer, inner = tracer.spans
+        assert (outer.duration, inner.duration) == (3, 1)
+        assert outer.duration_ms == 3000.0
+
+    def test_attrs_and_set_attr(self):
+        tracer = Tracer(clock=counting_clock())
+        with tracer.span("crawl", group="top-5k") as span:
+            span.set_attr("targets", 42)
+        assert tracer.spans[0].attrs == {"group": "top-5k",
+                                         "targets": 42}
+
+    def test_finished_spans_excludes_open_ones(self):
+        tracer = Tracer(clock=counting_clock())
+        span = tracer.span("open")
+        span.__enter__()
+        with tracer.span("closed"):
+            pass
+        assert [s.name for s in tracer.finished_spans()] == ["closed"]
+        span.__exit__(None, None, None)
+        assert len(tracer.finished_spans()) == 2
+
+    def test_exception_still_closes_span(self):
+        tracer = Tracer(clock=counting_clock())
+        try:
+            with tracer.span("boom"):
+                raise RuntimeError("x")
+        except RuntimeError:
+            pass
+        assert tracer.spans[0].duration is not None
+        assert tracer._stack == []
+
+    def test_reset(self):
+        tracer = Tracer(clock=counting_clock())
+        with tracer.span("a"):
+            pass
+        tracer.reset()
+        assert tracer.spans == [] and tracer.finished_spans() == []
+
+    def test_sequential_spans_back_at_depth_zero(self):
+        tracer = Tracer(clock=counting_clock())
+        with tracer.span("first"):
+            pass
+        with tracer.span("second"):
+            pass
+        assert [s.depth for s in tracer.spans] == [0, 0]
+
+
+class TestNullTracer:
+    def test_disabled_flag(self):
+        assert NULL_TRACER.enabled is False
+        assert NullTracer().enabled is False
+
+    def test_span_records_nothing(self):
+        with NULL_TRACER.span("ignored", attr=1) as span:
+            span.set_attr("more", 2)
+        assert NULL_TRACER.spans == []
+        assert NULL_TRACER.finished_spans() == []
+
+    def test_shared_null_span(self):
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")

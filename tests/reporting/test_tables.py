@@ -1,6 +1,11 @@
 """Unit tests for the ASCII table renderer."""
 
-from repro.reporting.tables import render_comparison, render_table
+from repro.obs import MetricsRegistry, Tracer
+from repro.reporting.tables import (
+    render_comparison,
+    render_metrics_summary,
+    render_table,
+)
 
 
 class TestRenderTable:
@@ -48,3 +53,67 @@ class TestRenderComparison:
     def test_zero_paper_value(self):
         text = render_comparison("T", [("m", 0, 0), ("m2", 0, 3)])
         assert "=" in text
+
+
+class TestRenderMetricsSummary:
+    def _tracer(self) -> Tracer:
+        tracer = Tracer(clock=iter(range(100)).__next__)
+        with tracer.span("survey.run"):
+            with tracer.span("survey.crawl"):
+                pass
+            with tracer.span("survey.crawl"):
+                pass
+        return tracer
+
+    def test_empty_registry_renders_placeholder(self):
+        text = render_metrics_summary(MetricsRegistry(), None)
+        assert text.startswith("Observability summary")
+        assert "Metrics" in text
+        assert "(none recorded)" in text
+
+    def test_none_inputs_render(self):
+        text = render_metrics_summary(None, None, title="T")
+        assert text.startswith("T")
+        assert "(none recorded)" in text
+        assert "Where the time went" not in text
+
+    def test_metric_rows_from_flat_view(self):
+        registry = MetricsRegistry()
+        registry.counter("filters.engine.verdicts",
+                         verdict="block").inc(12)
+        registry.histogram("web.crawl.latency_ms",
+                           bounds=(10.0,)).observe(4.0)
+        text = render_metrics_summary(registry, None)
+        assert "filters.engine.verdicts{verdict=block}" in text
+        assert "12" in text
+        assert "web.crawl.latency_ms.count" in text
+        assert "(none recorded)" not in text
+
+    def test_unicode_filter_text_label(self):
+        registry = MetricsRegistry()
+        registry.counter(
+            "filters.top",
+            filter="@@||müller-straße.de^$документ·広告").inc(3)
+        text = render_metrics_summary(registry, None)
+        assert "müller-straße" in text
+        assert "документ·広告" in text
+        # Column layout survives the multi-byte row.
+        lines = [l for l in text.splitlines() if l]
+        assert len({len(l) for l in lines
+                    if l.startswith(("metric", "-", "filters."))}) >= 1
+
+    def test_span_rollup_counts_and_share(self):
+        text = render_metrics_summary(None, self._tracer())
+        assert "Where the time went" in text
+        run_row = next(l for l in text.splitlines()
+                       if l.startswith("survey.run"))
+        crawl_row = next(l for l in text.splitlines()
+                         if l.startswith("survey.crawl"))
+        # One run span at 100% of top-level time; two crawl spans
+        # aggregated into a single row.
+        assert "100.0%" in run_row
+        assert crawl_row.split()[1] == "2"
+
+    def test_empty_tracer_omits_span_table(self):
+        text = render_metrics_summary(None, Tracer())
+        assert "Where the time went" not in text
