@@ -42,6 +42,14 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record nested timing spans and write them "
                              "as JSON lines to PATH; also prints the "
                              "observability summary table")
+    common.add_argument("--checkpoint", metavar="PATH", default=None,
+                        help="journal completed units of work (history "
+                             "revisions, crawled targets) to PATH so a "
+                             "crashed run can be resumed")
+    common.add_argument("--resume", action="store_true",
+                        help="resume from an existing --checkpoint "
+                             "journal instead of starting over (safe "
+                             "when the journal does not exist yet)")
 
     parser = argparse.ArgumentParser(
         prog="repro", parents=[common],
@@ -104,6 +112,7 @@ def _study(args) -> AcceptableAdsStudy:
             fault_seed=getattr(args, "fault_seed", 0),
             max_retries=getattr(args, "max_retries", 2)),
         zone_scale_divisor=getattr(args, "divisor", 5_000),
+        checkpoint=getattr(args, "_checkpoint", None),
     ))
 
 
@@ -332,27 +341,69 @@ _COMMANDS = {
 }
 
 
+def _open_checkpoint(args, out):
+    """Create or resume the run's checkpoint from the CLI flags.
+
+    Returns ``(checkpoint, status)``: a usable checkpoint (or ``None``
+    when none was requested) and a non-zero status on refusal — an
+    unsafe resume (journal from a different command/seed, mid-file
+    corruption) aborts the run instead of quietly starting over.
+    """
+    path = getattr(args, "checkpoint", None)
+    if not path:
+        if getattr(args, "resume", False):
+            out.write("error: --resume requires --checkpoint PATH\n")
+            return None, 2
+        return None, 0
+    from repro.state import Checkpoint, CheckpointError
+
+    meta = {"command": args.command, "seed": args.seed,
+            "fast": bool(args.fast)}
+    try:
+        if getattr(args, "resume", False):
+            checkpoint = Checkpoint.resume(path, meta)
+        else:
+            checkpoint = Checkpoint.start(path, meta)
+    except CheckpointError as exc:
+        out.write(f"error: {exc}\n")
+        return None, 2
+    if checkpoint.resumed:
+        note = " (torn tail record truncated)" \
+            if checkpoint.truncated_tail else ""
+        out.write(f"resuming from checkpoint {path}{note}\n")
+    return checkpoint, 0
+
+
 def main(argv: list[str] | None = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     out = out or sys.stdout
     command = _COMMANDS[args.command]
-    metrics_out = getattr(args, "metrics_out", None)
-    trace_out = getattr(args, "trace", None)
-    if not metrics_out and not trace_out:
-        return command(args, out)
+    checkpoint, status = _open_checkpoint(args, out)
+    if status:
+        return status
+    args._checkpoint = checkpoint
+    try:
+        metrics_out = getattr(args, "metrics_out", None)
+        trace_out = getattr(args, "trace", None)
+        if not metrics_out and not trace_out:
+            return command(args, out)
 
-    # Observability requested: run the command under a live registry and
-    # tracer, export JSON lines, and finish with the summary table.
-    from repro.obs import JsonLinesExporter, observe, summary_table
+        # Observability requested: run the command under a live registry
+        # and tracer, export JSON lines, and finish with the summary
+        # table.
+        from repro.obs import JsonLinesExporter, observe, summary_table
 
-    with observe() as (registry, tracer):
-        status = command(args, out)
-        if metrics_out:
-            JsonLinesExporter(metrics_out).export(registry=registry)
-        if trace_out:
-            JsonLinesExporter(trace_out).export(tracer=tracer)
-        out.write("\n" + summary_table(registry, tracer) + "\n")
-    return status
+        with observe() as (registry, tracer):
+            status = command(args, out)
+            if metrics_out:
+                JsonLinesExporter(metrics_out).export(registry=registry)
+            if trace_out:
+                JsonLinesExporter(trace_out).export(tracer=tracer)
+            out.write("\n" + summary_table(registry, tracer) + "\n")
+        return status
+    finally:
+        if checkpoint is not None:
+            checkpoint.close()
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -42,13 +42,19 @@ from repro.sitekey.parking import (
     ZoneScanner,
     synthesize_zone,
 )
+from repro.state.checkpoint import Checkpoint
 
 __all__ = ["StudyConfig", "AcceptableAdsStudy"]
 
 
 @dataclass(slots=True)
 class StudyConfig:
-    """Scale and determinism knobs for a full study run."""
+    """Scale and determinism knobs for a full study run.
+
+    ``checkpoint`` (optional, caller-owned) journals the two
+    long-running stages — history generation and the site survey — so
+    a crashed run resumes from its last completed unit of work instead
+    of starting over (see :mod:`repro.state`)."""
 
     seed: int = 2015
     key_bits: int = 512
@@ -56,6 +62,7 @@ class StudyConfig:
     zone_scale_divisor: int = DEFAULT_SCALE_DIVISOR
     zone_noise_domains: int = 2_000
     perception_respondents: int = 305
+    checkpoint: Checkpoint | None = None
 
 
 class AcceptableAdsStudy:
@@ -74,7 +81,8 @@ class AcceptableAdsStudy:
     @cached_property
     def history(self) -> WhitelistHistory:
         return generate_history(seed=self.config.seed,
-                                key_bits=self.config.key_bits)
+                                key_bits=self.config.key_bits,
+                                checkpoint=self.config.checkpoint)
 
     @cached_property
     def whitelist(self) -> FilterList:
@@ -111,7 +119,8 @@ class AcceptableAdsStudy:
 
     @cached_property
     def site_survey(self) -> SurveyResult:
-        return run_survey(self.history, self.config.survey)
+        return run_survey(self.history, self.config.survey,
+                          checkpoint=self.config.checkpoint)
 
     def crawl_health(self):
         """Crawl telemetry for the survey: the resilience layer's view.

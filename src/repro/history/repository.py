@@ -104,8 +104,29 @@ class Repository:
             raise RepositoryError("empty repository has no tip")
         return self._changesets[-1]
 
+    def _check_rev(self, rev: int) -> int:
+        """Validate a revision number, mirroring ``hg``'s own refusal.
+
+        Negative and past-the-end revisions raise
+        :class:`RepositoryError` naming the valid range — Python-style
+        negative indexing is deliberately not supported, since a
+        computed ``rev`` going negative is a caller bug that silent
+        tail-indexing would turn into a wrong answer.
+        """
+        if not isinstance(rev, int) or isinstance(rev, bool):
+            raise RepositoryError(
+                f"revision must be an integer, got {rev!r}")
+        if not 0 <= rev < len(self._changesets):
+            if not self._changesets:
+                raise RepositoryError(
+                    f"no such revision {rev}: repository is empty")
+            raise RepositoryError(
+                f"no such revision {rev}: valid range is "
+                f"0..{len(self._changesets) - 1}")
+        return rev
+
     def __getitem__(self, rev: int) -> Changeset:
-        return self._changesets[rev]
+        return self._changesets[self._check_rev(rev)]
 
     def log(self) -> Iterator[Changeset]:
         """All changesets, oldest first."""
@@ -113,8 +134,7 @@ class Repository:
 
     def checkout(self, rev: int) -> list[str]:
         """The full list content as of revision ``rev`` (inclusive)."""
-        if not 0 <= rev < len(self._changesets):
-            raise RepositoryError(f"no such revision {rev}")
+        self._check_rev(rev)
         if rev == len(self._changesets) - 1:
             return list(self._content)
         # Rev 0 always has a snapshot (0 % _SNAPSHOT_EVERY == 0), so the
@@ -133,6 +153,8 @@ class Repository:
         Lines both added and removed inside the range cancel out, like a
         real ``hg diff -r a -r b``.
         """
+        self._check_rev(rev_a)
+        self._check_rev(rev_b)
         if rev_a > rev_b:
             raise RepositoryError("diff requires rev_a <= rev_b")
         from collections import Counter

@@ -30,6 +30,8 @@ from repro.obs import OBS
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.history.generator import WhitelistHistory
 from repro.measurement.samples import SampleGroup, build_samples
+from repro.state.checkpoint import Checkpoint
+from repro.web.crawlstate import journaled_survey
 from repro.web.crawler import (
     Crawler,
     CrawlHealth,
@@ -168,12 +170,30 @@ def make_profile_factory(history: "WhitelistHistory"):
     return factory
 
 
+def _survey_fingerprint(config: SurveyConfig, engine_config: str) -> dict:
+    """The scope configuration a survey checkpoint is pinned to."""
+    return {"engine_config": engine_config,
+            "top_n": config.top_n,
+            "stratum_size": config.stratum_size,
+            "with_whitelist": config.with_whitelist,
+            "fault_rate": config.fault_rate,
+            "fault_seed": config.fault_seed,
+            "max_retries": config.max_retries}
+
+
 def run_survey(history: "WhitelistHistory",
-               config: SurveyConfig | None = None) -> SurveyResult:
+               config: SurveyConfig | None = None, *,
+               checkpoint: Checkpoint | None = None) -> SurveyResult:
     """Run the full Section 5 survey.
 
     At paper scale (8,000 visits x 2 configurations) this takes a couple
     of minutes; tests shrink ``config``.
+
+    With a :class:`~repro.state.checkpoint.Checkpoint`, every crawled
+    target is journaled as a completed unit of work and a resumed run
+    skips (and byte-identically restores) everything the crashed run
+    already finished.  The checkpoint is caller-owned: the caller
+    closes it, and crash-shaped exceptions propagate.
     """
     config = config or SurveyConfig()
     tracer = OBS.tracer
@@ -213,26 +233,40 @@ def run_survey(history: "WhitelistHistory",
             OBS.registry.gauge("measurement.survey.targets").set(
                 sum(len(g.targets) for g in groups))
 
-        crawler = make_crawler(engine)
-        for group in groups:
-            with tracer.span("survey.crawl", group=group.name,
-                             config="easylist+whitelist"):
-                outcomes = crawler.survey(group.targets)
-            result.outcomes[group.name] = outcomes
-            result.records[group.name] = [
-                o.record for o in outcomes if o.record is not None]
+        def crawl_config(crawler: Crawler, engine_config: str,
+                         outcomes_by_group: dict, records_by_group: dict
+                         ) -> None:
+            if checkpoint is None:
+                for group in groups:
+                    with tracer.span("survey.crawl", group=group.name,
+                                     config=engine_config):
+                        outcomes = crawler.survey(group.targets)
+                    outcomes_by_group[group.name] = outcomes
+                    records_by_group[group.name] = [
+                        o.record for o in outcomes if o.record is not None]
+                return
+            surveyed = journaled_survey(
+                crawler, groups, checkpoint=checkpoint,
+                scope=f"survey/{engine_config}",
+                scope_config=_survey_fingerprint(config, engine_config),
+                span_factory=lambda name: tracer.span(
+                    "survey.crawl", group=name, config=engine_config))
+            for group in groups:
+                outcomes = surveyed[group.name]
+                outcomes_by_group[group.name] = outcomes
+                records_by_group[group.name] = [
+                    o.record for o in outcomes if o.record is not None]
+
+        crawl_config(make_crawler(engine), "easylist+whitelist",
+                     result.outcomes, result.records)
 
         if config.compare_without_whitelist:
             with tracer.span("survey.build_engines",
                              config="easylist-only"):
                 crawler_plain = make_crawler(
                     build_engines(history, with_whitelist=False)[0])
-            for group in groups:
-                with tracer.span("survey.crawl", group=group.name,
-                                 config="easylist-only"):
-                    outcomes = crawler_plain.survey(group.targets)
-                result.outcomes_easylist_only[group.name] = outcomes
-                result.records_easylist_only[group.name] = [
-                    o.record for o in outcomes if o.record is not None]
+            crawl_config(crawler_plain, "easylist-only",
+                         result.outcomes_easylist_only,
+                         result.records_easylist_only)
 
     return result

@@ -23,7 +23,6 @@ version:
 
 from __future__ import annotations
 
-import json
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -77,10 +76,16 @@ class InMemoryExporter:
 class JsonLinesExporter:
     """Writes export records as JSON lines to ``path``.
 
-    Each ``export`` call truncates and rewrites the file (an export is a
-    snapshot, not an append-only log) and returns the number of records
-    written.  Keys are emitted in a fixed order and with sorted label
-    keys, so two identical runs produce byte-identical files.
+    Each ``export`` call atomically replaces the file (an export is a
+    snapshot, not an append-only log) via
+    :func:`repro.state.atomic.atomic_write_jsonl`, so a crash mid-export
+    can never leave a truncated, unparseable file — readers see the old
+    snapshot or the new one, nothing in between.  The file ends with a
+    CRC-checksummed footer record (``{"type": "footer", ...}``) that
+    :func:`repro.state.atomic.read_jsonl` verifies; the ``export``
+    return value counts data records only, excluding that footer.  Keys
+    are emitted in a fixed order and with sorted label keys, so two
+    identical runs produce byte-identical files.
     """
 
     def __init__(self, path: str) -> None:
@@ -88,17 +93,14 @@ class JsonLinesExporter:
 
     def export(self, registry: "MetricsRegistry | None" = None,
                tracer: "Tracer | None" = None) -> int:
+        from repro.state.atomic import atomic_write_jsonl
+
         records: list[dict] = []
         if registry is not None:
             records.extend(metric_records(registry))
         if tracer is not None:
             records.extend(span_records(tracer))
-        with open(self.path, "w", encoding="utf-8") as handle:
-            for record in records:
-                handle.write(json.dumps(record, sort_keys=False,
-                                        ensure_ascii=False))
-                handle.write("\n")
-        return len(records)
+        return atomic_write_jsonl(self.path, records)
 
 
 def summary_table(registry: "MetricsRegistry | None" = None,

@@ -1,0 +1,54 @@
+"""Crash safety for long-running measurement jobs.
+
+``repro.state`` is the durability layer under the survey pipeline:
+
+* :mod:`repro.state.atomic` — write-to-temp + fsync + rename artifact
+  writes with CRC-checksummed JSONL footers, so a crash can never
+  leave a half-written metrics file or report behind.
+* :mod:`repro.state.journal` — the append-only, checksummed
+  write-ahead :class:`~repro.state.journal.RunJournal` that records
+  each completed unit of work.
+* :mod:`repro.state.checkpoint` — :class:`~repro.state.checkpoint.\
+Checkpoint`, which replays a journal, truncates torn tail records,
+  validates configuration fingerprints, and tells the pipeline which
+  units to skip on ``--resume``.
+* :mod:`repro.state.crashpoints` — deterministic process-death
+  injection (:class:`~repro.state.crashpoints.CrashInjector`) used by
+  the crash-resume test harness.
+
+The package is deliberately stdlib-only and imports nothing from the
+rest of :mod:`repro`, so every other layer (web, measurement, history,
+obs, cli) can depend on it without cycles.
+"""
+
+from repro.state.atomic import (ArtifactError, atomic_write_bytes,
+                                atomic_write_jsonl, atomic_write_text,
+                                jsonl_footer, read_jsonl)
+from repro.state.checkpoint import (Checkpoint, CheckpointError,
+                                    restore_rng, snapshot_rng)
+from repro.state.crashpoints import (CRASH, CrashInjector, SimulatedCrash,
+                                     crashing, crashpoint)
+from repro.state.journal import (JournalCorruption, JournalError,
+                                 RunJournal, replay_journal)
+
+__all__ = [
+    "ArtifactError",
+    "atomic_write_bytes",
+    "atomic_write_text",
+    "atomic_write_jsonl",
+    "jsonl_footer",
+    "read_jsonl",
+    "JournalError",
+    "JournalCorruption",
+    "RunJournal",
+    "replay_journal",
+    "Checkpoint",
+    "CheckpointError",
+    "snapshot_rng",
+    "restore_rng",
+    "CRASH",
+    "CrashInjector",
+    "SimulatedCrash",
+    "crashing",
+    "crashpoint",
+]

@@ -1,0 +1,122 @@
+"""Deterministic crash injection for the pipeline's durability layer.
+
+The resilience layer (:mod:`repro.web.faults`) injects *network*
+failures; this module injects *process death*.  A long-running
+measurement job can be killed at any instant — power loss, OOM kill,
+preemption — and the crash-safety contract (journaled checkpoints,
+atomic artifacts, torn-tail truncation) is only trustworthy if tests
+actually kill the pipeline at every interesting step and prove the
+resumed run converges on the uninterrupted one.
+
+The model mirrors :data:`repro.obs.OBS`: one process-wide holder,
+:data:`CRASH`, that instrumented code consults through
+:func:`crashpoint`.  With no injector installed (the default) a
+crashpoint costs one attribute check.  Tests install a
+:class:`CrashInjector` scoped with :func:`crashing`::
+
+    >>> from repro.state.crashpoints import (CrashInjector, SimulatedCrash,
+    ...                                      crashing, crashpoint)
+    >>> try:
+    ...     with crashing(CrashInjector(at_step=2)):
+    ...         crashpoint("unit")          # step 1: survives
+    ...         crashpoint("unit")          # step 2: the process "dies"
+    ... except SimulatedCrash as crash:
+    ...     crash.step
+    2
+
+Steps are counted globally across every crashpoint the injector sees,
+so ``at_step=N`` kills the pipeline at its N-th completed unit of work
+no matter which subsystem (survey crawl, history commit) owns that
+unit.  ``torn=True`` additionally asks the *journal* to flush half of
+the fatal record's bytes before dying, producing the torn tail record
+that :meth:`repro.state.checkpoint.Checkpoint.resume` must truncate.
+
+:class:`SimulatedCrash` subclasses :class:`BaseException`, not
+:class:`Exception`, so no ``except Exception`` handler anywhere in the
+pipeline (the retry loop, tombstone conversion, CLI wrappers) can
+accidentally swallow the "kill"; only the test harness catches it.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator
+
+__all__ = [
+    "SimulatedCrash",
+    "CrashInjector",
+    "CRASH",
+    "crashpoint",
+    "crashing",
+]
+
+
+class SimulatedCrash(BaseException):
+    """The injected process death.  Deliberately not an ``Exception``."""
+
+    def __init__(self, step: int, label: str) -> None:
+        super().__init__(f"simulated crash at step {step} ({label})")
+        self.step = step
+        self.label = label
+
+
+class CrashInjector:
+    """Kills the pipeline at crashpoint number ``at_step`` (1-based).
+
+    ``torn`` asks the journal to leave a half-written final record
+    behind (a torn write) instead of dying on a clean record boundary.
+    ``steps_taken`` is the number of crashpoints survived so far, which
+    tests can read after the dust settles.
+    """
+
+    def __init__(self, at_step: int, *, torn: bool = False) -> None:
+        if at_step < 1:
+            raise ValueError(f"at_step must be >= 1, got {at_step}")
+        self.at_step = at_step
+        self.torn = torn
+        self.steps_taken = 0
+
+    def pending(self) -> bool:
+        """Will the *next* step be fatal?  (The journal asks before
+        writing, so a torn record can be half-flushed first.)"""
+        return self.steps_taken + 1 == self.at_step
+
+    def step(self, label: str = "") -> None:
+        """Count one step; raise :class:`SimulatedCrash` on the fatal one."""
+        self.steps_taken += 1
+        if self.steps_taken == self.at_step:
+            raise SimulatedCrash(self.steps_taken, label)
+
+
+class _CrashState:
+    """Process-wide injector holder (one instance: :data:`CRASH`)."""
+
+    __slots__ = ("injector",)
+
+    def __init__(self) -> None:
+        self.injector: CrashInjector | None = None
+
+
+CRASH = _CrashState()
+
+
+def crashpoint(label: str = "") -> None:
+    """One potential kill site.  Free when no injector is installed."""
+    injector = CRASH.injector
+    if injector is not None:
+        injector.step(label)
+
+
+@contextmanager
+def crashing(injector: CrashInjector) -> Iterator[CrashInjector]:
+    """Install ``injector`` for the duration of the block.
+
+    The previous injector (usually ``None``) is restored even when the
+    block dies of :class:`SimulatedCrash` — which it usually does.
+    """
+    previous = CRASH.injector
+    CRASH.injector = injector
+    try:
+        yield injector
+    finally:
+        CRASH.injector = previous

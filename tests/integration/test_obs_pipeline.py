@@ -14,6 +14,7 @@ import pytest
 
 from repro.cli import main
 from repro.obs import OBS
+from repro.state.atomic import read_jsonl
 
 ARGS = ("survey", "--top", "60", "--stratum", "15", "--fast")
 
@@ -71,11 +72,14 @@ class TestSummaryTable:
 
 
 class TestMetricsFile:
-    def test_valid_jsonl_with_documented_names(self, outputs):
+    def test_valid_checksummed_jsonl_with_documented_names(self, outputs):
+        # read_jsonl verifies the CRC footer and strips it.
         _, _, metrics_path, _ = outputs
-        records = [json.loads(line) for line in
-                   metrics_path.read_text(encoding="utf-8").splitlines()]
+        records = read_jsonl(str(metrics_path))
         assert records
+        raw_lines = metrics_path.read_text(encoding="utf-8").splitlines()
+        assert json.loads(raw_lines[-1])["type"] == "footer"
+        assert len(raw_lines) == len(records) + 1
         names = {r["name"] for r in records}
         for expected in ("filters.parse.lines", "filters.index.probes",
                          "filters.engine.verdicts", "web.crawl.outcomes",
@@ -85,8 +89,7 @@ class TestMetricsFile:
 
     def test_metrics_sorted_and_typed(self, outputs):
         _, _, metrics_path, _ = outputs
-        records = [json.loads(line) for line in
-                   metrics_path.read_text(encoding="utf-8").splitlines()]
+        records = read_jsonl(str(metrics_path))
         keys = [(r["name"], r["type"]) for r in records]
         assert keys == sorted(keys)
         assert {r["type"] for r in records} <= {
@@ -94,8 +97,7 @@ class TestMetricsFile:
 
     def test_histogram_buckets_sum_to_count(self, outputs):
         _, _, metrics_path, _ = outputs
-        for line in metrics_path.read_text(encoding="utf-8").splitlines():
-            record = json.loads(line)
+        for record in read_jsonl(str(metrics_path)):
             if record["type"] != "histogram":
                 continue
             assert record["buckets"][-1]["le"] == "+inf"
@@ -106,8 +108,7 @@ class TestMetricsFile:
 class TestTraceFile:
     def test_span_tree_shape(self, outputs):
         _, _, _, trace_path = outputs
-        spans = [json.loads(line) for line in
-                 trace_path.read_text(encoding="utf-8").splitlines()]
+        spans = read_jsonl(str(trace_path))
         assert spans[0]["name"] == "survey.run"
         assert spans[0]["depth"] == 0
         names = {s["name"] for s in spans}
@@ -120,8 +121,7 @@ class TestTraceFile:
 
     def test_visit_spans_carry_domain_attrs(self, outputs):
         _, _, _, trace_path = outputs
-        visits = [json.loads(line) for line in
-                  trace_path.read_text(encoding="utf-8").splitlines()
-                  if '"web.crawl.visit"' in line]
+        visits = [s for s in read_jsonl(str(trace_path))
+                  if s["name"] == "web.crawl.visit"]
         assert visits
         assert all(v["attrs"].get("domain") for v in visits)

@@ -74,9 +74,33 @@ class TestJsonLinesExporter:
         written = JsonLinesExporter(str(path)).export(registry=registry,
                                                       tracer=tracer)
         lines = path.read_text(encoding="utf-8").splitlines()
-        assert written == len(lines) == 5
+        # Data records plus the trailing checksum footer.
+        assert written == 5
+        assert len(lines) == written + 1
         records = [json.loads(line) for line in lines]
-        assert records[-1]["name"] == "survey.crawl"
+        assert records[-2]["name"] == "survey.crawl"
+        assert records[-1]["type"] == "footer"
+        assert records[-1]["records"] == written
+
+    def test_footer_verifies(self, tmp_path):
+        from repro.state.atomic import ArtifactError, read_jsonl
+
+        registry, tracer = make_pair()
+        path = tmp_path / "out.jsonl"
+        JsonLinesExporter(str(path)).export(registry=registry,
+                                            tracer=tracer)
+        records = read_jsonl(str(path))
+        assert [r["type"] for r in records].count("span") == 2
+        # Corrupt one byte: verification must catch it.
+        data = bytearray(path.read_bytes())
+        data[10] ^= 0x01
+        path.write_bytes(bytes(data))
+        try:
+            read_jsonl(str(path))
+        except ArtifactError:
+            pass
+        else:
+            raise AssertionError("corruption went undetected")
 
     def test_identical_registries_byte_identical_files(self, tmp_path):
         paths = []
@@ -101,7 +125,7 @@ class TestJsonLinesExporter:
         exporter = JsonLinesExporter(str(path))
         exporter.export(registry=registry)
         exporter.export(registry=registry)
-        assert len(path.read_text().splitlines()) == 1
+        assert len(path.read_text().splitlines()) == 2  # record + footer
 
     def test_unicode_not_escaped(self, tmp_path):
         registry = MetricsRegistry()

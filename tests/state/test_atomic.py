@@ -1,0 +1,108 @@
+"""Unit tests for atomic artifact writes and checksum footers."""
+
+import json
+import os
+
+import pytest
+
+from repro.state.atomic import (
+    ArtifactError,
+    atomic_write_bytes,
+    atomic_write_jsonl,
+    atomic_write_text,
+    jsonl_footer,
+    read_jsonl,
+)
+
+
+class TestAtomicWrite:
+    def test_round_trip_and_replace(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        atomic_write_text(str(path), "first")
+        atomic_write_text(str(path), "second")
+        assert path.read_text() == "second"
+
+    def test_bytes_round_trip(self, tmp_path):
+        path = tmp_path / "artifact.bin"
+        atomic_write_bytes(str(path), b"\x00\x01\xff")
+        assert path.read_bytes() == b"\x00\x01\xff"
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        path = tmp_path / "artifact.txt"
+        for _ in range(3):
+            atomic_write_text(str(path), "x")
+        assert os.listdir(tmp_path) == ["artifact.txt"]
+
+
+class TestJsonlFooter:
+    def test_write_appends_verifiable_footer(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        written = atomic_write_jsonl(str(path), [{"a": 1}, {"b": 2}])
+        assert written == 2
+        lines = path.read_text().splitlines()
+        assert len(lines) == 3
+        footer = json.loads(lines[-1])
+        body = (lines[0] + "\n" + lines[1] + "\n").encode()
+        assert footer == jsonl_footer(body, 2)
+
+    def test_read_strips_footer(self, tmp_path):
+        path = tmp_path / "a.jsonl"
+        atomic_write_jsonl(str(path), [{"a": 1}])
+        assert read_jsonl(str(path)) == [{"a": 1}]
+
+    def test_empty_records(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        assert atomic_write_jsonl(str(path), []) == 0
+        assert read_jsonl(str(path)) == []
+
+    def test_footer_optional_on_write(self, tmp_path):
+        path = tmp_path / "nofooter.jsonl"
+        atomic_write_jsonl(str(path), [{"a": 1}], footer=False)
+        assert len(path.read_text().splitlines()) == 1
+        assert read_jsonl(str(path), require_footer=False) == [{"a": 1}]
+
+
+class TestCorruptionDetection:
+    def _write(self, tmp_path, records):
+        path = tmp_path / "c.jsonl"
+        atomic_write_jsonl(str(path), records)
+        return path
+
+    def test_bit_flip_detected(self, tmp_path):
+        path = self._write(tmp_path, [{"value": 12345}])
+        data = bytearray(path.read_bytes())
+        data[data.index(ord("3"))] = ord("4")
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError, match="checksum mismatch"):
+            read_jsonl(str(path))
+
+    def test_dropped_record_detected(self, tmp_path):
+        path = self._write(tmp_path, [{"a": 1}, {"b": 2}])
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text(lines[0] + lines[-1])  # lose a data line
+        with pytest.raises(ArtifactError, match="footer claims"):
+            read_jsonl(str(path))
+
+    def test_missing_footer_detected(self, tmp_path):
+        path = self._write(tmp_path, [{"a": 1}])
+        lines = path.read_text().splitlines(keepends=True)
+        path.write_text("".join(lines[:-1]))  # truncate the footer away
+        with pytest.raises(ArtifactError, match="missing checksum footer"):
+            read_jsonl(str(path))
+
+    def test_verify_false_just_strips(self, tmp_path):
+        path = self._write(tmp_path, [{"value": 12345}])
+        data = bytearray(path.read_bytes())
+        data[data.index(ord("3"))] = ord("4")
+        path.write_bytes(bytes(data))
+        assert read_jsonl(str(path), verify=False) == [{"value": 12445}]
+
+    def test_unreadable_path(self, tmp_path):
+        with pytest.raises(ArtifactError, match="unreadable"):
+            read_jsonl(str(tmp_path / "missing.jsonl"))
+
+    def test_non_json_line(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ArtifactError, match="not valid JSON"):
+            read_jsonl(str(path))

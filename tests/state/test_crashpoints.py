@@ -1,0 +1,70 @@
+"""Unit tests for the deterministic crash injector."""
+
+import pytest
+
+from repro.state.crashpoints import (
+    CRASH,
+    CrashInjector,
+    SimulatedCrash,
+    crashing,
+    crashpoint,
+)
+
+
+class TestCrashInjector:
+    def test_fires_at_exact_step_with_label(self):
+        injector = CrashInjector(at_step=3)
+        injector.step("a")
+        injector.step("b")
+        with pytest.raises(SimulatedCrash) as exc:
+            injector.step("fatal-unit")
+        assert exc.value.step == 3
+        assert exc.value.label == "fatal-unit"
+        assert injector.steps_taken == 3
+
+    def test_pending_true_only_before_fatal_step(self):
+        injector = CrashInjector(at_step=2)
+        assert not injector.pending()
+        injector.step()
+        assert injector.pending()
+
+    def test_at_step_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CrashInjector(at_step=0)
+
+    def test_is_base_exception_not_exception(self):
+        # ``except Exception`` handlers (retry loops, tombstone
+        # conversion) must never swallow a simulated kill.
+        assert not issubclass(SimulatedCrash, Exception)
+        assert issubclass(SimulatedCrash, BaseException)
+
+
+class TestCrashpointScoping:
+    def test_crashpoint_is_free_without_injector(self):
+        assert CRASH.injector is None
+        crashpoint("anything")  # no-op, no error
+
+    def test_crashing_installs_and_restores(self):
+        injector = CrashInjector(at_step=10)
+        with crashing(injector):
+            assert CRASH.injector is injector
+            crashpoint()
+        assert CRASH.injector is None
+        assert injector.steps_taken == 1
+
+    def test_crashing_restores_after_simulated_death(self):
+        try:
+            with crashing(CrashInjector(at_step=1)):
+                crashpoint("dies")
+        except SimulatedCrash:
+            pass
+        assert CRASH.injector is None
+
+    def test_steps_counted_globally_across_sites(self):
+        injector = CrashInjector(at_step=4)
+        with crashing(injector):
+            crashpoint("survey")
+            crashpoint("history")
+            crashpoint("survey")
+            with pytest.raises(SimulatedCrash):
+                crashpoint("archive")

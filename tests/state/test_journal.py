@@ -1,0 +1,156 @@
+"""Unit tests for the checksummed write-ahead run journal."""
+
+import os
+
+import pytest
+
+from repro.state.crashpoints import CrashInjector, SimulatedCrash, crashing
+from repro.state.journal import (
+    JOURNAL_FORMAT,
+    JournalCorruption,
+    JournalError,
+    RunJournal,
+    _encode,
+    replay_journal,
+)
+
+
+def make_journal(path, units=3):
+    journal = RunJournal.create(str(path), {"run": "test"})
+    for n in range(units):
+        journal.append({"kind": "unit", "n": n})
+    journal.close()
+
+
+class TestRoundTrip:
+    def test_create_append_replay(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        make_journal(path)
+        records, truncated = replay_journal(str(path))
+        assert not truncated
+        assert records[0]["kind"] == "header"
+        assert records[0]["format"] == JOURNAL_FORMAT
+        assert records[0]["meta"] == {"run": "test"}
+        assert [r["n"] for r in records[1:]] == [0, 1, 2]
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+
+    def test_open_resumes_sequence(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        make_journal(path, units=2)
+        journal, records, truncated = RunJournal.open(str(path))
+        assert len(records) == 3 and not truncated
+        journal.append({"kind": "unit", "n": 2})
+        journal.close()
+        records, _ = replay_journal(str(path))
+        assert [r["seq"] for r in records] == [0, 1, 2, 3]
+
+    def test_replay_does_not_modify_file(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        make_journal(path)
+        # Even with a torn tail appended, read-only replay leaves it.
+        tainted = path.read_bytes() + b"deadbeef {\"seq\": 4, trunca"
+        path.write_bytes(tainted)
+        _, truncated = replay_journal(str(path))
+        assert truncated
+        assert path.read_bytes() == tainted
+
+    def test_close_is_idempotent(self, tmp_path):
+        journal = RunJournal.create(str(tmp_path / "run.jnl"))
+        journal.close()
+        journal.close()
+        assert journal.closed
+
+
+class TestTornTail:
+    def test_torn_tail_truncated_on_open(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        make_journal(path)
+        clean = path.read_bytes()
+        path.write_bytes(clean + _encode(4, {"kind": "unit"})[:-7])
+        journal, records, truncated = RunJournal.open(str(path))
+        journal.close()
+        assert truncated
+        assert len(records) == 4
+        assert path.read_bytes() == clean
+
+    def test_half_line_without_newline(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        make_journal(path)
+        clean = path.read_bytes()
+        path.write_bytes(clean + b"0a1b")
+        records, truncated = replay_journal(str(path))
+        assert truncated and len(records) == 4
+
+    def test_fully_torn_journal_is_unusable(self, tmp_path):
+        path = tmp_path / "empty.jnl"
+        path.write_bytes(b"garbage")
+        with pytest.raises(JournalError, match="no intact records"):
+            replay_journal(str(path))
+
+
+class TestCorruption:
+    def test_mid_file_damage_raises(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        make_journal(path)
+        lines = path.read_bytes().split(b"\n")
+        lines[1] = b"00000000" + lines[1][8:]  # break record 1's CRC
+        path.write_bytes(b"\n".join(lines))
+        with pytest.raises(JournalCorruption, match="mid-file"):
+            replay_journal(str(path))
+
+    def test_sequence_gap_raises(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        journal = RunJournal.create(str(path))
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(_encode(5, {"kind": "unit"}))  # seq 1 expected
+            handle.write(_encode(6, {"kind": "unit"}))
+        # Each record is intact on its own, so the gap cannot be a torn
+        # tail — valid records follow the first out-of-sequence one.
+        with pytest.raises(JournalCorruption):
+            replay_journal(str(path))
+
+    def test_sequence_gap_at_tail_reads_as_torn(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        journal = RunJournal.create(str(path))
+        journal.close()
+        with open(path, "ab") as handle:
+            handle.write(_encode(5, {"kind": "unit"}))
+        # A single trailing bad record with nothing valid after it is
+        # indistinguishable from a crash artifact: truncated, not fatal.
+        records, truncated = replay_journal(str(path))
+        assert truncated and len(records) == 1
+
+    def test_missing_header_raises(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        with open(path, "wb") as handle:
+            handle.write(_encode(0, {"kind": "unit"}))
+        with pytest.raises(JournalError, match="header"):
+            replay_journal(str(path))
+
+
+class TestCrashIntegration:
+    def test_fatal_append_dies_before_writing(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        journal = RunJournal.create(str(path))
+        with crashing(CrashInjector(at_step=2)):
+            journal.append({"kind": "unit", "n": 0})
+            with pytest.raises(SimulatedCrash):
+                journal.append({"kind": "unit", "n": 1})
+        journal.close()
+        records, truncated = replay_journal(str(path))
+        assert not truncated  # clean-boundary death: no torn bytes
+        assert [r.get("n") for r in records] == [None, 0]
+
+    def test_torn_append_leaves_half_record(self, tmp_path):
+        path = tmp_path / "run.jnl"
+        journal = RunJournal.create(str(path))
+        with crashing(CrashInjector(at_step=2, torn=True)):
+            journal.append({"kind": "unit", "n": 0})
+            with pytest.raises(SimulatedCrash):
+                journal.append({"kind": "unit", "n": 1})
+        journal.close()
+        reopened, records, truncated = RunJournal.open(str(path))
+        reopened.close()
+        assert truncated
+        assert [r.get("n") for r in records] == [None, 0]

@@ -12,7 +12,7 @@ import pkgutil
 
 import pytest
 
-DOCTESTED_PACKAGES = ("repro.filters", "repro.obs")
+DOCTESTED_PACKAGES = ("repro.filters", "repro.obs", "repro.state")
 
 
 def _modules() -> list[str]:
