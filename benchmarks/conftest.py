@@ -7,17 +7,27 @@ prints the paper-vs-measured comparison for its table or figure.
 
 Run with ``pytest benchmarks/ --benchmark-only -s`` to see the printed
 comparisons.
+
+Set ``BENCH_QUICK=1`` for the CI smoke mode: the shared study shrinks
+to a fraction of paper scale, so every benchmark still runs end to end
+(and still emits its JSON artifacts) in a couple of minutes, at the
+price of paper-comparable numbers.
 """
 
 from __future__ import annotations
+
+import os
 
 import pytest
 
 from repro.core.study import AcceptableAdsStudy, StudyConfig
 from repro.measurement.survey import SurveyConfig
 
+#: CI smoke mode: scaled-down artifacts, same code paths.
+BENCH_QUICK = os.environ.get("BENCH_QUICK", "") not in ("", "0")
+
 #: Zone scale used by benchmarks (results are scaled back up).
-BENCH_ZONE_DIVISOR = 2_000
+BENCH_ZONE_DIVISOR = 20_000 if BENCH_QUICK else 2_000
 
 
 @pytest.fixture(scope="session")
@@ -25,10 +35,11 @@ def paper_study() -> AcceptableAdsStudy:
     """The full paper-scale study (minutes to build, built once)."""
     config = StudyConfig(
         seed=2015,
-        key_bits=512,
-        survey=SurveyConfig(top_n=5_000, stratum_size=1_000),
+        key_bits=128 if BENCH_QUICK else 512,
+        survey=(SurveyConfig(top_n=500, stratum_size=100) if BENCH_QUICK
+                else SurveyConfig(top_n=5_000, stratum_size=1_000)),
         zone_scale_divisor=BENCH_ZONE_DIVISOR,
-        zone_noise_domains=2_000,
+        zone_noise_domains=200 if BENCH_QUICK else 2_000,
         perception_respondents=305,
     )
     return AcceptableAdsStudy(config)

@@ -78,6 +78,11 @@ def build_parser() -> argparse.ArgumentParser:
     survey.add_argument("--max-retries", type=int, default=2,
                         help="retries per target beyond the first "
                              "attempt")
+    survey.add_argument("--workers", type=int, default=None,
+                        metavar="N",
+                        help="crawl shared-nothing across N worker "
+                             "processes (results identical for every "
+                             "N; default: classic serial loop)")
 
     parking = add("parking", "Table 3 zone scan")
     parking.add_argument("--divisor", type=int, default=5_000,
@@ -110,7 +115,8 @@ def _study(args) -> AcceptableAdsStudy:
             stratum_size=getattr(args, "stratum", 150),
             fault_rate=getattr(args, "fault_rate", 0.0),
             fault_seed=getattr(args, "fault_seed", 0),
-            max_retries=getattr(args, "max_retries", 2)),
+            max_retries=getattr(args, "max_retries", 2),
+            workers=getattr(args, "workers", None)),
         zone_scale_divisor=getattr(args, "divisor", 5_000),
         checkpoint=getattr(args, "_checkpoint", None),
     ))

@@ -106,6 +106,12 @@ class AdblockEngine:
     element filters; the engine resolves interactions between them.
     """
 
+    #: Upper bound on memoised page-privilege entries; the cache is
+    #: cleared (not evicted) when full, which keeps the bookkeeping off
+    #: the hot path.  A survey visits each domain once, so in practice
+    #: the cap is never reached.
+    PRIVILEGE_CACHE_MAX = 4096
+
     def __init__(self, record: bool = False) -> None:
         self._blocking = FilterIndex()
         self._exceptions = FilterIndex()
@@ -115,6 +121,13 @@ class AdblockEngine:
         self._lists: list[FilterList] = []
         self.recording = record
         self.activations: list[Activation] = []
+        # Memoised document_privileges match results, keyed by
+        # (subscription epoch, page_url, page_host, sitekey).  The epoch
+        # advances on every filter added, so stale entries can never be
+        # served after a subscription change.
+        self._subscription_epoch = 0
+        self._privilege_cache: dict[
+            tuple, tuple[bool, bool, tuple[RequestFilter, ...]]] = {}
 
     # -- subscription management -------------------------------------
 
@@ -127,6 +140,9 @@ class AdblockEngine:
 
     def _add_filter(self, flt: RequestFilter | ElementFilter,
                     list_name: str) -> None:
+        self._subscription_epoch += 1
+        if self._privilege_cache:
+            self._privilege_cache.clear()
         self._list_of_filter[id(flt)] = list_name
         if isinstance(flt, RequestFilter):
             if flt.is_exception:
@@ -165,23 +181,43 @@ class AdblockEngine:
         ``sitekey`` is the (already signature-verified) public key the
         server presented, if any; sitekey exception filters only activate
         when it matches one of their keys.
+
+        The two exception-index scans are memoised per
+        ``(subscription epoch, page_url, page_host, sitekey)`` — the
+        crawler re-derives the same page's privileges for every request
+        on it, and the answer cannot change unless the subscriptions
+        do.  Activations are *not* cached: every call records the
+        granted filters exactly as an uncached scan would.
         """
-        allow_all = False
-        disable_elemhide = False
-        granted: list[RequestFilter] = []
-        for flt in self._exceptions.match_all(
-            page_url, ContentType.DOCUMENT, page_host, page_host,
-            sitekey=sitekey,
-        ):
-            allow_all = True
-            granted.append(flt)
-        for flt in self._exceptions.match_all(
-            page_url, ContentType.ELEMHIDE, page_host, page_host,
-            sitekey=sitekey,
-        ):
-            disable_elemhide = True
-            if flt not in granted:
-                granted.append(flt)
+        cache_key = (self._subscription_epoch, page_url, page_host, sitekey)
+        cached = self._privilege_cache.get(cache_key)
+        if cached is None:
+            allow_all = False
+            disable_elemhide = False
+            granted_list: list[RequestFilter] = []
+            for flt in self._exceptions.match_all(
+                page_url, ContentType.DOCUMENT, page_host, page_host,
+                sitekey=sitekey,
+            ):
+                allow_all = True
+                granted_list.append(flt)
+            for flt in self._exceptions.match_all(
+                page_url, ContentType.ELEMHIDE, page_host, page_host,
+                sitekey=sitekey,
+            ):
+                disable_elemhide = True
+                if flt not in granted_list:
+                    granted_list.append(flt)
+            granted = tuple(granted_list)
+            if len(self._privilege_cache) >= self.PRIVILEGE_CACHE_MAX:
+                self._privilege_cache.clear()
+            self._privilege_cache[cache_key] = (allow_all, disable_elemhide,
+                                                granted)
+        else:
+            allow_all, disable_elemhide, granted = cached
+            if OBS.enabled:
+                OBS.registry.counter(
+                    "filters.engine.privilege_cache_hits").inc()
         for flt in granted:
             self._record(Activation(
                 filter_text=flt.text,
@@ -199,7 +235,7 @@ class AdblockEngine:
         return DocumentPrivileges(
             allow_all=allow_all,
             disable_elemhide=disable_elemhide,
-            granted_by=tuple(granted),
+            granted_by=granted,
         )
 
     # -- request decisions ----------------------------------------------

@@ -46,15 +46,32 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
+from functools import lru_cache
 from typing import Iterable, Iterator
 
 from repro.filters.options import ContentType
 from repro.filters.parser import RequestFilter
 from repro.obs import OBS
+from repro.parallel.caches import register_process_cache
 
 __all__ = ["FilterIndex"]
 
 _URL_KEYWORD_RE = re.compile(r"[a-z0-9%]{3,}")
+
+
+@register_process_cache
+@lru_cache(maxsize=8192)
+def _url_tokens(url: str) -> tuple[str, ...]:
+    """The URL's distinct keyword tokens, first-occurrence order.
+
+    One probe tokenises the URL exactly once; the dedup that
+    :meth:`FilterIndex.candidates` used to do per probe with a seen-set
+    is folded into the token tuple itself.  Cached because a page visit
+    probes both the blocking and the exception index with the same URL
+    (and ad-network URLs repeat across pages), and registered as a
+    process cache so forked workers stay bounded.
+    """
+    return tuple(dict.fromkeys(_URL_KEYWORD_RE.findall(url.lower())))
 
 
 class FilterIndex:
@@ -119,11 +136,7 @@ class FilterIndex:
         >>> index._choose_keyword(parse_filter("/^ad[0-9]/"))
         ''
         """
-        from repro.filters.pattern import keyword_candidates
-
-        if flt.pattern is None:
-            return ""
-        candidates = keyword_candidates(flt.pattern_text)
+        candidates = flt.keyword_candidates
         if not candidates:
             return ""
         return min(candidates,
@@ -141,17 +154,16 @@ class FilterIndex:
         if not OBS.enabled:
             # The bare fast path: this is the hottest loop in the whole
             # survey, so the disabled cost of observability is exactly
-            # the one flag check above.
-            seen_buckets: set[str] = set()
-            for word in _URL_KEYWORD_RE.findall(url.lower()):
-                # Keyword extraction only emits separator-delimited
-                # tokens, so every matching filter's keyword appears as
-                # a full token of the URL; tokenising the URL the same
-                # way and probing each token covers all candidate
-                # buckets.
-                if word in self._by_keyword and word not in seen_buckets:
-                    seen_buckets.add(word)
-                    yield from self._by_keyword[word]
+            # the one flag check above.  Keyword extraction only emits
+            # separator-delimited tokens, so every matching filter's
+            # keyword appears as a full token of the URL; probing each
+            # distinct token (tokenised once, cached) covers all
+            # candidate buckets.
+            by_keyword = self._by_keyword
+            for word in _url_tokens(url):
+                bucket = by_keyword.get(word)
+                if bucket is not None:
+                    yield from bucket
             yield from self._fallback
             return
         yield from self._instrumented_candidates(url)

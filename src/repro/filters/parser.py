@@ -35,6 +35,7 @@ from repro.filters.pattern import (
     PatternError,
     compile_pattern,
     extract_keyword,
+    keyword_candidates,
 )
 from repro.filters.selectors import SelectorError, SelectorList, parse_selector
 from repro.obs import OBS
@@ -100,6 +101,19 @@ class RequestFilter(Filter):
     pattern: CompiledPattern | None
     options: FilterOptions
     is_exception: bool
+
+    @property
+    def keyword_candidates(self) -> tuple[str, ...]:
+        """Safe index keywords for this filter's pattern.
+
+        Computed once per distinct pattern text and cached (see
+        :func:`repro.filters.pattern.keyword_candidates`), so
+        :meth:`~repro.filters.index.FilterIndex.add` can re-rank the
+        candidates on every insertion without re-scanning the pattern.
+        """
+        if self.pattern is None:
+            return ()
+        return keyword_candidates(self.pattern_text)
 
     @property
     def keyword(self) -> str:

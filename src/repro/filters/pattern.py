@@ -14,16 +14,37 @@ special constructs (Appendix A.1):
   not a letter, digit, or one of ``_ - . %``, and *also* matches the end
   of the URL (so ``||adzerk.net^`` matches a bare ``http://adzerk.net``).
 
-Patterns wrapped in ``/.../`` are raw regular expressions.  Everything is
-compiled to a Python regex once, at parse time; matching is a single
-``re.search``.  ``match-case`` switches the compilation to case-sensitive
-(URLs are matched case-insensitively by default, as in ABP).
+Patterns wrapped in ``/.../`` are raw regular expressions.  Matching is
+a single ``re.search``.  ``match-case`` switches the compilation to
+case-sensitive (URLs are matched case-insensitively by default, as in
+ABP).
+
+Compilation is a hot path twice over: the survey parses EasyList once
+per engine configuration (thousands of lines each time), and the
+keyword index consults :func:`keyword_candidates` per filter.  Three
+caches keep it cheap:
+
+* :func:`compile_pattern` is memoised per ``(source, match_case)``, so
+  re-parsing the same list reuses the compiled objects outright;
+* the translated Python regex inside a :class:`CompiledPattern` is
+  compiled *lazily*, on first match — a filter that never reaches the
+  matcher (most of EasyList, for any one page) never pays
+  ``re.compile``.  Raw ``/.../`` patterns still compile eagerly, because
+  :class:`PatternError` for a malformed regex must surface at parse
+  time (the hygiene audit counts those);
+* :func:`keyword_candidates` is memoised per pattern text.
+
+All three are registered process caches
+(:mod:`repro.parallel.caches`): forked survey workers start them
+empty.
 """
 
 from __future__ import annotations
 
 import re
-from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.parallel.caches import register_process_cache
 
 __all__ = ["CompiledPattern", "compile_pattern", "PatternError",
            "extract_keyword", "keyword_candidates", "SEPARATOR_REGEX"]
@@ -37,31 +58,76 @@ class PatternError(ValueError):
 SEPARATOR_REGEX = r"(?:[^\w\-.%]|$)"
 
 
-@dataclass(frozen=True, slots=True)
 class CompiledPattern:
-    """A request pattern compiled to a regex.
+    """A request pattern compiled (lazily) to a regex.
 
     ``source`` is the original pattern text; ``is_regex`` records whether
-    it was a raw ``/.../`` pattern; ``is_literal_hostname`` is set for the
-    common ``||host^`` shape, letting the keyword index fast-path it.
+    it was a raw ``/.../`` pattern; ``anchored_hostname`` is set for the
+    common ``||host`` shape, letting the keyword index fast-path it.
+
+    The Python regex behind :attr:`regex` is built on first access and
+    cached on the instance — raw regex patterns arrive pre-compiled
+    (their syntax errors must surface at parse time), translated
+    patterns defer ``re.compile`` until the filter is first matched.
+    Instances are value-equal on ``(source, match_case)`` and treated as
+    immutable; :func:`compile_pattern` shares them freely.
     """
 
-    source: str
-    regex: re.Pattern[str]
-    is_regex: bool
-    match_case: bool
-    anchored_hostname: str | None = None
+    __slots__ = ("source", "is_regex", "match_case", "anchored_hostname",
+                 "_regex_source", "_flags", "_regex")
+
+    def __init__(self, *, source: str, regex_source: str, flags: int,
+                 is_regex: bool, match_case: bool,
+                 anchored_hostname: str | None = None,
+                 regex: re.Pattern[str] | None = None) -> None:
+        self.source = source
+        self.is_regex = is_regex
+        self.match_case = match_case
+        self.anchored_hostname = anchored_hostname
+        self._regex_source = regex_source
+        self._flags = flags
+        self._regex = regex
+
+    @property
+    def regex(self) -> re.Pattern[str]:
+        """The compiled regex, built on first use."""
+        regex = self._regex
+        if regex is None:
+            try:
+                regex = re.compile(self._regex_source, self._flags)
+            except re.error as exc:  # pragma: no cover - translation is safe
+                raise PatternError(
+                    f"failed to compile {self.source!r}: {exc}") from exc
+            self._regex = regex
+        return regex
 
     def matches(self, url: str) -> bool:
         """True when the pattern matches anywhere in ``url``."""
         return self.regex.search(url) is not None
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, CompiledPattern):
+            return NotImplemented
+        return (self.source, self.match_case) == (other.source,
+                                                  other.match_case)
 
+    def __hash__(self) -> int:
+        return hash((self.source, self.match_case))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CompiledPattern({self.source!r}, "
+                f"match_case={self.match_case})")
+
+
+@register_process_cache
+@lru_cache(maxsize=16384)
 def compile_pattern(source: str, match_case: bool = False) -> CompiledPattern:
     """Compile a filter pattern into a :class:`CompiledPattern`.
 
     Raises :class:`PatternError` for raw regex patterns that fail to
-    compile.
+    compile.  Memoised per ``(source, match_case)``: the survey builds
+    EasyList once per engine configuration, and every duplicate pattern
+    across builds shares one compiled object.
     """
     flags = 0 if match_case else re.IGNORECASE
 
@@ -71,7 +137,8 @@ def compile_pattern(source: str, match_case: bool = False) -> CompiledPattern:
             regex = re.compile(inner, flags)
         except re.error as exc:
             raise PatternError(f"bad regex pattern {source!r}: {exc}") from exc
-        return CompiledPattern(source=source, regex=regex, is_regex=True,
+        return CompiledPattern(source=source, regex_source=inner,
+                               flags=flags, regex=regex, is_regex=True,
                                match_case=match_case)
 
     text = source
@@ -99,11 +166,8 @@ def compile_pattern(source: str, match_case: bool = False) -> CompiledPattern:
     if end_anchor:
         parts.append("$")
 
-    try:
-        regex = re.compile("".join(parts), flags)
-    except re.error as exc:  # pragma: no cover - translation should be safe
-        raise PatternError(f"failed to compile {source!r}: {exc}") from exc
-    return CompiledPattern(source=source, regex=regex, is_regex=False,
+    return CompiledPattern(source=source, regex_source="".join(parts),
+                           flags=flags, is_regex=False,
                            match_case=match_case,
                            anchored_hostname=anchored_hostname)
 
@@ -144,18 +208,25 @@ _KEYWORD_RE = re.compile(
 _COMMON_KEYWORDS = frozenset({"http", "https", "www", "com"})
 
 
-def keyword_candidates(source: str) -> list[str]:
+@register_process_cache
+@lru_cache(maxsize=65536)
+def keyword_candidates(source: str) -> tuple[str, ...]:
     """All safe index keywords for a pattern (real-ABP style).
 
     A keyword is a literal token guaranteed to appear, separator-
     delimited, in every URL the pattern matches; the engine buckets
     filters by one of them so each request only tests a handful of
-    candidates.  Returns ``[]`` when no safe keyword exists (regex
-    patterns, very short or wildcard-adjacent literals) — such filters
-    go into the always-checked bucket.
+    candidates.  Returns an empty tuple when no safe keyword exists
+    (regex patterns, very short or wildcard-adjacent literals) — such
+    filters go into the always-checked bucket.
+
+    Memoised per pattern text (and therefore effectively computed once
+    per filter): :meth:`repro.filters.index.FilterIndex.add` consults
+    the candidates on every insertion, and the survey inserts the same
+    lists into multiple engine configurations.
     """
     if len(source) >= 2 and source.startswith("/") and source.endswith("/"):
-        return []
+        return ()
     candidates = []
     for match in _KEYWORD_RE.finditer(source):
         word = match.group(1).lower()
@@ -168,7 +239,7 @@ def keyword_candidates(source: str) -> list[str]:
         last = candidates[-1]
         if source.lower().endswith(last):
             candidates.pop()
-    return candidates
+    return tuple(candidates)
 
 
 def extract_keyword(source: str) -> str:

@@ -30,6 +30,7 @@ from repro.obs import OBS
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.history.generator import WhitelistHistory
 from repro.measurement.samples import SampleGroup, build_samples
+from repro.parallel.survey import run_sharded_survey
 from repro.state.checkpoint import Checkpoint
 from repro.web.crawlstate import journaled_survey
 from repro.web.crawler import (
@@ -61,6 +62,17 @@ class SurveyConfig:
     the first (so ``max_retries=2`` means up to three visits).  At the
     default ``fault_rate=0.0`` the resilient pipeline is a clean
     pass-through and results match the bare crawler exactly.
+
+    ``workers`` selects the execution model.  ``None`` (default) is the
+    classic serial loop threading one rng/breaker registry through the
+    crawl in target order.  Any integer >= 1 selects *shared-nothing*
+    execution (:mod:`repro.parallel.survey`): each target gets a
+    derived rng and fresh breaker, and targets are sharded across that
+    many worker processes.  Shared-nothing results are byte-identical
+    across all ``workers`` values (and match the serial loop whenever
+    ``fault_rate == 0``, where the rng and breakers are never
+    consulted); checkpoints resume across worker-count changes but not
+    across execution models.
     """
 
     top_n: int = 5_000
@@ -70,6 +82,7 @@ class SurveyConfig:
     fault_rate: float = 0.0
     fault_seed: int = 0
     max_retries: int = 2
+    workers: int | None = None
 
 
 @dataclass
@@ -171,14 +184,24 @@ def make_profile_factory(history: "WhitelistHistory"):
 
 
 def _survey_fingerprint(config: SurveyConfig, engine_config: str) -> dict:
-    """The scope configuration a survey checkpoint is pinned to."""
-    return {"engine_config": engine_config,
-            "top_n": config.top_n,
-            "stratum_size": config.stratum_size,
-            "with_whitelist": config.with_whitelist,
-            "fault_rate": config.fault_rate,
-            "fault_seed": config.fault_seed,
-            "max_retries": config.max_retries}
+    """The scope configuration a survey checkpoint is pinned to.
+
+    The shared-nothing path adds an ``execution`` marker: its journals
+    are *not* resumable by the serial loop (and vice versa) because the
+    two models draw backoff jitter differently.  The worker *count* is
+    deliberately absent — shared-nothing results are independent of it,
+    so a resume may change it freely.
+    """
+    fingerprint = {"engine_config": engine_config,
+                   "top_n": config.top_n,
+                   "stratum_size": config.stratum_size,
+                   "with_whitelist": config.with_whitelist,
+                   "fault_rate": config.fault_rate,
+                   "fault_seed": config.fault_seed,
+                   "max_retries": config.max_retries}
+    if config.workers is not None:
+        fingerprint["execution"] = "shared-nothing"
+    return fingerprint
 
 
 def run_survey(history: "WhitelistHistory",
@@ -233,9 +256,28 @@ def run_survey(history: "WhitelistHistory",
             OBS.registry.gauge("measurement.survey.targets").set(
                 sum(len(g.targets) for g in groups))
 
-        def crawl_config(crawler: Crawler, engine_config: str,
+        def crawl_config(crawler_factory, engine_config: str,
                          outcomes_by_group: dict, records_by_group: dict
                          ) -> None:
+            if config.workers is not None:
+                with tracer.span("survey.crawl.parallel",
+                                 config=engine_config,
+                                 workers=config.workers):
+                    surveyed = run_sharded_survey(
+                        groups, crawler_factory=crawler_factory,
+                        workers=config.workers,
+                        jitter_seed=config.fault_seed,
+                        checkpoint=checkpoint,
+                        scope=f"survey/{engine_config}",
+                        scope_config=_survey_fingerprint(
+                            config, engine_config))
+                for group in groups:
+                    outcomes = surveyed[group.name]
+                    outcomes_by_group[group.name] = outcomes
+                    records_by_group[group.name] = [
+                        o.record for o in outcomes if o.record is not None]
+                return
+            crawler = crawler_factory()
             if checkpoint is None:
                 for group in groups:
                     with tracer.span("survey.crawl", group=group.name,
@@ -257,15 +299,16 @@ def run_survey(history: "WhitelistHistory",
                 records_by_group[group.name] = [
                     o.record for o in outcomes if o.record is not None]
 
-        crawl_config(make_crawler(engine), "easylist+whitelist",
+        crawl_config(lambda: make_crawler(engine), "easylist+whitelist",
                      result.outcomes, result.records)
 
         if config.compare_without_whitelist:
             with tracer.span("survey.build_engines",
                              config="easylist-only"):
-                crawler_plain = make_crawler(
-                    build_engines(history, with_whitelist=False)[0])
-            crawl_config(crawler_plain, "easylist-only",
+                engine_plain = build_engines(
+                    history, with_whitelist=False)[0]
+            crawl_config(lambda: make_crawler(engine_plain),
+                         "easylist-only",
                          result.outcomes_easylist_only,
                          result.records_easylist_only)
 

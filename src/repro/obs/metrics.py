@@ -243,6 +243,61 @@ class MetricsRegistry:
                 out[label] = metric.value
         return out
 
+    def merge(self, source: "MetricsRegistry | list[dict]") -> None:
+        """Fold another registry's instruments into this one.
+
+        ``source`` may be a :class:`MetricsRegistry` or the list of
+        records its :meth:`snapshot` produced — the form worker
+        processes send home, since snapshots are plain JSON.  Counters
+        add, gauges take the incoming value (last writer wins), and
+        histograms add bucket counts, observation counts, and sums;
+        histogram bucket bounds must match or :class:`ValueError` is
+        raised, because summing differently bucketed distributions
+        would silently misreport them.
+
+        Merging per-unit snapshots in one fixed global order makes the
+        result independent of which worker produced which snapshot —
+        float sums are reassembled in the same order every time, which
+        is what keeps ``--metrics-out`` byte-identical across
+        ``--workers`` counts (see :mod:`repro.parallel`).
+
+        >>> a, b = MetricsRegistry(), MetricsRegistry()
+        >>> a.counter("events").inc(2)
+        >>> b.counter("events").inc(3)
+        >>> b.histogram("lat", bounds=(10.0,)).observe(7)
+        >>> a.merge(b)
+        >>> a.counter("events").value
+        5
+        >>> a.histogram("lat", bounds=(10.0,)).counts
+        [1, 0]
+        """
+        if not self.enabled:  # null registries discard merges too
+            return
+        records = (source.snapshot()
+                   if isinstance(source, MetricsRegistry) else source)
+        for record in records:
+            kind = record["type"]
+            name = record["name"]
+            labels = record.get("labels") or {}
+            if kind == "counter":
+                self.counter(name, **labels).inc(record["value"])
+            elif kind == "gauge":
+                self.gauge(name, **labels).set(record["value"])
+            elif kind == "histogram":
+                bounds = tuple(bucket["le"]
+                               for bucket in record["buckets"][:-1])
+                histogram = self.histogram(name, bounds=bounds, **labels)
+                if histogram.bounds != bounds:
+                    raise ValueError(
+                        f"histogram {name!r} bucket bounds differ: "
+                        f"{histogram.bounds} vs {bounds}")
+                for slot, bucket in enumerate(record["buckets"]):
+                    histogram.counts[slot] += bucket["count"]
+                histogram.count += record["count"]
+                histogram.sum += record["sum"]
+            else:
+                raise ValueError(f"cannot merge metric kind {kind!r}")
+
     def reset(self) -> None:
         self._metrics.clear()
 

@@ -1,0 +1,46 @@
+"""repro.parallel — deterministic shared-nothing parallel execution.
+
+The survey crawl is embarrassingly parallel per target, but naive
+parallelism would destroy the repo's core guarantee: byte-identical
+results for a given seed.  This subpackage provides parallelism that
+*keeps* the guarantee:
+
+* :mod:`repro.parallel.pool` — :class:`~repro.parallel.pool.WorkPool`,
+  a fork-based per-shard worker pool with an inline sequential
+  fallback, plus round-robin sharding;
+* :mod:`repro.parallel.rng` — pure per-unit RNG derivation, so no unit's
+  randomness depends on execution order;
+* :mod:`repro.parallel.caches` — a registry of process-local
+  ``lru_cache`` tables cleared across ``fork`` (bounded per-worker
+  memory, per-worker cache statistics);
+* :mod:`repro.parallel.survey` — the sharded survey executor: shard
+  journals that merge into the standard checkpoint format, ordered
+  metric-snapshot merging, resume across worker-count changes.
+
+Import note: this ``__init__`` re-exports only the dependency-free core
+(pool, rng, caches).  :mod:`repro.parallel.survey` imports the web and
+state layers — and those layers import :mod:`repro.parallel.caches` —
+so the executor is imported explicitly (``from repro.parallel.survey
+import run_sharded_survey``) to keep the import graph acyclic.
+"""
+
+from repro.parallel.caches import (
+    process_cache_stats,
+    register_process_cache,
+    registered_caches,
+    reset_process_caches,
+)
+from repro.parallel.pool import WorkerError, WorkPool, shard_round_robin
+from repro.parallel.rng import derive_rng, derive_seed
+
+__all__ = [
+    "WorkPool",
+    "WorkerError",
+    "shard_round_robin",
+    "derive_seed",
+    "derive_rng",
+    "register_process_cache",
+    "reset_process_caches",
+    "registered_caches",
+    "process_cache_stats",
+]

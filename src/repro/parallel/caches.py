@@ -1,0 +1,120 @@
+"""Process-wide cache registry with a fork guard.
+
+The hot paths memoize aggressively — ``repro.web.url`` caches
+public-suffix reductions, ``repro.filters.pattern`` caches compiled
+patterns and keyword candidates, ``repro.filters.index`` caches URL
+tokenisations.  All of those are process-local ``functools.lru_cache``
+tables, which interact badly with ``fork``-based parallelism in two
+ways:
+
+* a forked worker inherits the parent's cache *contents* (copy-on-write
+  pages that become private the moment the worker touches them, so a
+  big warm cache multiplies across the pool), and
+* it inherits the parent's ``cache_info()`` *statistics*, so per-worker
+  hit rates read as continuations of the parent's instead of starting
+  from zero.
+
+Every cache that should stay per-process registers here via
+:func:`register_process_cache`.  Registration installs (once) an
+``os.register_at_fork`` handler that clears all registered caches in
+the child, so workers start cold, bounded, and with honest statistics.
+:func:`reset_process_caches` is the explicit equivalent the worker
+bootstrap also calls, belt-and-braces, for exotic spawn paths where the
+at-fork hook does not run.
+
+The module deliberately imports nothing from the rest of the package:
+any subsystem (web, filters, state) can register its caches without
+creating an import cycle.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, TypeVar
+
+__all__ = [
+    "register_process_cache",
+    "reset_process_caches",
+    "registered_caches",
+    "process_cache_stats",
+]
+
+_CacheT = TypeVar("_CacheT")
+
+#: Registered cache objects; anything with a ``cache_clear()`` method
+#: (``lru_cache`` wrappers foremost).
+_CACHES: list = []
+
+_fork_guard_installed = False
+
+
+def _install_fork_guard() -> None:
+    global _fork_guard_installed
+    if _fork_guard_installed:
+        return
+    # Runs in every forked child (multiprocessing's fork start method
+    # included) before the child executes any user code.
+    os.register_at_fork(after_in_child=reset_process_caches)
+    _fork_guard_installed = True
+
+
+def register_process_cache(cache: _CacheT) -> _CacheT:
+    """Register a cache for per-process invalidation; usable as a decorator.
+
+    ``cache`` must expose ``cache_clear()`` (every ``functools.lru_cache``
+    wrapper does); ``cache_info()`` is optional and, when present, feeds
+    :func:`process_cache_stats`.
+
+    >>> from functools import lru_cache
+    >>> @register_process_cache
+    ... @lru_cache(maxsize=4)
+    ... def double(x):
+    ...     return 2 * x
+    >>> double(21)
+    42
+    >>> reset_process_caches()
+    >>> double.cache_info().currsize
+    0
+    """
+    if not callable(getattr(cache, "cache_clear", None)):
+        raise TypeError(
+            f"process cache {cache!r} has no cache_clear() method")
+    _CACHES.append(cache)
+    _install_fork_guard()
+    return cache
+
+
+def reset_process_caches() -> None:
+    """Clear every registered cache (called automatically after fork)."""
+    for cache in _CACHES:
+        cache.cache_clear()
+
+
+def registered_caches() -> tuple:
+    """The registered cache objects, in registration order."""
+    return tuple(_CACHES)
+
+
+def process_cache_stats() -> dict[str, dict[str, int]]:
+    """Per-cache ``hits``/``misses``/``currsize``/``maxsize`` for this
+    process.
+
+    Because registered caches are cleared at fork, a worker's stats
+    describe only its own shard of the work — not a continuation of
+    the parent's counters.
+    """
+    stats: dict[str, dict[str, int]] = {}
+    for cache in _CACHES:
+        info_fn = getattr(cache, "cache_info", None)
+        if info_fn is None:
+            continue
+        info = info_fn()
+        name = f"{getattr(cache, '__module__', '?')}." \
+               f"{getattr(cache, '__qualname__', repr(cache))}"
+        stats[name] = {
+            "hits": info.hits,
+            "misses": info.misses,
+            "currsize": info.currsize,
+            "maxsize": info.maxsize if info.maxsize is not None else -1,
+        }
+    return stats

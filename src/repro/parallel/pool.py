@@ -1,0 +1,170 @@
+"""A shared-nothing work pool over ``multiprocessing`` fork workers.
+
+``WorkPool`` runs one callable per *shard* (a pre-partitioned list of
+work units) and collects each shard's result.  The design is
+deliberately minimal and deterministic:
+
+* **Fork, not spawn.**  Workers inherit the parent's state (filter
+  engines, site profiles) by copy-on-write instead of pickling it
+  through a pipe; the shard callable may be a closure.  Registered
+  process caches are cleared in the child (see
+  :mod:`repro.parallel.caches`), and the worker bootstrap clears them
+  again explicitly as a belt-and-braces measure.
+* **Shared nothing.**  Workers never exchange state; each returns one
+  picklable result over a private pipe.  Merging is the caller's job,
+  which is what makes results independent of scheduling order.
+* **Sequential fallback.**  With one worker, a single shard, or no
+  usable ``fork`` start method (e.g. some non-POSIX platforms), shards
+  run inline in the calling process — same callable, same merge path,
+  same results.
+* **Fail loudly.**  A worker exception is captured with its traceback
+  and re-raised in the parent as :class:`WorkerError`; a worker that
+  dies without reporting (OOM-kill, hard crash) raises too, with its
+  exit code.
+
+The pool knows nothing about crawling or surveys; the survey-specific
+executor lives in :mod:`repro.parallel.survey`.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from typing import Callable, Sequence, TypeVar
+
+from repro.parallel.caches import reset_process_caches
+
+__all__ = ["WorkPool", "WorkerError", "shard_round_robin"]
+
+_ItemT = TypeVar("_ItemT")
+_ResultT = TypeVar("_ResultT")
+
+
+class WorkerError(RuntimeError):
+    """A pool worker failed; carries the shard index and worker detail."""
+
+    def __init__(self, shard_index: int, detail: str):
+        super().__init__(
+            f"worker for shard {shard_index} failed:\n{detail}")
+        self.shard_index = shard_index
+        self.detail = detail
+
+
+def shard_round_robin(items: Sequence[_ItemT],
+                      shards: int) -> list[list[_ItemT]]:
+    """Deal ``items`` into ``shards`` lists, round-robin.
+
+    Round-robin keeps shard loads balanced without knowing per-item
+    cost, and the assignment is a pure function of (item position,
+    shard count) — no randomness, so a resumed run with the same
+    pending set re-creates the same shards.
+
+    >>> shard_round_robin(["a", "b", "c", "d", "e"], 2)
+    [['a', 'c', 'e'], ['b', 'd']]
+    >>> shard_round_robin([], 3)
+    [[], [], []]
+    """
+    if shards < 1:
+        raise ValueError(f"shards must be >= 1, got {shards}")
+    dealt: list[list[_ItemT]] = [[] for _ in range(shards)]
+    for position, item in enumerate(items):
+        dealt[position % shards].append(item)
+    return dealt
+
+
+def _worker_main(fn: Callable, shard_index: int, shard: Sequence,
+                 conn) -> None:
+    """Forked worker entry point: run one shard, report, exit hard."""
+    reset_process_caches()
+    try:
+        result = fn(shard_index, shard)
+    except BaseException:
+        try:
+            conn.send(("error", traceback.format_exc()))
+        finally:
+            conn.close()
+        # _exit skips atexit handlers and buffered-stream flushing that
+        # belong to the forked-from parent, not this worker.
+        os._exit(1)
+    conn.send(("ok", result))
+    conn.close()
+    os._exit(0)
+
+
+class WorkPool:
+    """Run per-shard callables across fork workers (or inline).
+
+    ``fn`` is called as ``fn(shard_index, shard_items)`` and must return
+    a picklable value.  ``map_shards`` preserves shard order in its
+    result list regardless of completion order.
+    """
+
+    def __init__(self, workers: int, *, start_method: str = "fork"):
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self._start_method = (
+            start_method
+            if start_method in multiprocessing.get_all_start_methods()
+            else None)
+
+    @property
+    def forks(self) -> bool:
+        """Whether this pool can actually fork worker processes."""
+        return self.workers > 1 and self._start_method is not None
+
+    def map_shards(self, shards: Sequence[Sequence],
+                   fn: Callable) -> list:
+        """Run ``fn`` over every shard; return results in shard order."""
+        if len(shards) > max(self.workers, 1):
+            raise ValueError(
+                f"{len(shards)} shards exceed pool size {self.workers}")
+        if not shards:
+            return []
+        if not self.forks or len(shards) == 1:
+            # Same failure contract as the forked path: a shard failure
+            # always surfaces as WorkerError, whichever executor ran it.
+            results = []
+            for index, shard in enumerate(shards):
+                try:
+                    results.append(fn(index, shard))
+                except Exception as exc:
+                    raise WorkerError(
+                        index, traceback.format_exc()) from exc
+            return results
+        return self._map_forked(shards, fn)
+
+    def _map_forked(self, shards: Sequence[Sequence], fn: Callable) -> list:
+        context = multiprocessing.get_context(self._start_method)
+        procs = []
+        for index, shard in enumerate(shards):
+            receiver, sender = context.Pipe(duplex=False)
+            proc = context.Process(
+                target=_worker_main, args=(fn, index, shard, sender),
+                daemon=True)
+            proc.start()
+            sender.close()  # parent keeps only the read end
+            procs.append((index, proc, receiver))
+
+        results: list = [None] * len(shards)
+        failures: list[tuple[int, str]] = []
+        for index, proc, receiver in procs:
+            try:
+                status, value = receiver.recv()
+            except EOFError:
+                proc.join()
+                status, value = "error", (
+                    f"worker exited without reporting "
+                    f"(exitcode {proc.exitcode})")
+            if status == "ok":
+                results[index] = value
+            else:
+                failures.append((index, value))
+        for _, proc, receiver in procs:
+            receiver.close()
+            proc.join()
+        if failures:
+            index, detail = failures[0]
+            raise WorkerError(index, detail)
+        return results

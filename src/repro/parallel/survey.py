@@ -1,0 +1,262 @@
+"""Shared-nothing sharded execution of the Section 5 survey crawl.
+
+:func:`run_sharded_survey` is the parallel counterpart of
+:func:`repro.web.crawlstate.journaled_survey`.  It flattens a survey's
+sample groups into one globally ordered unit list, deals the pending
+units round-robin into shards, and crawls each shard on a
+:class:`~repro.parallel.pool.WorkPool` worker.  Results are
+byte-identical to a one-worker run — for *any* worker count and any
+scheduling order — because every unit is executed shared-nothing:
+
+* its backoff jitter comes from an RNG derived purely from
+  ``(fault_seed, "crawl-jitter", domain, rank)`` (see
+  :mod:`repro.parallel.rng`), not from a stream shared with earlier
+  targets;
+* it gets a fresh circuit breaker (survey domains are distinct, so the
+  serial pipeline never accumulates cross-target breaker state to
+  lose);
+* its simulated clock is rewound to zero, so each unit's latency is an
+  exact float sum from ``t=0`` rather than a difference between two
+  large accumulated clock positions;
+* outcomes round-trip through the checkpoint snapshot codec before
+  merging, so a live result and a journal-restored one are the same
+  object shape down to the byte.
+
+**Durability.**  When a checkpoint is given, each worker appends its
+completed units to a private *shard journal*
+(``<checkpoint>.shardNNN``, same checksummed format as the main
+journal, each record tagged with the unit's global index).  After the
+pool drains, the parent folds every unit into the main checkpoint in
+global order and deletes the shard files — so a finished checkpoint is
+indistinguishable from a serial one.  On resume, leftover shard
+journals from a crashed run are *adopted* into the checkpoint first;
+since sharding is derived from the pending set, resuming with a
+different ``--workers`` count Just Works.
+
+**Metrics.**  Each unit is crawled under a private
+:class:`~repro.obs.metrics.MetricsRegistry` (when observability is on)
+whose snapshot travels home with the outcome; the parent merges the
+snapshots in global unit order via
+:meth:`~repro.obs.metrics.MetricsRegistry.merge`, so ``--metrics-out``
+totals — including float histogram sums — are reassembled identically
+for every worker count.  Per-visit tracing spans are dropped in pool
+mode (they cannot be stitched across processes); survey-level spans
+still come from the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Sequence
+
+from repro.obs import NULL_REGISTRY, NULL_TRACER, OBS, MetricsRegistry
+from repro.parallel.pool import WorkPool, shard_round_robin
+from repro.parallel.rng import derive_rng
+from repro.state.checkpoint import Checkpoint
+from repro.state.journal import JournalError, RunJournal, replay_journal
+from repro.web.crawler import Crawler, CrawlOutcome, CrawlTarget
+from repro.web.crawlstate import restore_outcome, snapshot_outcome, unit_key
+from repro.web.resilience import CircuitBreaker
+
+__all__ = [
+    "run_sharded_survey",
+    "adopt_shard_journals",
+    "shard_journal_path",
+    "list_shard_journals",
+]
+
+#: Purpose label mixed into every derived per-unit rng seed.
+_JITTER_LABEL = "crawl-jitter"
+
+_SHARD_SUFFIX = ".shard"
+
+
+# -- shard journals --------------------------------------------------------
+
+def shard_journal_path(checkpoint_path: str, shard_index: int) -> str:
+    """Where shard ``shard_index`` journals its completed units."""
+    return f"{checkpoint_path}{_SHARD_SUFFIX}{shard_index:03d}"
+
+
+def list_shard_journals(checkpoint_path: str) -> list[str]:
+    """Existing shard journal files next to ``checkpoint_path``, sorted."""
+    directory = os.path.dirname(checkpoint_path) or "."
+    prefix = os.path.basename(checkpoint_path) + _SHARD_SUFFIX
+    try:
+        names = os.listdir(directory)
+    except FileNotFoundError:
+        return []
+    return sorted(
+        os.path.join(directory, name) for name in names
+        if name.startswith(prefix) and name[len(prefix):].isdigit())
+
+
+def adopt_shard_journals(checkpoint: Checkpoint, scope: str) -> int:
+    """Fold leftover shard journals from a crashed run into ``checkpoint``.
+
+    Units are adopted in global-index order so the main journal reads
+    exactly as if the crashed run had merged them itself; units the
+    checkpoint already has (the crash hit mid-merge) are skipped.  A
+    shard file is deleted once it holds nothing belonging to another
+    scope; an unreadable (corrupt) shard is discarded — its units are
+    simply re-crawled, deterministically.
+
+    Returns the number of units adopted.
+    """
+    adopted = 0
+    for path in list_shard_journals(checkpoint.path):
+        try:
+            records, _truncated = replay_journal(path)
+        except JournalError:
+            records = []
+        units = [record for record in records
+                 if record.get("kind") == "unit"]
+        mine = sorted((unit for unit in units if unit["scope"] == scope),
+                      key=lambda unit: unit["index"])
+        for unit in mine:
+            if not checkpoint.is_done(scope, unit["key"]):
+                checkpoint.record(scope, unit["key"], unit["payload"])
+                adopted += 1
+        if all(unit["scope"] == scope for unit in units):
+            os.remove(path)
+    if adopted:
+        checkpoint.sync()
+    return adopted
+
+
+# -- per-unit shared-nothing execution -------------------------------------
+
+def _crawl_units(crawler: Crawler,
+                 units: Sequence[tuple[int, str, CrawlTarget]],
+                 *, jitter_seed: int, collect_metrics: bool,
+                 record_unit: Callable[[int, str, dict], None]) -> list:
+    """Crawl ``units`` shared-nothing; return mergeable result tuples.
+
+    Each returned tuple is ``(index, key, payload, metrics)`` where
+    ``payload`` is the checkpoint unit payload and ``metrics`` is the
+    unit's registry snapshot (``None`` with metrics off).  The payload's
+    ``state`` is empty by design: shared-nothing units have no
+    cross-visit crawler state for a resume to rewind.
+    """
+    results = []
+    for index, group_name, target in units:
+        rng = derive_rng(jitter_seed, _JITTER_LABEL, target.domain,
+                         target.rank)
+        breaker = CircuitBreaker()
+        # Latencies are clock *deltas*; rewinding to zero per unit makes
+        # them exact sums from t=0, independent of what earlier units on
+        # this worker consumed (float addition is not associative).
+        crawler.clock.rewind()
+        metrics = None
+        if OBS.enabled:
+            previous = (OBS.registry, OBS.tracer, OBS.enabled)
+            registry = MetricsRegistry() if collect_metrics else NULL_REGISTRY
+            OBS.registry = registry
+            OBS.tracer = NULL_TRACER
+            OBS.enabled = registry.enabled
+            try:
+                outcome = crawler.visit_target(target, rng=rng,
+                                               breaker=breaker)
+            finally:
+                OBS.registry, OBS.tracer, OBS.enabled = previous
+            if collect_metrics:
+                metrics = registry.snapshot()
+        else:
+            outcome = crawler.visit_target(target, rng=rng, breaker=breaker)
+        key = unit_key(group_name, target)
+        payload = {"group": group_name,
+                   "outcome": snapshot_outcome(outcome),
+                   "state": {}}
+        record_unit(index, key, payload)
+        results.append((index, key, payload, metrics))
+    return results
+
+
+# -- the sharded survey ----------------------------------------------------
+
+def run_sharded_survey(groups, *, crawler_factory: Callable[[], Crawler],
+                       workers: int, jitter_seed: int = 0,
+                       checkpoint: Checkpoint | None = None,
+                       scope: str = "survey",
+                       scope_config: dict | None = None
+                       ) -> dict[str, list[CrawlOutcome]]:
+    """Crawl ``groups`` across ``workers`` shared-nothing workers.
+
+    ``crawler_factory`` must build an equivalent crawler on every call
+    (each worker constructs its own); ``jitter_seed`` roots the
+    per-unit rng derivation and should be the survey's ``fault_seed``.
+    With a ``checkpoint``, completed units are restored instead of
+    re-crawled and new ones are journaled crash-safely (see module
+    docstring).  Returns outcomes per group, in target order —
+    byte-identical for any ``workers`` value.
+    """
+    if workers < 1:
+        raise ValueError(f"workers must be >= 1, got {workers}")
+    units: list[tuple[int, str, CrawlTarget]] = [
+        (index, group.name, target)
+        for index, (group, target) in enumerate(
+            (group, target) for group in groups for target in group.targets)]
+    outcomes: dict[int, CrawlOutcome] = {}
+
+    checkpoint_path = None
+    if checkpoint is not None:
+        checkpoint_path = checkpoint.path
+        checkpoint.begin_scope(scope, scope_config)
+        adopt_shard_journals(checkpoint, scope)
+        index_by_key = {unit_key(group_name, target): index
+                        for index, group_name, target in units}
+        for key, payload in checkpoint.completed(scope):
+            index = index_by_key.get(key)
+            if index is not None:
+                outcomes[index] = restore_outcome(payload["outcome"])
+
+    pending = [unit for unit in units if unit[0] not in outcomes]
+    shards = shard_round_robin(pending, max(1, min(workers, len(pending))))
+    collect_metrics = OBS.registry.enabled
+
+    def crawl_shard(shard_index: int, shard_units) -> list:
+        crawler = crawler_factory()
+        journal = None
+        if checkpoint_path is not None:
+            journal = RunJournal.create(
+                shard_journal_path(checkpoint_path, shard_index),
+                {"shard": shard_index, "scope": scope})
+
+        def record_unit(index: int, key: str, payload: dict) -> None:
+            if journal is not None:
+                journal.append({"kind": "unit", "scope": scope,
+                                "key": key, "index": index,
+                                "payload": payload})
+
+        try:
+            return _crawl_units(crawler, shard_units,
+                                jitter_seed=jitter_seed,
+                                collect_metrics=collect_metrics,
+                                record_unit=record_unit)
+        finally:
+            if journal is not None:
+                journal.close()
+
+    shard_results = (WorkPool(workers).map_shards(shards, crawl_shard)
+                     if pending else [])
+
+    merged = sorted((result for shard in shard_results for result in shard),
+                    key=lambda result: result[0])
+    for index, key, payload, metrics in merged:
+        if checkpoint is not None:
+            checkpoint.record(scope, key, payload)
+        if collect_metrics and metrics is not None:
+            OBS.registry.merge(metrics)
+        outcomes[index] = restore_outcome(payload["outcome"])
+    if checkpoint is not None:
+        checkpoint.sync()
+        for shard_index in range(len(shards)):
+            path = shard_journal_path(checkpoint.path, shard_index)
+            if os.path.exists(path):
+                os.remove(path)
+
+    outcomes_by_group: dict[str, list[CrawlOutcome]] = {
+        group.name: [] for group in groups}
+    for index, group_name, _target in units:
+        outcomes_by_group[group_name].append(outcomes[index])
+    return outcomes_by_group

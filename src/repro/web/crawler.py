@@ -247,11 +247,23 @@ class Crawler:
         self.rng = rng if rng is not None else random.Random(0)
         self.breakers = breakers or BreakerRegistry()
 
-    def visit_target(self, target: CrawlTarget) -> CrawlOutcome:
-        """Visit one (validated) target through the resilience pipeline."""
+    def visit_target(self, target: CrawlTarget, *,
+                     rng: random.Random | None = None,
+                     breaker=None) -> CrawlOutcome:
+        """Visit one (validated) target through the resilience pipeline.
+
+        ``rng`` and ``breaker`` override the crawler's shared backoff
+        rng and per-registered-domain breaker for this one visit.  The
+        shared-nothing executor (:mod:`repro.parallel.survey`) passes a
+        per-target derived rng and a fresh breaker so the visit's
+        result is independent of every other target's execution.
+        """
         _validate_target(target)
         profile = self._profile_factory(target)
-        breaker = self.breakers.get(target.domain)
+        if breaker is None:
+            breaker = self.breakers.get(target.domain)
+        if rng is None:
+            rng = self.rng
 
         def attempt(_n: int) -> PageVisit:
             if self.injector is not None:
@@ -266,7 +278,7 @@ class Crawler:
                                  group=target.group_index):
                 call = execute_with_policy(
                     attempt, policy=self.policy, clock=self.clock,
-                    rng=self.rng, breaker=breaker)
+                    rng=rng, breaker=breaker)
             reg = OBS.registry
             reg.counter("web.crawl.outcomes",
                         status=call.status.value).inc()
@@ -280,7 +292,7 @@ class Crawler:
         else:
             call = execute_with_policy(
                 attempt, policy=self.policy, clock=self.clock,
-                rng=self.rng, breaker=breaker)
+                rng=rng, breaker=breaker)
         record = None
         if call.value is not None:
             record = CrawlRecord(target=target, visit=call.value,

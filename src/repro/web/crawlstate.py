@@ -55,6 +55,7 @@ __all__ = [
     "snapshot_crawler_state",
     "restore_crawler_state",
     "merge_states",
+    "unit_key",
     "journaled_survey",
 ]
 
@@ -250,8 +251,18 @@ def restore_crawler_state(crawler: Crawler, state: dict) -> None:
 
 # -- the journaled survey loop --------------------------------------------
 
-def _unit_key(group_name: str, target: CrawlTarget) -> str:
+def unit_key(group_name: str, target: CrawlTarget) -> str:
+    """The journal key identifying one (group, target) unit of work.
+
+    Shared with :mod:`repro.parallel.survey` so serial and sharded
+    executors write interchangeable checkpoint records — which is what
+    lets ``--resume`` move between them and across worker counts.
+    """
     return f"{group_name}/{target.domain}#{target.rank}"
+
+
+#: Backwards-compatible alias (pre-parallel internal name).
+_unit_key = unit_key
 
 
 def journaled_survey(crawler: Crawler, groups, *,
@@ -284,7 +295,7 @@ def journaled_survey(crawler: Crawler, groups, *,
     last_rng = snapshot_rng(crawler.rng)
     for group in groups:
         pending = [target for target in group.targets
-                   if _unit_key(group.name, target) not in done_keys]
+                   if unit_key(group.name, target) not in done_keys]
         if not pending:
             continue
         span = (span_factory(group.name) if span_factory is not None
@@ -294,7 +305,7 @@ def journaled_survey(crawler: Crawler, groups, *,
                 outcome = crawler.visit_target(target)
                 state, last_rng = snapshot_crawler_state(crawler, last_rng)
                 checkpoint.record(
-                    scope, _unit_key(group.name, target),
+                    scope, unit_key(group.name, target),
                     {"group": group.name,
                      "outcome": snapshot_outcome(outcome),
                      "state": state})

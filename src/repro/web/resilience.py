@@ -66,6 +66,17 @@ class SimulatedClock:
             raise ValueError(f"cannot advance clock by {seconds}")
         self._now += seconds
 
+    def rewind(self, to: float = 0.0) -> None:
+        """Reset the clock to an absolute position.
+
+        Elapsed times are float *differences*, and ``(t + d) - t`` only
+        equals ``d`` exactly when ``t`` is the same — so shared-nothing
+        execution (:mod:`repro.parallel`) rewinds to zero before every
+        unit to make each unit's latencies independent of how much
+        simulated time earlier units on the same worker consumed.
+        """
+        self._now = float(to)
+
     #: Backoff code calls ``sleep``; on a simulated clock it just advances.
     sleep = advance
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from functools import lru_cache
 
+from repro.parallel.caches import register_process_cache
+
 __all__ = [
     "URL",
     "URLError",
@@ -190,11 +192,16 @@ def domain_labels(host: str) -> list[str]:
     return host.lower().rstrip(".").split(".")
 
 
+@register_process_cache
 @lru_cache(maxsize=65536)
 def public_suffix(host: str) -> str:
     """Return the public suffix of ``host`` (``co.uk`` for ``bbc.co.uk``).
 
     Single-label hosts (e.g. ``localhost``) are their own suffix.
+
+    Registered as a process cache: forked survey workers start with it
+    cleared, so per-worker memory stays bounded and cache statistics
+    describe the worker's own shard (see :mod:`repro.parallel.caches`).
     """
     labels = domain_labels(host)
     if len(labels) == 1:
@@ -208,13 +215,15 @@ def public_suffix(host: str) -> str:
     return labels[-1]
 
 
+@register_process_cache
 @lru_cache(maxsize=65536)
 def registered_domain(host: str) -> str:
     """Reduce ``host`` to its effective second-level domain.
 
     ``maps.google.com`` -> ``google.com``; ``news.bbc.co.uk`` ->
     ``bbc.co.uk``.  A host that *is* a public suffix (or a single label)
-    is returned unchanged.
+    is returned unchanged.  Cleared across ``fork`` like
+    :func:`public_suffix`.
     """
     labels = domain_labels(host)
     suffix = public_suffix(host)

@@ -1,0 +1,207 @@
+"""Acceptance: ``--workers N`` output is byte-identical for every N.
+
+The shared-nothing executor's contract (see ``docs/PERFORMANCE.md``) is
+that worker count is an execution detail, never a result parameter:
+outcome projections, rendered crawl-health tables, metric exports, and
+the checkpoint journal itself must come out byte-for-byte the same for
+``--workers 1``, ``2``, and ``8`` — including when a crashed run is
+resumed under a *different* worker count than it started with.
+"""
+
+import io
+import json
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.measurement.stats import section51_headline
+from repro.measurement.survey import SurveyConfig, run_survey
+from repro.obs import JsonLinesExporter, MetricsRegistry, observe
+from repro.parallel.survey import list_shard_journals
+from repro.reporting.tables import render_crawl_health
+from repro.state import Checkpoint, CheckpointError
+from repro.state.crashpoints import CrashInjector, SimulatedCrash, crashing
+from repro.web.crawlstate import snapshot_outcome
+
+#: Same adversarial shape as the crash-resume suite: 30% injected
+#: faults exercise retries and rng-consuming backoff on every worker.
+_BASE = dict(top_n=20, stratum_size=5, fault_rate=0.3, fault_seed=7)
+
+
+def _config(workers):
+    return SurveyConfig(**_BASE, workers=workers)
+
+
+def _canonical(result) -> str:
+    """Everything downstream consumers read, as one comparable string."""
+    payload = {
+        "with": {group: [snapshot_outcome(o) for o in outcomes]
+                 for group, outcomes in result.outcomes.items()},
+        "without": {group: [snapshot_outcome(o) for o in outcomes]
+                    for group, outcomes
+                    in result.outcomes_easylist_only.items()},
+    }
+    return "\n".join([
+        json.dumps(payload, sort_keys=True),
+        render_crawl_health(result.crawl_health()),
+        repr(section51_headline(result.all_records())),
+    ])
+
+
+@pytest.fixture(scope="module")
+def one_worker_baseline(history):
+    """The ``--workers 1`` run every other worker count must match."""
+    return _canonical(run_survey(history, _config(1)))
+
+
+class TestWorkerCountInvariance:
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_output_byte_identical(self, history, one_worker_baseline,
+                                   workers):
+        assert _canonical(run_survey(history, _config(workers))) == \
+            one_worker_baseline
+
+    def test_zero_fault_pool_matches_legacy_serial(self, history):
+        """With no faults there is no jitter to draw, so the pool and the
+        classic serial loop agree exactly."""
+        legacy = SurveyConfig(top_n=20, stratum_size=5, fault_rate=0.0)
+        pooled = SurveyConfig(top_n=20, stratum_size=5, fault_rate=0.0,
+                              workers=4)
+        assert _canonical(run_survey(history, legacy)) == \
+            _canonical(run_survey(history, pooled))
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_metrics_export_byte_identical(self, history, tmp_path,
+                                           workers):
+        def export(count, name):
+            with observe(registry=MetricsRegistry()) as (registry, _):
+                run_survey(history, _config(count))
+                path = str(tmp_path / name)
+                JsonLinesExporter(path).export(registry=registry)
+            with open(path, "rb") as handle:
+                return handle.read()
+
+        assert export(workers, f"w{workers}.jsonl") == \
+            export(1, f"w1-vs-{workers}.jsonl")
+
+    def test_checkpoint_journal_byte_identical(self, history, tmp_path):
+        def journal_bytes(workers, name):
+            path = str(tmp_path / name)
+            checkpoint = Checkpoint.start(path)
+            try:
+                run_survey(history, _config(workers),
+                           checkpoint=checkpoint)
+            finally:
+                checkpoint.close()
+            assert list_shard_journals(path) == []  # merged and removed
+            with open(path, "rb") as handle:
+                return handle.read()
+
+        reference = journal_bytes(1, "w1.ckpt")
+        assert journal_bytes(4, "w4.ckpt") == reference
+        assert journal_bytes(8, "w8.ckpt") == reference
+
+
+class TestResumeAcrossWorkerCounts:
+    def _crash(self, history, path, at_step, workers):
+        checkpoint = Checkpoint.start(path)
+        try:
+            with crashing(CrashInjector(at_step=at_step)):
+                with pytest.raises(SimulatedCrash):
+                    run_survey(history, _config(workers),
+                               checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+
+    @pytest.mark.parametrize("at_step", [10, 50])
+    def test_resume_with_more_workers_identical(
+            self, history, one_worker_baseline, tmp_path, at_step):
+        """Crash a one-worker run mid-shard, finish it with eight."""
+        path = str(tmp_path / "run.ckpt")
+        self._crash(history, path, at_step, workers=1)
+        # The crash interrupted shard journaling, so a leftover shard
+        # file must exist for the resume to adopt.
+        assert list_shard_journals(path)
+        resumed = Checkpoint.resume(path)
+        assert resumed.resumed
+        try:
+            result = run_survey(history, _config(8), checkpoint=resumed)
+        finally:
+            resumed.close()
+        assert _canonical(result) == one_worker_baseline
+        assert list_shard_journals(path) == []
+
+    def test_resumed_journal_bytes_match_uninterrupted(self, history,
+                                                       tmp_path):
+        uninterrupted = str(tmp_path / "base.ckpt")
+        checkpoint = Checkpoint.start(uninterrupted)
+        try:
+            run_survey(history, _config(2), checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+
+        crashed = str(tmp_path / "crashed.ckpt")
+        self._crash(history, crashed, at_step=10, workers=1)
+        resumed = Checkpoint.resume(crashed)
+        try:
+            run_survey(history, _config(2), checkpoint=resumed)
+        finally:
+            resumed.close()
+
+        with open(uninterrupted, "rb") as handle:
+            expected = handle.read()
+        with open(crashed, "rb") as handle:
+            assert handle.read() == expected
+
+    def test_corrupt_shard_journal_is_discarded_and_recrawled(
+            self, history, one_worker_baseline, tmp_path):
+        path = str(tmp_path / "run.ckpt")
+        self._crash(history, path, at_step=10, workers=1)
+        shard_path, = list_shard_journals(path)
+        with open(shard_path, "wb") as handle:
+            handle.write(b"\x00 garbage, not a journal \x00")
+        resumed = Checkpoint.resume(path)
+        try:
+            result = run_survey(history, _config(4), checkpoint=resumed)
+        finally:
+            resumed.close()
+        assert _canonical(result) == one_worker_baseline
+        assert not os.path.exists(shard_path)
+
+    def test_pool_and_legacy_checkpoints_do_not_cross_resume(
+            self, history, tmp_path):
+        """Serial and shared-nothing runs draw jitter differently, so a
+        checkpoint from one must not silently continue as the other."""
+        path = str(tmp_path / "run.ckpt")
+        self._crash(history, path, at_step=10, workers=1)
+        resumed = Checkpoint.resume(path)
+        legacy = SurveyConfig(**_BASE)  # workers=None: classic serial
+        try:
+            with pytest.raises(CheckpointError, match="not be comparable"):
+                run_survey(history, legacy, checkpoint=resumed)
+        finally:
+            resumed.close()
+
+
+class TestCliWorkers:
+    ARGS = ("survey", "--fast", "--top", "20", "--stratum", "5",
+            "--fault-rate", "0.3")
+
+    def _run(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        assert code == 0, out.getvalue()
+        return out.getvalue()
+
+    def test_workers_flag_output_identical(self):
+        serial = self._run(*self.ARGS, "--workers", "1")
+        assert self._run(*self.ARGS, "--workers", "4") == serial
+
+    def test_workers_resume_with_different_count(self, tmp_path):
+        path = str(tmp_path / "cli.ckpt")
+        first = self._run(*self.ARGS, "--workers", "2",
+                          "--checkpoint", path)
+        resumed = self._run(*self.ARGS, "--workers", "8",
+                            "--checkpoint", path, "--resume")
+        assert resumed == f"resuming from checkpoint {path}\n" + first

@@ -147,6 +147,82 @@ class TestMetricsRegistry:
         assert len(r) == 0 and r.samples() == []
 
 
+class TestMerge:
+    def test_counters_add(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("events", kind="x").inc(2)
+        b.counter("events", kind="x").inc(3)
+        b.counter("events", kind="y").inc(1)
+        a.merge(b)
+        assert a.counter("events", kind="x").value == 5
+        assert a.counter("events", kind="y").value == 1
+
+    def test_gauges_take_incoming_value(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.gauge("size").set(10)
+        b.gauge("size").set(3)
+        a.merge(b)
+        assert a.gauge("size").value == 3
+
+    def test_histograms_add_buckets_counts_and_sums(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        for value in (5, 50):
+            a.histogram("lat", bounds=(10.0, 100.0)).observe(value)
+        for value in (7, 700):
+            b.histogram("lat", bounds=(10.0, 100.0)).observe(value)
+        a.merge(b)
+        merged = a.histogram("lat", bounds=(10.0, 100.0))
+        assert merged.counts == [2, 1, 1]
+        assert (merged.count, merged.sum) == (4, 762)
+
+    def test_histogram_bounds_mismatch_rejected(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", bounds=(10.0,)).observe(1)
+        b.histogram("lat", bounds=(10.0, 100.0)).observe(1)
+        with pytest.raises(ValueError, match="bounds differ"):
+            a.merge(b)
+
+    def test_merge_accepts_snapshot_records(self):
+        """Workers send snapshots (plain JSON), not registry objects."""
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("events").inc(4)
+        b.histogram("lat", bounds=(10.0,)).observe(3)
+        a.merge(b.snapshot())
+        assert a.counter("events").value == 4
+        assert a.histogram("lat", bounds=(10.0,)).count == 1
+
+    def test_merge_into_empty_equals_source_snapshot(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        b.counter("events", kind="x").inc(2)
+        b.gauge("size").set(7)
+        b.histogram("lat", bounds=(10.0,)).observe(3)
+        a.merge(b)
+        assert a.snapshot() == b.snapshot()
+
+    def test_pairwise_merge_order_is_deterministic(self):
+        """Merging the same snapshots in the same order reproduces sums."""
+        snapshots = []
+        for value in (0.1, 0.2, 0.3):
+            r = MetricsRegistry()
+            r.histogram("lat", bounds=(10.0,)).observe(value)
+            snapshots.append(r.snapshot())
+        merged_a, merged_b = MetricsRegistry(), MetricsRegistry()
+        for snapshot in snapshots:
+            merged_a.merge(snapshot)
+            merged_b.merge(snapshot)
+        assert merged_a.snapshot() == merged_b.snapshot()
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="cannot merge"):
+            MetricsRegistry().merge([{"type": "summary", "name": "x"}])
+
+    def test_null_registry_discards_merges(self):
+        source = MetricsRegistry()
+        source.counter("events").inc(5)
+        NULL_REGISTRY.merge(source)
+        assert NULL_REGISTRY.snapshot() == []
+
+
 class TestNullRegistry:
     def test_disabled_flag(self):
         assert NULL_REGISTRY.enabled is False

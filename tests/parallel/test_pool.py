@@ -1,0 +1,81 @@
+"""Unit tests for the shared-nothing worker pool."""
+
+import os
+
+import pytest
+
+from repro.parallel.pool import WorkerError, WorkPool, shard_round_robin
+
+
+class TestShardRoundRobin:
+    def test_deals_in_rotation(self):
+        assert shard_round_robin([1, 2, 3, 4, 5], 2) == [[1, 3, 5], [2, 4]]
+
+    def test_single_shard_keeps_order(self):
+        assert shard_round_robin(list("abc"), 1) == [["a", "b", "c"]]
+
+    def test_more_shards_than_items_yields_empty_shards(self):
+        assert shard_round_robin([1], 3) == [[1], [], []]
+
+    def test_empty_items(self):
+        assert shard_round_robin([], 2) == [[], []]
+
+    def test_zero_shards_rejected(self):
+        with pytest.raises(ValueError):
+            shard_round_robin([1], 0)
+
+    def test_rotation_covers_every_item_exactly_once(self):
+        items = list(range(17))
+        shards = shard_round_robin(items, 4)
+        assert sorted(x for shard in shards for x in shard) == items
+
+
+class TestWorkPool:
+    def test_single_worker_runs_inline(self):
+        pool = WorkPool(1)
+        pid = os.getpid()
+        results = pool.map_shards([[1, 2]], lambda i, shard:
+                                  (os.getpid(), i, sum(shard)))
+        assert results == [(pid, 0, 3)]
+
+    def test_results_keep_shard_order(self):
+        pool = WorkPool(4)
+        shards = shard_round_robin(list(range(8)), 4)
+        results = pool.map_shards(shards, lambda i, shard: (i, list(shard)))
+        assert [r[0] for r in results] == [0, 1, 2, 3]
+        assert [r[1] for r in results] == shards
+
+    @pytest.mark.skipif(not WorkPool(2).forks,
+                        reason="fork start method unavailable")
+    def test_multi_worker_forks_child_processes(self):
+        pool = WorkPool(2)
+        pids = pool.map_shards([[1], [2]], lambda i, shard: os.getpid())
+        assert all(pid != os.getpid() for pid in pids)
+        assert len(set(pids)) == 2
+
+    def test_worker_exception_raises_worker_error(self):
+        def boom(i, shard):
+            raise RuntimeError(f"shard {i} failed")
+
+        pool = WorkPool(2)
+        with pytest.raises(WorkerError) as excinfo:
+            pool.map_shards([[1], [2]], boom)
+        assert "failed" in str(excinfo.value)
+
+    def test_inline_exception_raises_worker_error_too(self):
+        def boom(i, shard):
+            raise RuntimeError("inline failure")
+
+        with pytest.raises(WorkerError):
+            WorkPool(1).map_shards([[1]], boom)
+
+    def test_more_shards_than_workers_rejected(self):
+        with pytest.raises(ValueError):
+            WorkPool(2).map_shards([[1], [2], [3]], lambda i, s: None)
+
+    def test_no_shards_is_a_noop(self):
+        assert WorkPool(4).map_shards([], lambda i, s: None) == []
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            WorkPool(0)

@@ -12,7 +12,8 @@ import pkgutil
 
 import pytest
 
-DOCTESTED_PACKAGES = ("repro.filters", "repro.obs", "repro.state")
+DOCTESTED_PACKAGES = ("repro.filters", "repro.obs", "repro.state",
+                      "repro.parallel")
 
 
 def _modules() -> list[str]:
