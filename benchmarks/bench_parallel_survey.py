@@ -56,9 +56,14 @@ _CONFIG = SurveyConfig(
 
 _WORKER_COUNTS = (1, 2, 4, 8)
 
+# Quick mode writes its own artifact: its scaled-down workload is a
+# different benchmark, and the CI perf gate diffs it against the
+# committed quick baseline (BENCH_parallel_survey_quick.json) rather
+# than against the full run's numbers.
 _RESULT_PATH = os.path.join(
     os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
-    "BENCH_parallel_survey.json")
+    "BENCH_parallel_survey_quick.json" if BENCH_QUICK
+    else "BENCH_parallel_survey.json")
 
 
 def _unit_latencies(result) -> list[float]:

@@ -13,6 +13,8 @@ Usage::
     python -m repro afilters              # Section 7 A-groups
     python -m repro transparency          # Section 8 report
     python -m repro blockable reddit.com  # Blockable Items panel
+    python -m repro obs summary run.jsonl # re-render a run's summary
+    python -m repro obs diff A B          # perf gate: compare two runs
 
 Heavy stages honour ``--fast`` (small demo RSA keys) and the scale
 flags, so everything is runnable on a laptop in seconds to minutes.
@@ -103,6 +105,45 @@ def build_parser() -> argparse.ArgumentParser:
 
     blockable = add("blockable", "Blockable Items panel for one domain")
     blockable.add_argument("domain")
+
+    obs = sub.add_parser(
+        "obs", help="analyse exported observability artifacts")
+    obs_sub = obs.add_subparsers(dest="obs_command", required=True)
+
+    summary = obs_sub.add_parser(
+        "summary", help="re-render the observability summary from "
+                        "exported JSONL artifacts")
+    summary.add_argument("paths", nargs="+", metavar="PATH",
+                         help="one run's artifacts (--metrics-out "
+                              "and/or --trace files)")
+
+    slow = obs_sub.add_parser(
+        "slow", help="the top-N most expensive spans in a trace")
+    slow.add_argument("paths", nargs="+", metavar="PATH")
+    slow.add_argument("--top", type=int, default=10,
+                      help="how many spans to show")
+    slow.add_argument("--by", choices=("cumulative", "self"),
+                      default="cumulative",
+                      help="rank by subtree time or own time")
+
+    tree = obs_sub.add_parser(
+        "tree", help="render the reconstructed span tree, with self "
+                     "vs. cumulative time and the critical path")
+    tree.add_argument("paths", nargs="+", metavar="PATH")
+
+    diff = obs_sub.add_parser(
+        "diff", help="compare two runs' metrics under a relative "
+                     "tolerance; exits 1 on violations (the CI gate)")
+    diff.add_argument("baseline", metavar="BASELINE",
+                      help="JSONL export or committed BENCH_*.json")
+    diff.add_argument("candidate", metavar="CANDIDATE")
+    diff.add_argument("--tolerance", type=float, default=0.25,
+                      help="max |relative change| before failing "
+                           "(default 0.25)")
+    diff.add_argument("--metric", action="append", default=None,
+                      metavar="GLOB", dest="metric",
+                      help="restrict the gate to metrics matching this "
+                           "fnmatch pattern (repeatable)")
     return parser
 
 
@@ -330,6 +371,122 @@ def _cmd_blockable(args, out) -> int:
     return 0
 
 
+def _obs_load(paths, out):
+    """Load artifacts, or write an error and return ``None``."""
+    from repro.obs.analyze import load_artifact
+    from repro.state.atomic import ArtifactError
+
+    artifacts = []
+    for path in paths:
+        try:
+            artifacts.append(load_artifact(path))
+        except (OSError, ArtifactError) as exc:
+            out.write(f"error: {exc}\n")
+            return None
+    return artifacts
+
+
+def _obs_records(artifacts) -> list[dict]:
+    """One run's records, re-assembled from its artifact files."""
+    records: list[dict] = []
+    run_id = next((a.run_id for a in artifacts if a.run_id), None)
+    if run_id is not None:
+        records.append({"type": "run", "run_id": run_id})
+    for artifact in artifacts:
+        records.extend(artifact.metrics)
+    for artifact in artifacts:
+        records.extend(artifact.spans)
+    return records
+
+
+def _obs_spans(artifacts) -> list[dict]:
+    return [record for artifact in artifacts for record in artifact.spans]
+
+
+def _cmd_obs(args, out) -> int:
+    """Dispatch the ``repro obs`` analysis subcommands.
+
+    Every subcommand works from exported artifacts alone — no live
+    registry or tracer — so any report printed during a run can be
+    reproduced later from its ``--metrics-out``/``--trace`` files.
+    """
+    from repro.obs.analyze import (build_span_tree, critical_path,
+                                   diff_runs, slowest_spans)
+    from repro.reporting.tables import render_summary_records, render_table
+
+    if args.obs_command == "diff":
+        loaded = _obs_load([args.baseline, args.candidate], out)
+        if loaded is None:
+            return 2
+        baseline, candidate = loaded
+        report = diff_runs(baseline.flat, candidate.flat,
+                           tolerance=args.tolerance, metrics=args.metric)
+        rows = []
+        for delta in report.deltas:
+            change = ("" if delta.relative is None
+                      else f"{delta.relative:+.1%}")
+            verdict = "FAIL" if delta.violation else (
+                "" if delta.relative is None else "ok")
+            rows.append((delta.name,
+                         "-" if delta.baseline is None else delta.baseline,
+                         "-" if delta.candidate is None else delta.candidate,
+                         change, verdict))
+        out.write(render_table(
+            ("metric", "baseline", "candidate", "change", "verdict"),
+            rows,
+            title=f"Run diff — tolerance {args.tolerance:.0%}") + "\n")
+        if report.ok:
+            out.write(f"ok: {len(report.deltas)} metrics within "
+                      f"tolerance\n")
+            return 0
+        out.write(f"FAIL: {len(report.violations)} of "
+                  f"{len(report.deltas)} metrics moved more than "
+                  f"{args.tolerance:.0%}\n")
+        return 1
+
+    artifacts = _obs_load(args.paths, out)
+    if artifacts is None:
+        return 2
+
+    if args.obs_command == "summary":
+        out.write(render_summary_records(_obs_records(artifacts)) + "\n")
+        return 0
+
+    if args.obs_command == "slow":
+        nodes = slowest_spans(_obs_spans(artifacts), top=args.top,
+                              by=args.by)
+        out.write(render_table(
+            ("span", "cumulative ms", "self ms", "attrs"),
+            [(n.name, f"{n.cumulative_ms:.3f}", f"{n.self_ms:.3f}",
+              ",".join(f"{k}={v}" for k, v in sorted(n.attrs.items())))
+             for n in nodes],
+            title=f"Slowest spans (by {args.by} time)") + "\n")
+        return 0
+
+    # tree
+    roots = build_span_tree(_obs_spans(artifacts))
+    if not roots:
+        out.write("(no spans)\n")
+        return 0
+    hot = {id(node) for node in critical_path(roots)}
+
+    def emit(node, indent: int) -> None:
+        mark = " *" if id(node) in hot else ""
+        attrs = ",".join(f"{k}={v}"
+                         for k, v in sorted(node.attrs.items()))
+        suffix = f"  [{attrs}]" if attrs else ""
+        out.write(f"{'  ' * indent}{node.name}  "
+                  f"{node.cumulative_ms:.3f}ms "
+                  f"(self {node.self_ms:.3f}ms){suffix}{mark}\n")
+        for child in node.children:
+            emit(child, indent + 1)
+
+    for root in roots:
+        emit(root, 0)
+    out.write("(* = critical path)\n")
+    return 0
+
+
 _COMMANDS = {
     "table1": _cmd_table1,
     "growth": _cmd_growth,
@@ -344,7 +501,24 @@ _COMMANDS = {
     "transparency": _cmd_transparency,
     "temporal": _cmd_temporal,
     "blockable": _cmd_blockable,
+    "obs": _cmd_obs,
 }
+
+#: Flags excluded from run-identity: execution placement and output
+#: paths change *how* a run executes, never *what* it computes, so two
+#: invocations differing only in these share a run ID (the property the
+#: cross-worker trace-identity guarantee hangs off).
+_RUN_ID_EXCLUDE = {"workers", "checkpoint", "resume", "metrics_out",
+                   "trace"}
+
+
+def _derive_run_id(args) -> str:
+    from repro.obs import derive_run_id
+
+    identity = {key: value for key, value in vars(args).items()
+                if not key.startswith("_")
+                and key not in _RUN_ID_EXCLUDE}
+    return derive_run_id(identity)
 
 
 def _open_checkpoint(args, out):
@@ -399,13 +573,17 @@ def main(argv: list[str] | None = None, out=None) -> int:
         # table.
         from repro.obs import JsonLinesExporter, observe, summary_table
 
-        with observe() as (registry, tracer):
+        run_id = _derive_run_id(args)
+        with observe(run_id=run_id) as (registry, tracer):
             status = command(args, out)
             if metrics_out:
-                JsonLinesExporter(metrics_out).export(registry=registry)
+                JsonLinesExporter(metrics_out, run_id=run_id).export(
+                    registry=registry)
             if trace_out:
-                JsonLinesExporter(trace_out).export(tracer=tracer)
-            out.write("\n" + summary_table(registry, tracer) + "\n")
+                JsonLinesExporter(trace_out, run_id=run_id).export(
+                    tracer=tracer)
+            out.write("\n" + summary_table(registry, tracer,
+                                           run_id=run_id) + "\n")
         return status
     finally:
         if checkpoint is not None:

@@ -260,9 +260,11 @@ def run_survey(history: "WhitelistHistory",
                          outcomes_by_group: dict, records_by_group: dict
                          ) -> None:
             if config.workers is not None:
+                # No ``workers`` attr: the merged trace is defined to be
+                # byte-identical for every worker count, so execution
+                # placement must not leak into span attributes.
                 with tracer.span("survey.crawl.parallel",
-                                 config=engine_config,
-                                 workers=config.workers):
+                                 config=engine_config):
                     surveyed = run_sharded_survey(
                         groups, crawler_factory=crawler_factory,
                         workers=config.workers,

@@ -56,9 +56,11 @@ from repro.obs.export import (
     InMemoryExporter,
     JsonLinesExporter,
     metric_records,
+    run_record,
     span_records,
     summary_table,
 )
+from repro.obs.ids import ROOT_PARENT_ID, derive_run_id, derive_span_id
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
     Counter,
@@ -90,8 +92,12 @@ __all__ = [
     "InMemoryExporter",
     "JsonLinesExporter",
     "metric_records",
+    "run_record",
     "span_records",
     "summary_table",
+    "derive_run_id",
+    "derive_span_id",
+    "ROOT_PARENT_ID",
 ]
 
 
@@ -101,32 +107,40 @@ class ObsState:
     ``registry`` and ``tracer`` are never ``None`` — disabled means
     *null* implementations, so instrumented code can always call through
     them.  ``enabled`` is the one-word guard hot paths check.
+    ``run_id`` identifies the current observed run (see
+    :func:`repro.obs.ids.derive_run_id`); exporters stamp it into the
+    artifact's run-ledger header.
     """
 
-    __slots__ = ("registry", "tracer", "enabled")
+    __slots__ = ("registry", "tracer", "enabled", "run_id")
 
     def __init__(self) -> None:
         self.registry: MetricsRegistry = NULL_REGISTRY
         self.tracer: Tracer = NULL_TRACER
         self.enabled: bool = False
+        self.run_id: str | None = None
 
 
 OBS = ObsState()
 
 
 def enable(registry: MetricsRegistry | None = None,
-           tracer: Tracer | None = None
+           tracer: Tracer | None = None,
+           run_id: str | None = None
            ) -> tuple[MetricsRegistry, Tracer]:
     """Install a live registry/tracer pair (created fresh when omitted).
 
     Passing only one of the two leaves the other disabled (null), so a
     caller can collect metrics without paying for span bookkeeping.
+    ``run_id`` optionally names the run for exporters and rendered
+    summaries (the CLI derives one per invocation).
     """
     if registry is None and tracer is None:
         registry, tracer = MetricsRegistry(), Tracer()
     OBS.registry = registry if registry is not None else NULL_REGISTRY
     OBS.tracer = tracer if tracer is not None else NULL_TRACER
     OBS.enabled = (OBS.registry.enabled or OBS.tracer.enabled)
+    OBS.run_id = run_id
     return OBS.registry, OBS.tracer
 
 
@@ -135,15 +149,17 @@ def disable() -> None:
     OBS.registry = NULL_REGISTRY
     OBS.tracer = NULL_TRACER
     OBS.enabled = False
+    OBS.run_id = None
 
 
 @contextmanager
 def observe(registry: MetricsRegistry | None = None,
-            tracer: Tracer | None = None
+            tracer: Tracer | None = None,
+            run_id: str | None = None
             ) -> Iterator[tuple[MetricsRegistry, Tracer]]:
     """Scoped :func:`enable`: restores the previous state on exit."""
-    previous = (OBS.registry, OBS.tracer, OBS.enabled)
+    previous = (OBS.registry, OBS.tracer, OBS.enabled, OBS.run_id)
     try:
-        yield enable(registry, tracer)
+        yield enable(registry, tracer, run_id)
     finally:
-        OBS.registry, OBS.tracer, OBS.enabled = previous
+        (OBS.registry, OBS.tracer, OBS.enabled, OBS.run_id) = previous

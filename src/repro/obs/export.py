@@ -2,9 +2,11 @@
 
 Three export surfaces, all driven by the same records:
 
-* :class:`JsonLinesExporter` — one JSON object per line, metrics first
-  then spans, suitable for ``jq``/pandas post-processing (this is what
-  ``--metrics-out`` and ``--trace`` write);
+* :class:`JsonLinesExporter` — one JSON object per line, the run-ledger
+  header first (when a run ID is known), then metrics, then spans —
+  suitable for ``jq``/pandas post-processing (this is what
+  ``--metrics-out`` and ``--trace`` write) and the input format of the
+  ``repro obs`` analysis CLI;
 * :class:`InMemoryExporter` — the same records as Python dicts, for
   tests and ad-hoc analysis;
 * :func:`summary_table` — the human-readable "where did the time go"
@@ -19,6 +21,8 @@ version:
 >>> InMemoryExporter().export(registry)
 [{'type': 'counter', 'name': 'filters.parse.lines', \
 'labels': {'kind': 'comment'}, 'value': 3}]
+>>> run_record("ab12cd34ef567890")
+{'type': 'run', 'run_id': 'ab12cd34ef567890'}
 """
 
 from __future__ import annotations
@@ -32,6 +36,7 @@ if TYPE_CHECKING:  # pragma: no cover
 __all__ = [
     "metric_records",
     "span_records",
+    "run_record",
     "InMemoryExporter",
     "JsonLinesExporter",
     "summary_table",
@@ -49,6 +54,8 @@ def span_records(tracer: "Tracer") -> list[dict]:
         {
             "type": "span",
             "name": span.name,
+            "span_id": span.span_id,
+            "parent_id": span.parent_id,
             "depth": span.depth,
             "start_s": round(span.start, 6),
             "duration_ms": round(span.duration_ms, 3),
@@ -56,6 +63,14 @@ def span_records(tracer: "Tracer") -> list[dict]:
         }
         for span in tracer.finished_spans()
     ]
+
+
+def run_record(run_id: str, **meta: object) -> dict:
+    """The run-ledger header record identifying an export's run."""
+    record: dict = {"type": "run", "run_id": run_id}
+    for key in sorted(meta):
+        record[key] = meta[key]
+    return record
 
 
 class InMemoryExporter:
@@ -76,6 +91,12 @@ class InMemoryExporter:
 class JsonLinesExporter:
     """Writes export records as JSON lines to ``path``.
 
+    When ``run_id`` is given (the CLI derives one per invocation — see
+    :func:`repro.obs.ids.derive_run_id`), the first data record is the
+    run-ledger header, so any artifact can be traced back to the run
+    configuration that produced it and two artifacts can be checked for
+    same-run identity before being diffed.
+
     Each ``export`` call atomically replaces the file (an export is a
     snapshot, not an append-only log) via
     :func:`repro.state.atomic.atomic_write_jsonl`, so a crash mid-export
@@ -88,14 +109,17 @@ class JsonLinesExporter:
     identical runs produce byte-identical files.
     """
 
-    def __init__(self, path: str) -> None:
+    def __init__(self, path: str, *, run_id: str | None = None) -> None:
         self.path = path
+        self.run_id = run_id
 
     def export(self, registry: "MetricsRegistry | None" = None,
                tracer: "Tracer | None" = None) -> int:
         from repro.state.atomic import atomic_write_jsonl
 
         records: list[dict] = []
+        if self.run_id is not None:
+            records.append(run_record(self.run_id))
         if registry is not None:
             records.extend(metric_records(registry))
         if tracer is not None:
@@ -105,8 +129,10 @@ class JsonLinesExporter:
 
 def summary_table(registry: "MetricsRegistry | None" = None,
                   tracer: "Tracer | None" = None,
-                  title: str = "Observability summary") -> str:
+                  title: str = "Observability summary",
+                  run_id: str | None = None) -> str:
     """The one-screen human-readable report (spans, then metrics)."""
     from repro.reporting.tables import render_metrics_summary
 
-    return render_metrics_summary(registry, tracer, title=title)
+    return render_metrics_summary(registry, tracer, title=title,
+                                  run_id=run_id)

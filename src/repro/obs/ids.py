@@ -1,0 +1,77 @@
+"""Deterministic identities for runs and spans.
+
+Cross-worker trace correlation needs IDs that do not depend on *which
+process* recorded a span, on wall-clock time, or on scheduling order —
+otherwise a pooled survey could never reassemble one coherent trace, let
+alone a byte-identical one for every ``--workers`` count.  Both ID kinds
+here are therefore pure functions of structure:
+
+* a **run ID** is derived from the run's configuration (command, seed,
+  scale knobs — never from execution details like worker count or
+  output paths), so re-running the same study yields the same ID and
+  two exports of one run are trivially correlatable;
+* a **span ID** is derived from ``(parent_id, name, ordinal)`` — the
+  span's position in the call tree — so a worker that crawls unit 17
+  produces exactly the span IDs the one-worker run produces for unit
+  17, and the parent can stitch shard traces back together by ID alone.
+
+>>> derive_span_id("", "survey.run", "0")
+'a540c23315ee1805'
+>>> derive_span_id("", "survey.run", "0") == \\
+...     derive_span_id("", "survey.run", "0")
+True
+>>> derive_span_id("", "survey.run", "1") != \\
+...     derive_span_id("", "survey.run", "0")
+True
+
+IDs are 16 lowercase hex characters (64 bits of SHA-256): collisions
+inside one trace (thousands of spans) are vanishingly unlikely, and the
+short form keeps JSONL artifacts readable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+__all__ = ["derive_run_id", "derive_span_id", "ROOT_PARENT_ID"]
+
+#: The ``parent_id`` of a top-level span (no parent).
+ROOT_PARENT_ID = ""
+
+_ID_HEX_CHARS = 16
+
+
+def _digest(payload: str) -> str:
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[
+        :_ID_HEX_CHARS]
+
+
+def derive_run_id(identity: dict) -> str:
+    """The run ID for a run whose configuration is ``identity``.
+
+    ``identity`` should contain what makes the run *the same run* when
+    repeated — command name, seed, scale parameters — and exclude
+    execution details (worker count, checkpoint paths) that may change
+    between byte-identical runs.  Keys are canonicalised (sorted, JSON)
+    so dict ordering never leaks into the ID.
+
+    >>> derive_run_id({"command": "survey", "seed": 2015}) == \\
+    ...     derive_run_id({"seed": 2015, "command": "survey"})
+    True
+    """
+    canonical = json.dumps(identity, sort_keys=True, ensure_ascii=False,
+                           default=str)
+    return _digest("run\x00" + canonical)
+
+
+def derive_span_id(parent_id: str, name: str, ordinal: int | str) -> str:
+    """The span ID for the ``ordinal``-th child named ``name``.
+
+    ``ordinal`` is the span's birth index under its parent (the
+    tracer's per-parent child counter).  Root spans use the tracer's
+    root ordinal namespace — the shared-nothing executor namespaces it
+    by global unit index (``"17:0"``), which is what makes a unit's
+    span IDs independent of the worker that ran it.
+    """
+    return _digest(f"span\x00{parent_id}\x00{name}\x00{ordinal}")

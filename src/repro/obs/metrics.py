@@ -140,6 +140,48 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def percentile(self, q: float) -> float:
+        """Estimate the ``q``-th percentile (``0 <= q <= 100``).
+
+        The true value is only known to bucket resolution, so the
+        estimate interpolates linearly within the bucket containing the
+        ``q``-th observation, assuming observations are uniform inside
+        it.  **Error bound:** the result lies within that bucket, so the
+        absolute error is at most the bucket's width.  Two edge rules
+        keep the estimate finite and conservative: the first bucket's
+        lower edge is taken as ``0.0`` (every pipeline histogram
+        measures a non-negative quantity), and a percentile landing in
+        the implicit ``+inf`` bucket clamps to the last finite bound.
+
+        >>> h = Histogram("lat", bounds=(10.0, 100.0))
+        >>> for v in (2, 4, 6, 8):
+        ...     h.observe(v)
+        >>> h.percentile(50)
+        5.0
+        >>> h.percentile(100)
+        10.0
+        >>> Histogram("empty", bounds=(10.0,)).percentile(95)
+        0.0
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        if not self.count:
+            return 0.0
+        target = q / 100.0 * self.count
+        cumulative = 0
+        for slot, bucket_count in enumerate(self.counts):
+            if not bucket_count:
+                continue
+            if cumulative + bucket_count >= target:
+                if slot >= len(self.bounds):
+                    return self.bounds[-1] if self.bounds else 0.0
+                lower = self.bounds[slot - 1] if slot else 0.0
+                upper = self.bounds[slot]
+                fraction = (target - cumulative) / bucket_count
+                return lower + (upper - lower) * fraction
+            cumulative += bucket_count
+        return self.bounds[-1] if self.bounds else 0.0
+
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         return (f"Histogram({self.name!r}, {dict(self.labels)}, "
                 f"n={self.count}, sum={self.sum})")
@@ -197,10 +239,21 @@ class MetricsRegistry:
         return metric  # type: ignore[return-value]
 
     def samples(self) -> list[Counter | Gauge | Histogram]:
-        """Live instruments, deterministically ordered."""
+        """Live instruments, deterministically ordered.
+
+        The order is ``(name, kind, labels)`` with label sets compared
+        as sorted ``(key, str(value))`` pairs — a pure function of the
+        instrument identities, so two registries holding the same
+        instruments (however they were populated) always enumerate, and
+        therefore export and render, identically.
+        """
+        def order(key: tuple) -> tuple:
+            name, kind, labels = key
+            return (name, kind,
+                    tuple((k, str(v)) for k, v in labels))
+
         return [self._metrics[key]
-                for key in sorted(self._metrics,
-                                  key=lambda k: (k[0], k[1], repr(k[2])))]
+                for key in sorted(self._metrics, key=order)]
 
     def snapshot(self) -> list[dict]:
         """JSON-ready records, one per instrument (exporter format)."""
@@ -227,8 +280,11 @@ class MetricsRegistry:
     def flat(self) -> dict[str, int | float]:
         """A flat ``name{labels} -> value`` view for summary tables.
 
-        Histograms flatten to ``.count`` and ``.mean`` entries; counters
-        and gauges keep their raw value.
+        Histograms flatten to ``.count``, ``.mean``, and estimated
+        ``.p50``/``.p95``/``.p99`` entries (see
+        :meth:`Histogram.percentile` for the error bound); counters and
+        gauges keep their raw value.  This is also the key space
+        ``repro obs diff`` compares two runs over.
         """
         out: dict[str, int | float] = {}
         for metric in self.samples():
@@ -239,6 +295,8 @@ class MetricsRegistry:
             if isinstance(metric, Histogram):
                 out[f"{label}.count"] = metric.count
                 out[f"{label}.mean"] = round(metric.mean, 3)
+                for q in (50, 95, 99):
+                    out[f"{label}.p{q}"] = round(metric.percentile(q), 3)
             else:
                 out[label] = metric.value
         return out

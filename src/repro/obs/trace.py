@@ -11,8 +11,11 @@ survey trace reads like a call tree::
         web.crawl.visit           domain=google.com
         ...
 
-Spans are recorded in *start* order with an explicit ``depth``, which is
-all an exporter needs to reconstruct the tree without parent pointers.
+Spans are recorded in *start* order with an explicit ``depth`` and a
+deterministic ``span_id``/``parent_id`` pair (:mod:`repro.obs.ids`), so
+an exporter can reconstruct the tree either positionally (depth +
+order) or by ID — the latter survives shuffling and cross-process
+stitching.
 
 >>> tracer = Tracer(clock=iter(range(10)).__next__)
 >>> with tracer.span("outer"):
@@ -20,6 +23,16 @@ all an exporter needs to reconstruct the tree without parent pointers.
 ...         pass
 >>> [(s.name, s.depth, s.duration) for s in tracer.spans]
 [('outer', 0, 3), ('inner', 1, 1)]
+>>> tracer.spans[1].parent_id == tracer.spans[0].span_id
+True
+
+A tracer may be *rooted* under a foreign parent context: the
+shared-nothing survey executor gives each crawl unit a private tracer
+rooted at the parent process's ``survey.crawl.parallel`` span, with the
+unit's global index as its root ordinal namespace.  Two different
+workers (or the same worker on resume) therefore derive identical IDs
+for the same unit, which is what lets :meth:`Tracer.adopt` stitch shard
+traces back into one coherent tree in the parent.
 
 The :data:`NULL_TRACER` is the disabled twin: its ``span()`` hands back
 one shared no-op context manager, so un-guarded ``with tracer.span(...)``
@@ -36,6 +49,8 @@ from __future__ import annotations
 import time
 from typing import Callable
 
+from repro.obs.ids import ROOT_PARENT_ID, derive_span_id
+
 __all__ = ["Span", "Tracer", "NullTracer", "NULL_TRACER"]
 
 
@@ -44,9 +59,13 @@ class Span:
 
     Use as a context manager via :meth:`Tracer.span`; ``duration`` is
     ``None`` until the span exits (exporters skip unfinished spans).
+    ``span_id`` and ``parent_id`` are assigned on entry — they are
+    deterministic functions of the span's tree position, never of time
+    or process identity.
     """
 
-    __slots__ = ("name", "attrs", "start", "duration", "depth", "_tracer")
+    __slots__ = ("name", "attrs", "start", "duration", "depth",
+                 "span_id", "parent_id", "_children", "_tracer")
 
     def __init__(self, tracer: "Tracer", name: str,
                  attrs: dict[str, object]) -> None:
@@ -56,11 +75,25 @@ class Span:
         self.start: float = 0.0
         self.duration: float | None = None
         self.depth: int = 0
+        self.span_id: str = ""
+        self.parent_id: str = ROOT_PARENT_ID
+        self._children: int = 0
 
     def __enter__(self) -> "Span":
         tracer = self._tracer
-        self.depth = len(tracer._stack)
-        tracer._stack.append(self)
+        stack = tracer._stack
+        if stack:
+            parent = stack[-1]
+            self.parent_id = parent.span_id
+            ordinal: int | str = parent._children
+            parent._children += 1
+        else:
+            self.parent_id = tracer.root_parent_id
+            ordinal = f"{tracer.root_ordinal_ns}{tracer._root_children}"
+            tracer._root_children += 1
+        self.depth = tracer.root_depth + len(stack)
+        self.span_id = derive_span_id(self.parent_id, self.name, ordinal)
+        stack.append(self)
         tracer.spans.append(self)
         self.start = tracer._clock()
         return self
@@ -80,8 +113,9 @@ class Span:
         self.attrs[key] = value
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return (f"Span({self.name!r}, depth={self.depth}, "
-                f"duration={self.duration}, attrs={self.attrs})")
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"depth={self.depth}, duration={self.duration}, "
+                f"attrs={self.attrs})")
 
 
 class Tracer:
@@ -89,28 +123,62 @@ class Tracer:
 
     ``clock`` is any zero-argument callable returning seconds; the
     default is :func:`time.perf_counter`.  Tests inject a counting clock
-    for deterministic durations.
+    for deterministic durations; the shared-nothing executor injects the
+    crawl's *simulated* clock, whose readings are deterministic by
+    construction.
+
+    ``root_parent_id``/``root_depth``/``root_ordinal_ns`` root the
+    tracer under a foreign parent span — see the module docstring.
     """
 
     enabled = True
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter
-                 ) -> None:
+    def __init__(self, clock: Callable[[], float] = time.perf_counter,
+                 *, root_parent_id: str = ROOT_PARENT_ID,
+                 root_depth: int = 0, root_ordinal_ns: str = "") -> None:
         self.spans: list[Span] = []
         self._stack: list[Span] = []
         self._clock = clock
+        self.root_parent_id = root_parent_id
+        self.root_depth = root_depth
+        self.root_ordinal_ns = root_ordinal_ns
+        self._root_children = 0
 
     def span(self, name: str, **attrs: object) -> Span:
         """A new span, to be entered with ``with``."""
         return Span(self, name, attrs)
 
+    def current(self) -> Span | None:
+        """The innermost open span, or ``None`` outside any span."""
+        return self._stack[-1] if self._stack else None
+
     def finished_spans(self) -> list[Span]:
         """Spans that have exited, in start order."""
         return [span for span in self.spans if span.duration is not None]
 
+    def adopt(self, records: list[dict]) -> None:
+        """Graft exported span records into this tracer as finished spans.
+
+        ``records`` are :func:`repro.obs.export.span_records` dicts —
+        typically a crawl unit's span shard sent home by a pool worker.
+        Their IDs, depths, and timings are taken verbatim (they were
+        derived under this tracer's own span context, so they already
+        cohere with the live tree); transport-only keys (``worker``)
+        are dropped, because a merged trace is execution-independent.
+        """
+        for record in records:
+            span = Span(self, record["name"], dict(record["attrs"]))
+            span.span_id = record["span_id"]
+            span.parent_id = record["parent_id"]
+            span.depth = record["depth"]
+            span.start = record["start_s"]
+            span.duration = record["duration_ms"] / 1000.0
+            self.spans.append(span)
+
     def reset(self) -> None:
         self.spans.clear()
         self._stack.clear()
+        self._root_children = 0
 
 
 class _NullSpan:
@@ -123,6 +191,8 @@ class _NullSpan:
     start = 0.0
     duration: float | None = None
     duration_ms = 0.0
+    span_id = ""
+    parent_id = ROOT_PARENT_ID
 
     def __enter__(self) -> "_NullSpan":
         return self

@@ -39,9 +39,18 @@ whose snapshot travels home with the outcome; the parent merges the
 snapshots in global unit order via
 :meth:`~repro.obs.metrics.MetricsRegistry.merge`, so ``--metrics-out``
 totals — including float histogram sums — are reassembled identically
-for every worker count.  Per-visit tracing spans are dropped in pool
-mode (they cannot be stitched across processes); survey-level spans
-still come from the parent.
+for every worker count.
+
+**Traces.**  Each unit likewise runs under a private
+:class:`~repro.obs.trace.Tracer` rooted at the parent's enclosing span
+(deterministic span IDs namespaced by global unit index — see
+:mod:`repro.obs.ids`) and timed on the unit's *simulated* clock, which
+rewinds to zero per unit.  The unit's span records travel home tagged
+with the worker that ran them; the parent strips the worker tag —
+execution placement is not a result — and adopts the shards into its
+own trace in global unit order, exactly mirroring the metric-snapshot
+merge.  A pooled ``--trace`` export is therefore one coherent,
+parent-linked trace, byte-identical for every ``--workers`` count.
 """
 
 from __future__ import annotations
@@ -49,7 +58,13 @@ from __future__ import annotations
 import os
 from typing import Callable, Sequence
 
-from repro.obs import NULL_REGISTRY, NULL_TRACER, OBS, MetricsRegistry
+from repro.obs import (
+    NULL_REGISTRY,
+    NULL_TRACER,
+    OBS,
+    MetricsRegistry,
+    Tracer,
+)
 from repro.parallel.pool import WorkPool, shard_round_robin
 from repro.parallel.rng import derive_rng
 from repro.state.checkpoint import Checkpoint
@@ -129,15 +144,25 @@ def adopt_shard_journals(checkpoint: Checkpoint, scope: str) -> int:
 def _crawl_units(crawler: Crawler,
                  units: Sequence[tuple[int, str, CrawlTarget]],
                  *, jitter_seed: int, collect_metrics: bool,
+                 collect_spans: bool, trace_context: tuple[str, int],
                  record_unit: Callable[[int, str, dict], None]) -> list:
     """Crawl ``units`` shared-nothing; return mergeable result tuples.
 
-    Each returned tuple is ``(index, key, payload, metrics)`` where
-    ``payload`` is the checkpoint unit payload and ``metrics`` is the
-    unit's registry snapshot (``None`` with metrics off).  The payload's
-    ``state`` is empty by design: shared-nothing units have no
-    cross-visit crawler state for a resume to rewind.
+    Each returned tuple is ``(index, key, payload, metrics, spans)``
+    where ``payload`` is the checkpoint unit payload, ``metrics`` is
+    the unit's registry snapshot (``None`` with metrics off), and
+    ``spans`` is the unit's span-record shard (``None`` with tracing
+    off).  The payload's ``state`` is empty by design: shared-nothing
+    units have no cross-visit crawler state for a resume to rewind.
+
+    ``trace_context`` is ``(parent_span_id, depth)`` of the parent
+    process's enclosing span: each unit's private tracer is rooted
+    there, with the unit's global index as its root ordinal namespace,
+    so its span IDs come out identical no matter which worker runs it.
     """
+    from repro.obs.export import span_records
+
+    trace_parent, trace_depth = trace_context
     results = []
     for index, group_name, target in units:
         rng = derive_rng(jitter_seed, _JITTER_LABEL, target.domain,
@@ -148,19 +173,32 @@ def _crawl_units(crawler: Crawler,
         # this worker consumed (float addition is not associative).
         crawler.clock.rewind()
         metrics = None
+        spans = None
         if OBS.enabled:
             previous = (OBS.registry, OBS.tracer, OBS.enabled)
             registry = MetricsRegistry() if collect_metrics else NULL_REGISTRY
+            # The unit tracer runs on the unit's simulated clock: its
+            # readings (and so the exported spans) are deterministic,
+            # unlike wall time, which is what byte-identity across
+            # worker counts requires.
+            tracer = (Tracer(clock=crawler.clock.now,
+                             root_parent_id=trace_parent,
+                             root_depth=trace_depth,
+                             root_ordinal_ns=f"{index}:")
+                      if collect_spans else NULL_TRACER)
             OBS.registry = registry
-            OBS.tracer = NULL_TRACER
-            OBS.enabled = registry.enabled
+            OBS.tracer = tracer
+            OBS.enabled = registry.enabled or tracer.enabled
             try:
                 outcome = crawler.visit_target(target, rng=rng,
-                                               breaker=breaker)
+                                               breaker=breaker,
+                                               unit=index)
             finally:
                 OBS.registry, OBS.tracer, OBS.enabled = previous
             if collect_metrics:
                 metrics = registry.snapshot()
+            if collect_spans:
+                spans = span_records(tracer)
         else:
             outcome = crawler.visit_target(target, rng=rng, breaker=breaker)
         key = unit_key(group_name, target)
@@ -168,7 +206,7 @@ def _crawl_units(crawler: Crawler,
                    "outcome": snapshot_outcome(outcome),
                    "state": {}}
         record_unit(index, key, payload)
-        results.append((index, key, payload, metrics))
+        results.append((index, key, payload, metrics, spans))
     return results
 
 
@@ -213,6 +251,10 @@ def run_sharded_survey(groups, *, crawler_factory: Callable[[], Crawler],
     pending = [unit for unit in units if unit[0] not in outcomes]
     shards = shard_round_robin(pending, max(1, min(workers, len(pending))))
     collect_metrics = OBS.registry.enabled
+    collect_spans = OBS.tracer.enabled
+    parent_span = OBS.tracer.current() if collect_spans else None
+    trace_context = ((parent_span.span_id, parent_span.depth + 1)
+                     if parent_span is not None else ("", 0))
 
     def crawl_shard(shard_index: int, shard_units) -> list:
         crawler = crawler_factory()
@@ -229,24 +271,36 @@ def run_sharded_survey(groups, *, crawler_factory: Callable[[], Crawler],
                                 "payload": payload})
 
         try:
-            return _crawl_units(crawler, shard_units,
-                                jitter_seed=jitter_seed,
-                                collect_metrics=collect_metrics,
-                                record_unit=record_unit)
+            results = _crawl_units(crawler, shard_units,
+                                   jitter_seed=jitter_seed,
+                                   collect_metrics=collect_metrics,
+                                   collect_spans=collect_spans,
+                                   trace_context=trace_context,
+                                   record_unit=record_unit)
         finally:
             if journal is not None:
                 journal.close()
+        # Tag the shard's span records with the worker that produced
+        # them — crash forensics read the raw shards; the parent strips
+        # the tag at adoption because placement is not a result.
+        for _index, _key, _payload, _metrics, spans in results:
+            if spans:
+                for record in spans:
+                    record["worker"] = shard_index
+        return results
 
     shard_results = (WorkPool(workers).map_shards(shards, crawl_shard)
                      if pending else [])
 
     merged = sorted((result for shard in shard_results for result in shard),
                     key=lambda result: result[0])
-    for index, key, payload, metrics in merged:
+    for index, key, payload, metrics, spans in merged:
         if checkpoint is not None:
             checkpoint.record(scope, key, payload)
         if collect_metrics and metrics is not None:
             OBS.registry.merge(metrics)
+        if collect_spans and spans:
+            OBS.tracer.adopt(spans)
         outcomes[index] = restore_outcome(payload["outcome"])
     if checkpoint is not None:
         checkpoint.sync()

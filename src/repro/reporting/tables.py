@@ -17,7 +17,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.web.crawler import CrawlHealth
 
 __all__ = ["render_table", "render_comparison", "render_crawl_health",
-           "render_metrics_summary"]
+           "render_metrics_summary", "render_summary_records"]
 
 
 def render_table(headers: Sequence[str],
@@ -84,32 +84,75 @@ def render_crawl_health(health: "CrawlHealth",
 
 def render_metrics_summary(registry: "MetricsRegistry | None" = None,
                            tracer: "Tracer | None" = None,
-                           title: str = "Observability summary") -> str:
+                           title: str = "Observability summary",
+                           run_id: str | None = None) -> str:
     """Render the one-screen observability report.
 
-    Two stacked tables: a span rollup (count, total/mean duration, and
-    share of top-level traced time) when ``tracer`` has finished spans,
-    then one row per metric from ``registry``.  Either input may be
-    ``None`` or empty — an empty report still renders (headers plus an
-    explicit "(none recorded)" row) so callers can print it
-    unconditionally.
-    """
-    blocks: list[str] = [title]
+    Three stacked tables: a span rollup (count, total/mean duration,
+    and share of top-level traced time) when ``tracer`` has finished
+    spans, a distributions table (count, mean, and estimated
+    p50/p95/p99 per histogram), then one row per counter/gauge from
+    ``registry``.  ``run_id``, when known, heads the report so two
+    renderings of the same run are trivially correlatable.  Either
+    input may be ``None`` or empty — an empty report still renders
+    (headers plus an explicit "(none recorded)" row) so callers can
+    print it unconditionally.
 
-    spans = tracer.finished_spans() if tracer is not None else []
+    The renderer works from *export records* internally (see
+    :func:`render_summary_records`), so re-rendering a run from its
+    JSONL artifact reproduces the live report byte for byte.
+    """
+    from repro.obs.export import span_records
+
+    spans = span_records(tracer) if tracer is not None else []
+    metrics = registry.snapshot() if registry is not None else []
+    return _render_summary(metrics, spans, title=title, run_id=run_id)
+
+
+def render_summary_records(records: "Iterable[dict]",
+                           title: str = "Observability summary") -> str:
+    """:func:`render_metrics_summary` over exported artifact records.
+
+    ``records`` is any mix of run/metric/span records (the
+    concatenation of one run's ``--metrics-out`` and ``--trace`` files,
+    say); the run-ledger header, when present, supplies the run ID.
+    """
+    metrics: list[dict] = []
+    spans: list[dict] = []
+    run_id = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "span":
+            spans.append(record)
+        elif kind == "run":
+            run_id = record.get("run_id")
+        elif kind in ("counter", "gauge", "histogram"):
+            metrics.append(record)
+    return _render_summary(metrics, spans, title=title, run_id=run_id)
+
+
+def _render_summary(metrics: list[dict], spans: list[dict],
+                    title: str, run_id: str | None) -> str:
+    from repro.obs.analyze import percentile_from_buckets
+    from repro.obs.metrics import MetricsRegistry
+
+    header = title if run_id is None else f"{title} — run {run_id}"
+    blocks: list[str] = [header]
+
     if spans:
         rollup: dict[str, list[float]] = {}
         order: list[str] = []
         for span in spans:
-            stats = rollup.get(span.name)
+            stats = rollup.get(span["name"])
             if stats is None:
-                stats = rollup[span.name] = [0.0, 0.0]
-                order.append(span.name)
+                stats = rollup[span["name"]] = [0.0, 0.0]
+                order.append(span["name"])
             stats[0] += 1
-            stats[1] += span.duration_ms
+            stats[1] += span["duration_ms"]
         # Share is relative to top-level traced time: nested spans count
         # inside their parents, so only depth-0 spans form the 100%.
-        top_level_ms = sum(s.duration_ms for s in spans if s.depth == 0)
+        top_level_ms = sum(s["duration_ms"] for s in spans
+                           if s["depth"] == 0)
         denominator = top_level_ms or sum(s[1] for s in rollup.values())
         span_rows = [
             (name, int(rollup[name][0]),
@@ -122,9 +165,29 @@ def render_metrics_summary(registry: "MetricsRegistry | None" = None,
             ("span", "count", "total ms", "mean ms", "share"),
             span_rows, title="Where the time went"))
 
+    registry = MetricsRegistry()
+    registry.merge(metrics)
+    histogram_rows: list[tuple[object, ...]] = []
     metric_rows: list[tuple[object, object]] = []
-    if registry is not None:
-        metric_rows = list(registry.flat().items())
+    for record in registry.snapshot():
+        label = record["name"]
+        if record["labels"]:
+            inner = ",".join(f"{k}={v}"
+                             for k, v in record["labels"].items())
+            label = f"{label}{{{inner}}}"
+        if record["type"] == "histogram":
+            count = record["count"]
+            mean = record["sum"] / count if count else 0.0
+            histogram_rows.append(
+                (label, count, round(mean, 3),
+                 *(round(percentile_from_buckets(record["buckets"], q), 3)
+                   for q in (50, 95, 99))))
+        else:
+            metric_rows.append((label, record["value"]))
+    if histogram_rows:
+        blocks.append(render_table(
+            ("histogram", "count", "mean", "p50", "p95", "p99"),
+            histogram_rows, title="Distributions"))
     if not metric_rows:
         metric_rows = [("(none recorded)", "")]
     blocks.append(render_table(("metric", "value"), metric_rows,

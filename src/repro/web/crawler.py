@@ -249,14 +249,18 @@ class Crawler:
 
     def visit_target(self, target: CrawlTarget, *,
                      rng: random.Random | None = None,
-                     breaker=None) -> CrawlOutcome:
+                     breaker=None,
+                     unit: int | None = None) -> CrawlOutcome:
         """Visit one (validated) target through the resilience pipeline.
 
         ``rng`` and ``breaker`` override the crawler's shared backoff
         rng and per-registered-domain breaker for this one visit.  The
         shared-nothing executor (:mod:`repro.parallel.survey`) passes a
         per-target derived rng and a fresh breaker so the visit's
-        result is independent of every other target's execution.
+        result is independent of every other target's execution, plus
+        the unit's global index as ``unit`` — recorded as a span
+        attribute so a stitched cross-worker trace names every visit by
+        its position in the global unit order.
         """
         _validate_target(target)
         profile = self._profile_factory(target)
@@ -274,8 +278,11 @@ class Crawler:
             return self.browser.visit(profile)
 
         if OBS.enabled:
-            with OBS.tracer.span("web.crawl.visit", domain=target.domain,
-                                 group=target.group_index):
+            attrs: dict[str, object] = {"domain": target.domain,
+                                        "group": target.group_index}
+            if unit is not None:
+                attrs["unit"] = unit
+            with OBS.tracer.span("web.crawl.visit", **attrs):
                 call = execute_with_policy(
                     attempt, policy=self.policy, clock=self.clock,
                     rng=rng, breaker=breaker)

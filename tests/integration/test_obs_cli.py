@@ -1,0 +1,131 @@
+"""End-to-end ``repro obs``: artifacts alone reproduce live reports.
+
+The contract (docs/OBSERVABILITY.md): everything the CLI prints about a
+run's observability is a pure function of the exported JSONL artifacts,
+so ``repro obs summary`` over the ``--metrics-out``/``--trace`` files
+re-renders the live summary byte for byte, and ``repro obs diff`` turns
+two artifacts (or an artifact and a committed benchmark JSON) into a CI
+gate.
+"""
+
+import io
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.state.atomic import read_jsonl
+
+ARGS = ("survey", "--top", "20", "--stratum", "5", "--fast",
+        "--fault-rate", "0.3", "--fault-seed", "7", "--workers", "2")
+
+
+def run_cli(*argv: str, expect: int = 0) -> str:
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    assert code == expect, out.getvalue()
+    return out.getvalue()
+
+
+@pytest.fixture(scope="module")
+def run(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("obs-cli")
+    metrics = str(tmp / "metrics.jsonl")
+    trace = str(tmp / "trace.jsonl")
+    output = run_cli(*ARGS, "--metrics-out", metrics, "--trace", trace)
+    return output, metrics, trace
+
+
+class TestSummary:
+    def test_reproduces_live_summary_byte_for_byte(self, run):
+        output, metrics, trace = run
+        live = output[output.index("Observability summary"):]
+        assert run_cli("obs", "summary", metrics, trace) == live
+
+    def test_accepts_single_artifact(self, run):
+        _, metrics, _ = run
+        text = run_cli("obs", "summary", metrics)
+        assert "Where the time went" not in text  # no spans in this file
+        assert "web.crawl.latency_ms" in text
+
+    def test_missing_file_fails_cleanly(self, run):
+        text = run_cli("obs", "summary", "/no/such/file.jsonl", expect=2)
+        assert text.startswith("error:")
+
+
+class TestSlowAndTree:
+    def test_slow_ranks_visit_spans(self, run):
+        _, _, trace = run
+        text = run_cli("obs", "slow", trace, "--top", "3")
+        lines = text.splitlines()
+        assert lines[0].startswith("Slowest spans")
+        assert len(lines) == 3 + 3  # title + header + rule + 3 rows
+        assert "web.crawl.visit" in text and "domain=" in text
+
+    def test_slow_by_self(self, run):
+        _, _, trace = run
+        assert "by self time" in run_cli("obs", "slow", trace,
+                                         "--by", "self")
+
+    def test_tree_nests_and_marks_critical_path(self, run):
+        _, _, trace = run
+        text = run_cli("obs", "tree", trace)
+        lines = text.splitlines()
+        assert lines[0].startswith("survey.run")
+        assert any(line.startswith("  survey.crawl.parallel")
+                   for line in lines)
+        assert any(line.startswith("    web.crawl.visit")
+                   for line in lines)
+        assert lines[-1] == "(* = critical path)"
+        assert sum(1 for line in lines if line.endswith(" *")) >= 2
+
+
+class TestDiff:
+    def test_identical_runs_pass(self, run):
+        _, metrics, _ = run
+        text = run_cli("obs", "diff", metrics, metrics)
+        assert "ok:" in text and "FAIL" not in text
+
+    def test_regression_fails_with_exit_1(self, run, tmp_path):
+        _, metrics, _ = run
+        slowed = self._rewrite(metrics, tmp_path / "slowed.jsonl",
+                               scale=2.0)
+        text = run_cli("obs", "diff", metrics, slowed,
+                       "--metric", "web.crawl.latency_ms.*",
+                       expect=1)
+        assert "FAIL" in text
+
+    def test_tolerance_flag_widens_gate(self, run, tmp_path):
+        _, metrics, _ = run
+        slowed = self._rewrite(metrics, tmp_path / "slowed.jsonl",
+                               scale=2.0)
+        run_cli("obs", "diff", metrics, slowed, "--tolerance", "20",
+                "--metric", "web.crawl.latency_ms.*")
+
+    def test_against_committed_bench_json(self, run, tmp_path):
+        _, metrics, _ = run
+        flat = {}
+        for record in read_jsonl(metrics):
+            if record["type"] == "counter":
+                label = record["name"]
+                if record["labels"]:
+                    inner = ",".join(f"{k}={v}" for k, v
+                                     in record["labels"].items())
+                    label = f"{label}{{{inner}}}"
+                flat[label] = record["value"]
+        baseline = tmp_path / "BENCH_survey.json"
+        baseline.write_text(json.dumps(flat))
+        run_cli("obs", "diff", str(baseline), metrics,
+                "--metric", "web.crawl.outcomes*")
+
+    def _rewrite(self, source: str, dest, *, scale: float) -> str:
+        from repro.state.atomic import atomic_write_jsonl
+
+        records = []
+        for record in read_jsonl(source):
+            if record.get("name") == "web.crawl.latency_ms":
+                record = dict(record)
+                record["sum"] = record["sum"] * scale
+            records.append(record)
+        atomic_write_jsonl(str(dest), records)
+        return str(dest)

@@ -80,16 +80,28 @@ class TestMetricsFile:
         raw_lines = metrics_path.read_text(encoding="utf-8").splitlines()
         assert json.loads(raw_lines[-1])["type"] == "footer"
         assert len(raw_lines) == len(records) + 1
-        names = {r["name"] for r in records}
+        names = {r["name"] for r in records if r["type"] != "run"}
         for expected in ("filters.parse.lines", "filters.index.probes",
                          "filters.engine.verdicts", "web.crawl.outcomes",
                          "web.crawl.latency_ms",
                          "measurement.survey.targets"):
             assert expected in names, f"missing metric {expected}"
 
+    def test_run_ledger_header_first(self, outputs):
+        # The run-ledger header leads both artifacts, with the same
+        # derived run ID, so the files correlate without guesswork.
+        _, _, metrics_path, trace_path = outputs
+        metrics = read_jsonl(str(metrics_path))
+        spans = read_jsonl(str(trace_path))
+        assert metrics[0]["type"] == "run"
+        assert spans[0]["type"] == "run"
+        assert metrics[0]["run_id"] == spans[0]["run_id"]
+        assert len(metrics[0]["run_id"]) == 16
+
     def test_metrics_sorted_and_typed(self, outputs):
         _, _, metrics_path, _ = outputs
-        records = read_jsonl(str(metrics_path))
+        records = [r for r in read_jsonl(str(metrics_path))
+                   if r["type"] != "run"]
         keys = [(r["name"], r["type"]) for r in records]
         assert keys == sorted(keys)
         assert {r["type"] for r in records} <= {
@@ -108,7 +120,8 @@ class TestMetricsFile:
 class TestTraceFile:
     def test_span_tree_shape(self, outputs):
         _, _, _, trace_path = outputs
-        spans = read_jsonl(str(trace_path))
+        spans = [s for s in read_jsonl(str(trace_path))
+                 if s["type"] == "span"]
         assert spans[0]["name"] == "survey.run"
         assert spans[0]["depth"] == 0
         names = {s["name"] for s in spans}
@@ -119,9 +132,23 @@ class TestTraceFile:
         depths = [s["depth"] for s in spans]
         assert all(b <= a + 1 for a, b in zip(depths, depths[1:]))
 
+    def test_span_ids_link_into_a_tree(self, outputs):
+        _, _, _, trace_path = outputs
+        spans = [s for s in read_jsonl(str(trace_path))
+                 if s["type"] == "span"]
+        ids = [s["span_id"] for s in spans]
+        assert len(set(ids)) == len(ids)
+        assert all(len(i) == 16 for i in ids)
+        known = set(ids)
+        roots = [s for s in spans if s["parent_id"] == ""]
+        assert roots == [spans[0]]
+        assert all(s["parent_id"] in known for s in spans
+                   if s["parent_id"] != "")
+
     def test_visit_spans_carry_domain_attrs(self, outputs):
         _, _, _, trace_path = outputs
         visits = [s for s in read_jsonl(str(trace_path))
-                  if s["name"] == "web.crawl.visit"]
+                  if s["type"] == "span"
+                  and s["name"] == "web.crawl.visit"]
         assert visits
         assert all(v["attrs"].get("domain") for v in visits)

@@ -17,7 +17,8 @@ import pytest
 from repro.cli import main
 from repro.measurement.stats import section51_headline
 from repro.measurement.survey import SurveyConfig, run_survey
-from repro.obs import JsonLinesExporter, MetricsRegistry, observe
+from repro.obs import (JsonLinesExporter, MetricsRegistry, Tracer, observe,
+                       span_records)
 from repro.parallel.survey import list_shard_journals
 from repro.reporting.tables import render_crawl_health
 from repro.state import Checkpoint, CheckpointError
@@ -101,6 +102,55 @@ class TestWorkerCountInvariance:
         reference = journal_bytes(1, "w1.ckpt")
         assert journal_bytes(4, "w4.ckpt") == reference
         assert journal_bytes(8, "w8.ckpt") == reference
+
+
+class TestTraceWorkerInvariance:
+    """Pool mode keeps per-visit spans, and the merged trace is
+    byte-identical for every worker count.
+
+    Unit spans are timed on the per-unit simulated clock (deterministic
+    by construction); the parent's own spans are timed on the tracer
+    clock, so a deterministic counting clock is injected here — the
+    number of parent-side clock reads is itself worker-count-invariant,
+    which is part of what this asserts.
+    """
+
+    def _trace_bytes(self, history, tmp_path, workers, name):
+        ticks = iter(range(1_000_000))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with observe(tracer=tracer):
+            run_survey(history, _config(workers))
+            path = str(tmp_path / name)
+            JsonLinesExporter(path).export(tracer=tracer)
+        with open(path, "rb") as handle:
+            return handle.read()
+
+    @pytest.mark.parametrize("workers", [2, 8])
+    def test_trace_export_byte_identical(self, history, tmp_path,
+                                         workers):
+        assert self._trace_bytes(history, tmp_path, workers,
+                                 f"w{workers}.jsonl") == \
+            self._trace_bytes(history, tmp_path, 1,
+                              f"w1-vs-{workers}.jsonl")
+
+    def test_pooled_trace_contains_linked_visit_spans(self, history):
+        with observe() as (_, tracer):
+            run_survey(history, _config(4))
+            records = span_records(tracer)
+        visits = [r for r in records if r["name"] == "web.crawl.visit"]
+        # 35 units x 2 engine configs; the PR-4 "spans are dropped in
+        # pool mode" carve-out is gone.
+        assert len(visits) == 70
+        parallel_ids = {r["span_id"] for r in records
+                        if r["name"] == "survey.crawl.parallel"}
+        assert len(parallel_ids) == 2
+        assert {v["parent_id"] for v in visits} == parallel_ids
+        units = sorted(v["attrs"]["unit"] for v in visits)
+        assert units == sorted(list(range(35)) * 2)
+        # The worker transport tag never survives into the merged trace.
+        assert all("worker" not in v for v in visits)
+        ids = [r["span_id"] for r in records]
+        assert len(set(ids)) == len(ids)
 
 
 class TestResumeAcrossWorkerCounts:

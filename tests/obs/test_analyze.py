@@ -1,0 +1,237 @@
+"""Unit tests for artifact-driven trace/metric analysis."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs import JsonLinesExporter, MetricsRegistry, Tracer
+from repro.obs.analyze import (
+    build_span_tree,
+    critical_path,
+    diff_runs,
+    flatten,
+    load_artifact,
+    percentile_from_buckets,
+    slowest_spans,
+)
+from repro.obs.export import span_records
+from repro.state.atomic import ArtifactError
+
+
+def _span(name, span_id, parent_id, depth, start, duration):
+    return {"type": "span", "name": name, "span_id": span_id,
+            "parent_id": parent_id, "depth": depth, "start_s": start,
+            "duration_ms": duration, "attrs": {}}
+
+
+#: A known tree: run(100) -> crawl(70) -> visit_a(40), visit_b(20);
+#: run -> report(10).  Critical path: run -> crawl -> visit_a.
+_TREE = [
+    _span("run", "r0", "", 0, 0.0, 100.0),
+    _span("crawl", "c0", "r0", 1, 0.001, 70.0),
+    _span("visit_a", "va", "c0", 2, 0.002, 40.0),
+    _span("visit_b", "vb", "c0", 2, 0.050, 20.0),
+    _span("report", "p0", "r0", 1, 0.080, 10.0),
+]
+
+
+class TestBuildSpanTree:
+    def test_reconstructs_from_shuffled_records(self):
+        rng = random.Random(7)
+        for _ in range(10):
+            shuffled = list(_TREE)
+            rng.shuffle(shuffled)
+            (root,) = build_span_tree(shuffled)
+            assert [n.name for n in root.walk()] == \
+                ["run", "crawl", "visit_a", "visit_b", "report"]
+
+    def test_self_vs_cumulative(self):
+        (root,) = build_span_tree(_TREE)
+        by_name = {n.name: n for n in root.walk()}
+        assert by_name["run"].cumulative_ms == 100.0
+        assert by_name["run"].self_ms == 20.0        # 100 - 70 - 10
+        assert by_name["crawl"].self_ms == 10.0      # 70 - 40 - 20
+        assert by_name["visit_a"].self_ms == 40.0    # leaf
+
+    def test_self_time_clamped_for_cross_clock_children(self):
+        # Adopted children timed on a simulated clock can nominally
+        # exceed their wall-clocked parent; self time clamps at zero.
+        records = [
+            _span("parent", "p", "", 0, 0.0, 5.0),
+            _span("child", "c", "p", 1, 0.0, 50.0),
+        ]
+        (root,) = build_span_tree(records)
+        assert root.self_ms == 0.0
+
+    def test_unknown_parent_makes_a_root(self):
+        orphan = _span("orphan", "x", "not-in-artifact", 3, 1.0, 2.0)
+        roots = build_span_tree(_TREE + [orphan])
+        assert {r.name for r in roots} == {"run", "orphan"}
+
+    def test_positional_fallback_without_ids(self):
+        legacy = [{"type": "span", "name": name, "depth": depth,
+                   "start_s": i * 0.01, "duration_ms": 10.0, "attrs": {}}
+                  for i, (name, depth) in enumerate(
+                      [("run", 0), ("crawl", 1), ("visit", 2),
+                       ("report", 1)])]
+        (root,) = build_span_tree(legacy)
+        assert [n.name for n in root.walk()] == \
+            ["run", "crawl", "visit", "report"]
+
+    def test_empty(self):
+        assert build_span_tree([]) == []
+
+
+class TestCriticalPath:
+    def test_known_trace(self):
+        path = critical_path(build_span_tree(_TREE))
+        assert [n.name for n in path] == ["run", "crawl", "visit_a"]
+
+    def test_empty(self):
+        assert critical_path([]) == []
+
+    def test_picks_heaviest_root(self):
+        forest = build_span_tree([
+            _span("small", "s", "", 0, 0.0, 5.0),
+            _span("big", "b", "", 0, 1.0, 50.0),
+        ])
+        assert [n.name for n in critical_path(forest)] == ["big"]
+
+
+class TestSlowestSpans:
+    def test_by_cumulative(self):
+        names = [n.name for n in slowest_spans(_TREE, top=3)]
+        assert names == ["run", "crawl", "visit_a"]
+
+    def test_by_self(self):
+        names = [n.name for n in slowest_spans(_TREE, top=3, by="self")]
+        assert names == ["visit_a", "run", "visit_b"]
+
+    def test_bad_key_rejected(self):
+        with pytest.raises(ValueError, match="cumulative"):
+            slowest_spans(_TREE, by="total")
+
+
+class TestPercentileFromBuckets:
+    def test_matches_live_histogram(self):
+        registry = MetricsRegistry()
+        h = registry.histogram("lat", bounds=(10.0, 100.0, 1000.0))
+        for v in (2, 4, 8, 16, 32, 64, 128, 256, 512):
+            h.observe(v)
+        (record,) = registry.snapshot()
+        for q in (0, 25, 50, 90, 95, 99, 100):
+            assert percentile_from_buckets(record["buckets"], q) == \
+                h.percentile(q)
+
+
+class TestFlatten:
+    def test_matches_registry_flat(self):
+        registry = MetricsRegistry()
+        registry.counter("events", kind="x").inc(3)
+        registry.gauge("size").set(7)
+        registry.histogram("lat", bounds=(10.0,)).observe(4.0)
+        assert flatten(registry.snapshot()) == registry.flat()
+
+    def test_ignores_non_metric_records(self):
+        assert flatten([{"type": "run", "run_id": "ab"},
+                        _span("s", "a", "", 0, 0.0, 1.0)]) == {}
+
+
+class TestLoadArtifact:
+    def test_jsonl_round_trip(self, tmp_path):
+        registry = MetricsRegistry()
+        registry.counter("events").inc(2)
+        ticks = iter(range(10))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with tracer.span("run"):
+            with tracer.span("step"):
+                pass
+        path = str(tmp_path / "run.jsonl")
+        JsonLinesExporter(path, run_id="ab12cd34ef567890").export(
+            registry=registry, tracer=tracer)
+        artifact = load_artifact(path)
+        assert artifact.run_id == "ab12cd34ef567890"
+        assert artifact.metrics == registry.snapshot()
+        assert artifact.spans == span_records(tracer)
+        assert artifact.flat == registry.flat()
+
+    def test_bench_json_document(self, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        path.write_text(json.dumps({
+            "parallel": {"simulated_speedup": {"2": 1.8, "8": 6.4},
+                         "note": "text is skipped"},
+            "flag": True,
+            "count": 3,
+        }))
+        artifact = load_artifact(str(path))
+        assert artifact.run_id is None
+        assert artifact.spans == [] and artifact.metrics == []
+        assert artifact.flat == {
+            "parallel.simulated_speedup.2": 1.8,
+            "parallel.simulated_speedup.8": 6.4,
+            "count": 3,
+        }
+
+    def test_garbage_rejected(self, tmp_path):
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\x00not json\x00")
+        with pytest.raises((ArtifactError, ValueError)):
+            load_artifact(str(path))
+
+    def test_non_dict_document_rejected(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ArtifactError, match="neither"):
+            load_artifact(str(path))
+
+
+class TestDiffRuns:
+    def test_within_and_beyond_tolerance(self):
+        report = diff_runs({"a": 10.0, "b": 10.0},
+                           {"a": 12.0, "b": 13.0}, tolerance=0.25)
+        by_name = {d.name: d for d in report.deltas}
+        assert not by_name["a"].violation         # +20%
+        assert by_name["b"].violation             # +30%
+        assert not report.ok
+        assert [d.name for d in report.violations] == ["b"]
+
+    def test_exactly_at_tolerance_passes(self):
+        report = diff_runs({"a": 100.0}, {"a": 125.0}, tolerance=0.25)
+        assert report.ok
+
+    def test_improvement_beyond_tolerance_also_gates(self):
+        # Symmetric by design: a huge "speedup" usually means the
+        # benchmark broke, not that the code got 10x faster.
+        report = diff_runs({"a": 100.0}, {"a": 10.0}, tolerance=0.25)
+        assert not report.ok
+
+    def test_missing_in_baseline_reported_not_gating(self):
+        report = diff_runs({}, {"new_metric": 5.0})
+        (delta,) = report.deltas
+        assert delta.baseline is None and delta.candidate == 5.0
+        assert delta.relative is None and not delta.violation
+        assert report.ok
+
+    def test_missing_in_candidate_reported_not_gating(self):
+        report = diff_runs({"gone": 5.0}, {})
+        (delta,) = report.deltas
+        assert delta.candidate is None and not delta.violation
+
+    def test_zero_baseline_moving_violates(self):
+        report = diff_runs({"z": 0.0}, {"z": 0.001})
+        (delta,) = report.deltas
+        assert delta.relative == float("inf") and delta.violation
+
+    def test_zero_to_zero_passes(self):
+        assert diff_runs({"z": 0.0}, {"z": 0.0}).ok
+
+    def test_metric_filter(self):
+        report = diff_runs({"keep.a": 1.0, "drop.b": 1.0},
+                           {"keep.a": 9.0, "drop.b": 9.0},
+                           metrics=["keep.*"])
+        assert [d.name for d in report.deltas] == ["keep.a"]
+
+    def test_negative_tolerance_rejected(self):
+        with pytest.raises(ValueError, match="tolerance"):
+            diff_runs({}, {}, tolerance=-0.1)

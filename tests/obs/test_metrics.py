@@ -69,6 +69,57 @@ class TestHistogram:
             Histogram("lat", bounds=(5.0, 5.0))
 
 
+class TestHistogramPercentile:
+    def test_interpolates_within_bucket(self):
+        h = Histogram("lat", bounds=(10.0, 100.0))
+        for v in (2, 4, 6, 8):
+            h.observe(v)
+        # All four observations sit in [0, 10]; the q-th observation is
+        # q% of the way through the bucket under the uniform assumption.
+        assert h.percentile(25) == 2.5
+        assert h.percentile(50) == 5.0
+        assert h.percentile(100) == 10.0
+
+    def test_spans_buckets(self):
+        h = Histogram("lat", bounds=(10.0, 100.0))
+        h.observe(5.0)
+        h.observe(50.0)
+        assert h.percentile(50) == 10.0   # end of the first bucket
+        assert h.percentile(75) == 55.0   # halfway into the second
+
+    def test_error_bounded_by_bucket_width(self):
+        h = Histogram("lat", bounds=(10.0, 100.0, 1000.0))
+        for v in (150.0, 850.0, 999.0):
+            h.observe(v)
+        for q in (1, 50, 99):
+            estimate = h.percentile(q)
+            assert 100.0 <= estimate <= 1000.0  # the containing bucket
+
+    def test_inf_bucket_clamps_to_last_bound(self):
+        h = Histogram("lat", bounds=(10.0,))
+        h.observe(99_999.0)
+        assert h.percentile(99) == 10.0
+
+    def test_empty_is_zero(self):
+        assert Histogram("lat", bounds=(10.0,)).percentile(95) == 0.0
+
+    def test_out_of_range_rejected(self):
+        h = Histogram("lat", bounds=(10.0,))
+        for bad in (-1, 100.5):
+            with pytest.raises(ValueError, match="percentile"):
+                h.percentile(bad)
+
+    def test_flat_view_exposes_percentiles(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", bounds=(10.0,))
+        for v in (2, 4, 6, 8):
+            h.observe(v)
+        flat = r.flat()
+        assert flat["lat.p50"] == 5.0
+        assert set(flat) >= {"lat.count", "lat.mean", "lat.p50",
+                             "lat.p95", "lat.p99"}
+
+
 class TestMetricsRegistry:
     def test_get_or_create_returns_same_instrument(self):
         r = MetricsRegistry()

@@ -1,11 +1,17 @@
 """Unit tests for the ASCII table renderer."""
 
-from repro.obs import MetricsRegistry, Tracer
+import os
+
+from repro.obs import MetricsRegistry, Tracer, run_record, span_records
 from repro.reporting.tables import (
     render_comparison,
     render_metrics_summary,
+    render_summary_records,
     render_table,
 )
+
+_GOLDEN = os.path.join(os.path.dirname(__file__), "golden",
+                       "observability_summary.txt")
 
 
 class TestRenderTable:
@@ -77,7 +83,7 @@ class TestRenderMetricsSummary:
         assert "(none recorded)" in text
         assert "Where the time went" not in text
 
-    def test_metric_rows_from_flat_view(self):
+    def test_metric_rows_and_distributions(self):
         registry = MetricsRegistry()
         registry.counter("filters.engine.verdicts",
                          verdict="block").inc(12)
@@ -86,8 +92,19 @@ class TestRenderMetricsSummary:
         text = render_metrics_summary(registry, None)
         assert "filters.engine.verdicts{verdict=block}" in text
         assert "12" in text
-        assert "web.crawl.latency_ms.count" in text
+        # Histograms render in their own Distributions table with
+        # estimated percentiles, not as flat .count/.sum metric rows.
+        assert "Distributions" in text
+        assert "web.crawl.latency_ms" in text
+        for column in ("p50", "p95", "p99"):
+            assert column in text
         assert "(none recorded)" not in text
+
+    def test_run_id_header(self):
+        text = render_metrics_summary(MetricsRegistry(), None,
+                                      run_id="ab12cd34ef567890")
+        assert text.startswith(
+            "Observability summary — run ab12cd34ef567890")
 
     def test_unicode_filter_text_label(self):
         registry = MetricsRegistry()
@@ -117,3 +134,53 @@ class TestRenderMetricsSummary:
     def test_empty_tracer_omits_span_table(self):
         text = render_metrics_summary(None, Tracer())
         assert "Where the time went" not in text
+
+
+class TestSummaryGolden:
+    """The full report, pinned to a golden file.
+
+    Any formatting drift — label ordering, percentile rounding, table
+    layout, the run-id header — shows up as a readable diff against
+    ``tests/reporting/golden/observability_summary.txt``.
+    """
+
+    def _inputs(self):
+        registry = MetricsRegistry()
+        # Registered in non-sorted order on purpose: the renderer must
+        # sort label sets deterministically.
+        registry.counter("filters.engine.verdicts", verdict="block",
+                         via="match").inc(12)
+        registry.counter("filters.engine.verdicts", verdict="allow",
+                         via="match").inc(5)
+        registry.gauge("measurement.survey.targets").set(35)
+        histogram = registry.histogram(
+            "web.crawl.latency_ms", bounds=(10.0, 100.0, 1000.0))
+        for value in (4.0, 42.0, 250.0, 980.0):
+            histogram.observe(value)
+        ticks = iter(range(100))
+        tracer = Tracer(clock=lambda: float(next(ticks)))
+        with tracer.span("survey.run", top_n=20):
+            with tracer.span("survey.crawl", config="easylist+whitelist"):
+                with tracer.span("web.crawl.visit",
+                                 domain="example.com", unit=0):
+                    pass
+            with tracer.span("survey.crawl", config="easylist-only"):
+                pass
+        return registry, tracer
+
+    def _golden(self) -> str:
+        with open(_GOLDEN, encoding="utf-8") as handle:
+            return handle.read()
+
+    def test_live_render_matches_golden(self):
+        registry, tracer = self._inputs()
+        text = render_metrics_summary(registry, tracer,
+                                      run_id="ab12cd34ef567890")
+        assert text + "\n" == self._golden()
+
+    def test_record_render_matches_live(self):
+        """An artifact round-trip reproduces the live report exactly."""
+        registry, tracer = self._inputs()
+        records = ([run_record("ab12cd34ef567890")]
+                   + registry.snapshot() + span_records(tracer))
+        assert render_summary_records(records) + "\n" == self._golden()
