@@ -30,6 +30,7 @@ from repro.obs import OBS
 if TYPE_CHECKING:  # pragma: no cover - avoids a circular import at runtime
     from repro.history.generator import WhitelistHistory
 from repro.measurement.samples import SampleGroup, build_samples
+from repro.parallel.scheduler import run_stealing_survey
 from repro.parallel.survey import run_sharded_survey
 from repro.state.checkpoint import Checkpoint
 from repro.web.crawlstate import journaled_survey
@@ -73,6 +74,18 @@ class SurveyConfig:
     ``fault_rate == 0``, where the rng and breakers are never
     consulted); checkpoints resume across worker-count changes but not
     across execution models.
+
+    ``scheduler`` picks the shared-nothing executor: ``"shards"`` (the
+    PR-4 pre-dealt round-robin pool, any worker failure fatal) or
+    ``"steal"`` (the supervised work-stealing scheduler of
+    :mod:`repro.parallel.scheduler` — lease recovery from dead workers,
+    poison-unit quarantine, streaming backpressure).  Both produce
+    byte-identical results and share one checkpoint fingerprint, so a
+    resume may switch schedulers freely.  ``lease_size`` and
+    ``max_worker_restarts`` tune the steal scheduler only.
+    ``steal_crash_injector`` is the deterministic worker-death harness
+    (tests/benchmarks); like ``workers`` it never enters the
+    fingerprint — a kill schedule is not a result.
     """
 
     top_n: int = 5_000
@@ -83,6 +96,10 @@ class SurveyConfig:
     fault_seed: int = 0
     max_retries: int = 2
     workers: int | None = None
+    scheduler: str = "shards"
+    lease_size: int = 4
+    max_worker_restarts: int = 4
+    steal_crash_injector: object | None = None
 
 
 @dataclass
@@ -219,6 +236,9 @@ def run_survey(history: "WhitelistHistory",
     closes it, and crash-shaped exceptions propagate.
     """
     config = config or SurveyConfig()
+    if config.scheduler not in ("shards", "steal"):
+        raise ValueError(f"unknown scheduler {config.scheduler!r}; "
+                         f"expected 'shards' or 'steal'")
     tracer = OBS.tracer
     with tracer.span("survey.run", top_n=config.top_n,
                      stratum_size=config.stratum_size,
@@ -262,17 +282,33 @@ def run_survey(history: "WhitelistHistory",
             if config.workers is not None:
                 # No ``workers`` attr: the merged trace is defined to be
                 # byte-identical for every worker count, so execution
-                # placement must not leak into span attributes.
+                # placement must not leak into span attributes.  The
+                # span (and the fingerprint) are also identical across
+                # schedulers — the two executors are interchangeable
+                # views of the same result.
                 with tracer.span("survey.crawl.parallel",
                                  config=engine_config):
-                    surveyed = run_sharded_survey(
-                        groups, crawler_factory=crawler_factory,
-                        workers=config.workers,
-                        jitter_seed=config.fault_seed,
-                        checkpoint=checkpoint,
-                        scope=f"survey/{engine_config}",
-                        scope_config=_survey_fingerprint(
-                            config, engine_config))
+                    if config.scheduler == "steal":
+                        surveyed = run_stealing_survey(
+                            groups, crawler_factory=crawler_factory,
+                            workers=config.workers,
+                            jitter_seed=config.fault_seed,
+                            checkpoint=checkpoint,
+                            scope=f"survey/{engine_config}",
+                            scope_config=_survey_fingerprint(
+                                config, engine_config),
+                            lease_size=config.lease_size,
+                            max_worker_restarts=config.max_worker_restarts,
+                            crash_injector=config.steal_crash_injector)
+                    else:
+                        surveyed = run_sharded_survey(
+                            groups, crawler_factory=crawler_factory,
+                            workers=config.workers,
+                            jitter_seed=config.fault_seed,
+                            checkpoint=checkpoint,
+                            scope=f"survey/{engine_config}",
+                            scope_config=_survey_fingerprint(
+                                config, engine_config))
                 for group in groups:
                     outcomes = surveyed[group.name]
                     outcomes_by_group[group.name] = outcomes

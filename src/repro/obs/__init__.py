@@ -110,13 +110,23 @@ class ObsState:
     ``run_id`` identifies the current observed run (see
     :func:`repro.obs.ids.derive_run_id`); exporters stamp it into the
     artifact's run-ledger header.
+
+    ``diagnostics`` is a *separate* registry for telemetry that
+    describes execution placement rather than results — scheduler
+    steals, worker deaths, heartbeat timeouts, quarantine counts.  It
+    is deliberately not ``registry``: result metrics are required to be
+    byte-identical across worker counts and kill schedules, and
+    supervision counters are exactly the numbers that are not.
+    Exporters therefore ignore ``diagnostics`` unless explicitly asked
+    for it.
     """
 
-    __slots__ = ("registry", "tracer", "enabled", "run_id")
+    __slots__ = ("registry", "tracer", "diagnostics", "enabled", "run_id")
 
     def __init__(self) -> None:
         self.registry: MetricsRegistry = NULL_REGISTRY
         self.tracer: Tracer = NULL_TRACER
+        self.diagnostics: MetricsRegistry = NULL_REGISTRY
         self.enabled: bool = False
         self.run_id: str | None = None
 
@@ -126,20 +136,27 @@ OBS = ObsState()
 
 def enable(registry: MetricsRegistry | None = None,
            tracer: Tracer | None = None,
-           run_id: str | None = None
+           run_id: str | None = None,
+           diagnostics: MetricsRegistry | None = None
            ) -> tuple[MetricsRegistry, Tracer]:
     """Install a live registry/tracer pair (created fresh when omitted).
 
     Passing only one of the two leaves the other disabled (null), so a
     caller can collect metrics without paying for span bookkeeping.
     ``run_id`` optionally names the run for exporters and rendered
-    summaries (the CLI derives one per invocation).
+    summaries (the CLI derives one per invocation).  A live
+    ``diagnostics`` registry rides along whenever anything is enabled
+    (pass your own to inspect it; it is never merged into ``registry``).
     """
     if registry is None and tracer is None:
         registry, tracer = MetricsRegistry(), Tracer()
     OBS.registry = registry if registry is not None else NULL_REGISTRY
     OBS.tracer = tracer if tracer is not None else NULL_TRACER
     OBS.enabled = (OBS.registry.enabled or OBS.tracer.enabled)
+    if diagnostics is not None:
+        OBS.diagnostics = diagnostics
+    else:
+        OBS.diagnostics = MetricsRegistry() if OBS.enabled else NULL_REGISTRY
     OBS.run_id = run_id
     return OBS.registry, OBS.tracer
 
@@ -148,6 +165,7 @@ def disable() -> None:
     """Return to the null registry/tracer (the default state)."""
     OBS.registry = NULL_REGISTRY
     OBS.tracer = NULL_TRACER
+    OBS.diagnostics = NULL_REGISTRY
     OBS.enabled = False
     OBS.run_id = None
 
@@ -155,11 +173,14 @@ def disable() -> None:
 @contextmanager
 def observe(registry: MetricsRegistry | None = None,
             tracer: Tracer | None = None,
-            run_id: str | None = None
+            run_id: str | None = None,
+            diagnostics: MetricsRegistry | None = None
             ) -> Iterator[tuple[MetricsRegistry, Tracer]]:
     """Scoped :func:`enable`: restores the previous state on exit."""
-    previous = (OBS.registry, OBS.tracer, OBS.enabled, OBS.run_id)
+    previous = (OBS.registry, OBS.tracer, OBS.diagnostics,
+                OBS.enabled, OBS.run_id)
     try:
-        yield enable(registry, tracer, run_id)
+        yield enable(registry, tracer, run_id, diagnostics)
     finally:
-        (OBS.registry, OBS.tracer, OBS.enabled, OBS.run_id) = previous
+        (OBS.registry, OBS.tracer, OBS.diagnostics,
+         OBS.enabled, OBS.run_id) = previous

@@ -15,13 +15,23 @@ results for a given seed.  This subpackage provides parallelism that
   memory, per-worker cache statistics);
 * :mod:`repro.parallel.survey` — the sharded survey executor: shard
   journals that merge into the standard checkpoint format, ordered
-  metric-snapshot merging, resume across worker-count changes.
+  metric-snapshot merging, resume across worker-count changes;
+* :mod:`repro.parallel.leases` — bounded work leases and the
+  dispatcher-side :class:`~repro.parallel.leases.LeaseLedger`;
+* :mod:`repro.parallel.supervisor` — worker lifecycle: spawn, heartbeat
+  deadlines, exit reaping, restart budget, deterministic
+  :class:`~repro.parallel.supervisor.WorkerCrashInjector`;
+* :mod:`repro.parallel.scheduler` — the supervised work-stealing
+  executor (``--scheduler steal``): lease recovery from dead/wedged
+  workers, poison-unit quarantine, streaming in-order flush with
+  backpressure.
 
 Import note: this ``__init__`` re-exports only the dependency-free core
-(pool, rng, caches).  :mod:`repro.parallel.survey` imports the web and
-state layers — and those layers import :mod:`repro.parallel.caches` —
-so the executor is imported explicitly (``from repro.parallel.survey
-import run_sharded_survey``) to keep the import graph acyclic.
+(pool, rng, caches, leases, supervisor).  :mod:`repro.parallel.survey`
+and :mod:`repro.parallel.scheduler` import the web and state layers —
+and those layers import :mod:`repro.parallel.caches` — so the executors
+are imported explicitly (``from repro.parallel.scheduler import
+run_stealing_survey``) to keep the import graph acyclic.
 """
 
 from repro.parallel.caches import (
@@ -30,8 +40,15 @@ from repro.parallel.caches import (
     registered_caches,
     reset_process_caches,
 )
+from repro.parallel.leases import Lease, LeaseLedger, generate_leases
 from repro.parallel.pool import WorkerError, WorkPool, shard_round_robin
 from repro.parallel.rng import derive_rng, derive_seed
+from repro.parallel.supervisor import (
+    POISON_EXIT_CODE,
+    Supervisor,
+    WorkerCrashInjector,
+    WorkerHandle,
+)
 
 __all__ = [
     "WorkPool",
@@ -43,4 +60,11 @@ __all__ = [
     "reset_process_caches",
     "registered_caches",
     "process_cache_stats",
+    "Lease",
+    "LeaseLedger",
+    "generate_leases",
+    "Supervisor",
+    "WorkerHandle",
+    "WorkerCrashInjector",
+    "POISON_EXIT_CODE",
 ]

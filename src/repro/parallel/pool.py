@@ -42,13 +42,35 @@ _ResultT = TypeVar("_ResultT")
 
 
 class WorkerError(RuntimeError):
-    """A pool worker failed; carries the shard index and worker detail."""
+    """A pool worker failed; carries the shard index and worker detail.
 
-    def __init__(self, shard_index: int, detail: str):
+    ``exit_code``/``signal`` record how the worker process ended (at
+    most one is set: a negative ``Process.exitcode`` means death by
+    signal) and ``completed_units`` how many of its shard's units it
+    finished first — the operator-facing answer to "how much work did
+    the failure cost?".  All three are ``None`` when unknown (e.g. the
+    inline fallback has no process to inspect).
+    """
+
+    def __init__(self, shard_index: int, detail: str, *,
+                 exit_code: int | None = None,
+                 signal: int | None = None,
+                 completed_units: int | None = None):
+        context = []
+        if signal is not None:
+            context.append(f"killed by signal {signal}")
+        elif exit_code is not None:
+            context.append(f"exit code {exit_code}")
+        if completed_units is not None:
+            context.append(f"{completed_units} unit(s) completed")
+        suffix = f" [{', '.join(context)}]" if context else ""
         super().__init__(
-            f"worker for shard {shard_index} failed:\n{detail}")
+            f"worker for shard {shard_index} failed{suffix}:\n{detail}")
         self.shard_index = shard_index
         self.detail = detail
+        self.exit_code = exit_code
+        self.signal = signal
+        self.completed_units = completed_units
 
 
 def shard_round_robin(items: Sequence[_ItemT],
@@ -60,11 +82,20 @@ def shard_round_robin(items: Sequence[_ItemT],
     shard count) — no randomness, so a resumed run with the same
     pending set re-creates the same shards.
 
+    Zero items mean zero shards — for *any* ``shards`` value — so
+    callers iterating the result never see (or clean up after)
+    phantom empty shards.  :func:`repro.parallel.leases.generate_leases`
+    pins the same empty-input contract for lease generation.
+
     >>> shard_round_robin(["a", "b", "c", "d", "e"], 2)
     [['a', 'c', 'e'], ['b', 'd']]
     >>> shard_round_robin([], 3)
-    [[], [], []]
+    []
+    >>> shard_round_robin([], 0)
+    []
     """
+    if not items:
+        return []
     if shards < 1:
         raise ValueError(f"shards must be >= 1, got {shards}")
     dealt: list[list[_ItemT]] = [[] for _ in range(shards)]
@@ -79,9 +110,11 @@ def _worker_main(fn: Callable, shard_index: int, shard: Sequence,
     reset_process_caches()
     try:
         result = fn(shard_index, shard)
-    except BaseException:
+    except BaseException as exc:
         try:
-            conn.send(("error", traceback.format_exc()))
+            conn.send(("error", {
+                "detail": traceback.format_exc(),
+                "completed_units": getattr(exc, "completed_units", None)}))
         finally:
             conn.close()
         # _exit skips atexit handlers and buffered-stream flushing that
@@ -131,7 +164,9 @@ class WorkPool:
                     results.append(fn(index, shard))
                 except Exception as exc:
                     raise WorkerError(
-                        index, traceback.format_exc()) from exc
+                        index, traceback.format_exc(),
+                        completed_units=getattr(
+                            exc, "completed_units", None)) from exc
             return results
         return self._map_forked(shards, fn)
 
@@ -148,23 +183,36 @@ class WorkPool:
             procs.append((index, proc, receiver))
 
         results: list = [None] * len(shards)
-        failures: list[tuple[int, str]] = []
+        failure: tuple[int, str, int | None,
+                       multiprocessing.process.BaseProcess] | None = None
         for index, proc, receiver in procs:
+            if failure is not None:
+                # First failure is fatal for the whole pool: don't sit
+                # waiting for the survivors' results, take them down.
+                proc.terminate()
+                continue
             try:
-                status, value = receiver.recv()
+                status, payload = receiver.recv()
             except EOFError:
-                proc.join()
-                status, value = "error", (
-                    f"worker exited without reporting "
-                    f"(exitcode {proc.exitcode})")
+                # Died without reporting (OOM-kill, hard crash, _exit).
+                failure = (index, "worker exited without reporting",
+                           None, proc)
+                continue
             if status == "ok":
-                results[index] = value
+                results[index] = payload
             else:
-                failures.append((index, value))
+                failure = (index, payload["detail"],
+                           payload.get("completed_units"), proc)
+        # Reap every child before raising — no zombies on failure paths.
         for _, proc, receiver in procs:
             receiver.close()
             proc.join()
-        if failures:
-            index, detail = failures[0]
-            raise WorkerError(index, detail)
+        if failure is not None:
+            index, detail, completed_units, proc = failure
+            exitcode = proc.exitcode
+            raise WorkerError(
+                index, detail,
+                exit_code=exitcode if (exitcode or 0) >= 0 else None,
+                signal=-exitcode if (exitcode or 0) < 0 else None,
+                completed_units=completed_units)
         return results

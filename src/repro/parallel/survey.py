@@ -263,12 +263,15 @@ def run_sharded_survey(groups, *, crawler_factory: Callable[[], Crawler],
             journal = RunJournal.create(
                 shard_journal_path(checkpoint_path, shard_index),
                 {"shard": shard_index, "scope": scope})
+        completed = 0
 
         def record_unit(index: int, key: str, payload: dict) -> None:
+            nonlocal completed
             if journal is not None:
                 journal.append({"kind": "unit", "scope": scope,
                                 "key": key, "index": index,
                                 "payload": payload})
+            completed += 1
 
         try:
             results = _crawl_units(crawler, shard_units,
@@ -277,6 +280,14 @@ def run_sharded_survey(groups, *, crawler_factory: Callable[[], Crawler],
                                    collect_spans=collect_spans,
                                    trace_context=trace_context,
                                    record_unit=record_unit)
+        except BaseException as exc:
+            # Let WorkerError report how much of the shard was done
+            # (journaled) before the failure.
+            try:
+                exc.completed_units = completed
+            except (AttributeError, TypeError):
+                pass
+            raise
         finally:
             if journal is not None:
                 journal.close()

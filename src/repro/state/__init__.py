@@ -15,6 +15,11 @@ Checkpoint`, which replays a journal, truncates torn tail records,
 * :mod:`repro.state.crashpoints` — deterministic process-death
   injection (:class:`~repro.state.crashpoints.CrashInjector`) used by
   the crash-resume test harness.
+* :mod:`repro.state.leaselog` — the work-stealing scheduler's
+  supervision side-journal (:class:`~repro.state.leaselog.LeaseLog`):
+  lease grants, revocations with poison strikes, and quarantines, kept
+  out of the result checkpoint so finished checkpoints stay
+  byte-identical across kill schedules.
 
 The package is deliberately stdlib-only and imports nothing from the
 rest of :mod:`repro`, so every other layer (web, measurement, history,
@@ -30,6 +35,8 @@ from repro.state.crashpoints import (CRASH, CrashInjector, SimulatedCrash,
                                      crashing, crashpoint)
 from repro.state.journal import (JournalCorruption, JournalError,
                                  RunJournal, replay_journal)
+from repro.state.leaselog import (LeaseLog, discard_lease_log,
+                                  lease_log_path, read_lease_strikes)
 
 __all__ = [
     "ArtifactError",
@@ -51,4 +58,8 @@ __all__ = [
     "SimulatedCrash",
     "crashing",
     "crashpoint",
+    "LeaseLog",
+    "discard_lease_log",
+    "lease_log_path",
+    "read_lease_strikes",
 ]

@@ -19,9 +19,10 @@ from repro.measurement.stats import section51_headline
 from repro.measurement.survey import SurveyConfig, run_survey
 from repro.obs import (JsonLinesExporter, MetricsRegistry, Tracer, observe,
                        span_records)
+from repro.parallel.supervisor import WorkerCrashInjector
 from repro.parallel.survey import list_shard_journals
 from repro.reporting.tables import render_crawl_health
-from repro.state import Checkpoint, CheckpointError
+from repro.state import Checkpoint, CheckpointError, lease_log_path
 from repro.state.crashpoints import CrashInjector, SimulatedCrash, crashing
 from repro.web.crawlstate import snapshot_outcome
 
@@ -32,6 +33,11 @@ _BASE = dict(top_n=20, stratum_size=5, fault_rate=0.3, fault_seed=7)
 
 def _config(workers):
     return SurveyConfig(**_BASE, workers=workers)
+
+
+def _steal_config(workers, **overrides):
+    return SurveyConfig(**_BASE, workers=workers, scheduler="steal",
+                        **overrides)
 
 
 def _canonical(result) -> str:
@@ -234,6 +240,158 @@ class TestResumeAcrossWorkerCounts:
             resumed.close()
 
 
+class TestStealSchedulerInvariance:
+    """The work-stealing scheduler is an interchangeable executor: its
+    results, exports, and finished checkpoints are byte-identical to
+    the round-robin pool's — for any worker count, lease size, and
+    deterministic kill schedule."""
+
+    @pytest.mark.parametrize("workers", [1, 2, 8])
+    def test_output_byte_identical(self, history, one_worker_baseline,
+                                   workers):
+        assert _canonical(run_survey(history, _steal_config(workers))) \
+            == one_worker_baseline
+
+    def test_lease_size_is_an_execution_detail(self, history,
+                                               one_worker_baseline):
+        assert _canonical(run_survey(
+            history, _steal_config(3, lease_size=1))) == one_worker_baseline
+
+    def test_kill_schedule_is_invisible_in_results(
+            self, history, one_worker_baseline):
+        injector = WorkerCrashInjector(kill_after={0: 2, 2: 5})
+        assert _canonical(run_survey(
+            history, _steal_config(4, steal_crash_injector=injector))) \
+            == one_worker_baseline
+
+    def test_unknown_scheduler_rejected(self, history):
+        with pytest.raises(ValueError, match="unknown scheduler"):
+            run_survey(history, SurveyConfig(**_BASE, workers=2,
+                                             scheduler="gossip"))
+
+    def test_checkpoint_journal_byte_identical_across_schedulers(
+            self, history, tmp_path):
+        def journal_bytes(config, name):
+            path = str(tmp_path / name)
+            checkpoint = Checkpoint.start(path)
+            try:
+                run_survey(history, config, checkpoint=checkpoint)
+            finally:
+                checkpoint.close()
+            # A clean finish leaves no supervision residue behind.
+            assert list_shard_journals(path) == []
+            assert not os.path.exists(lease_log_path(path))
+            with open(path, "rb") as handle:
+                return handle.read()
+
+        reference = journal_bytes(_config(1), "shards-w1.ckpt")
+        assert journal_bytes(_steal_config(3), "steal-w3.ckpt") == reference
+        killed = _steal_config(
+            3, steal_crash_injector=WorkerCrashInjector(kill_after={1: 2}))
+        assert journal_bytes(killed, "steal-w3-kill.ckpt") == reference
+
+    def test_metrics_export_byte_identical_across_schedulers(
+            self, history, tmp_path):
+        def export(config, name):
+            with observe(registry=MetricsRegistry()) as (registry, _):
+                run_survey(history, config)
+                path = str(tmp_path / name)
+                JsonLinesExporter(path).export(registry=registry)
+            with open(path, "rb") as handle:
+                return handle.read()
+
+        reference = export(_config(1), "shards-w1.jsonl")
+        killed = _steal_config(
+            3, steal_crash_injector=WorkerCrashInjector(kill_after={0: 3}))
+        assert export(_steal_config(3), "steal-w3.jsonl") == reference
+        assert export(killed, "steal-w3-kill.jsonl") == reference
+
+    def test_trace_export_byte_identical_across_schedulers(
+            self, history, tmp_path):
+        def trace_bytes(config, name):
+            ticks = iter(range(1_000_000))
+            tracer = Tracer(clock=lambda: float(next(ticks)))
+            with observe(tracer=tracer):
+                run_survey(history, config)
+                path = str(tmp_path / name)
+                JsonLinesExporter(path).export(tracer=tracer)
+            with open(path, "rb") as handle:
+                return handle.read()
+
+        reference = trace_bytes(_config(1), "shards-w1.jsonl")
+        killed = _steal_config(
+            3, steal_crash_injector=WorkerCrashInjector(kill_after={1: 4}))
+        assert trace_bytes(_steal_config(3), "steal-w3.jsonl") == reference
+        assert trace_bytes(killed, "steal-w3-kill.jsonl") == reference
+
+
+class TestStealResume:
+    def _crash_steal(self, history, path, at_step, workers):
+        """Crash the *parent* mid-steal: workers disarm the crashpoint
+        injector at bootstrap, so the simulated death hits the
+        dispatcher's in-order flush, never a worker."""
+        checkpoint = Checkpoint.start(path)
+        try:
+            with crashing(CrashInjector(at_step=at_step)):
+                with pytest.raises(SimulatedCrash):
+                    run_survey(history, _steal_config(workers),
+                               checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+
+    def test_parent_crash_mid_steal_resumes_identically(
+            self, history, one_worker_baseline, tmp_path):
+        path = str(tmp_path / "steal.ckpt")
+        self._crash_steal(history, path, at_step=12, workers=3)
+        # The crash leaves the supervision residue a resume feeds on:
+        # per-incarnation shard journals plus the lease log.
+        assert list_shard_journals(path)
+        assert os.path.exists(lease_log_path(path))
+        resumed = Checkpoint.resume(path)
+        try:
+            result = run_survey(history, _steal_config(8),
+                                checkpoint=resumed)
+        finally:
+            resumed.close()
+        assert _canonical(result) == one_worker_baseline
+        assert list_shard_journals(path) == []
+        assert not os.path.exists(lease_log_path(path))
+
+    def test_shards_crash_finishes_under_steal(self, history,
+                                               one_worker_baseline,
+                                               tmp_path):
+        """Both executors share one fingerprint, so a checkpoint can
+        switch scheduler mid-run — and the journal still comes out
+        byte-identical to an uninterrupted run."""
+        uninterrupted = str(tmp_path / "base.ckpt")
+        checkpoint = Checkpoint.start(uninterrupted)
+        try:
+            run_survey(history, _steal_config(2), checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+
+        crashed = str(tmp_path / "crossed.ckpt")
+        checkpoint = Checkpoint.start(crashed)
+        try:
+            with crashing(CrashInjector(at_step=10)):
+                with pytest.raises(SimulatedCrash):
+                    run_survey(history, _config(1),
+                               checkpoint=checkpoint)
+        finally:
+            checkpoint.close()
+        resumed = Checkpoint.resume(crashed)
+        try:
+            result = run_survey(history, _steal_config(2),
+                                checkpoint=resumed)
+        finally:
+            resumed.close()
+        assert _canonical(result) == one_worker_baseline
+        with open(uninterrupted, "rb") as handle:
+            expected = handle.read()
+        with open(crashed, "rb") as handle:
+            assert handle.read() == expected
+
+
 class TestCliWorkers:
     ARGS = ("survey", "--fast", "--top", "20", "--stratum", "5",
             "--fault-rate", "0.3")
@@ -255,3 +413,48 @@ class TestCliWorkers:
         resumed = self._run(*self.ARGS, "--workers", "8",
                             "--checkpoint", path, "--resume")
         assert resumed == f"resuming from checkpoint {path}\n" + first
+
+
+class TestCliStealScheduler:
+    ARGS = TestCliWorkers.ARGS
+
+    def _run(self, *argv):
+        out = io.StringIO()
+        code = main(list(argv), out=out)
+        assert code == 0, out.getvalue()
+        return out.getvalue()
+
+    def test_steal_flag_output_identical(self):
+        serial = self._run(*self.ARGS, "--workers", "1")
+        stolen = self._run(*self.ARGS, "--workers", "4",
+                           "--scheduler", "steal", "--lease-size", "2")
+        assert stolen == serial
+
+    def test_steal_requires_workers(self):
+        out = io.StringIO()
+        code = main(list(self.ARGS) + ["--scheduler", "steal"], out=out)
+        assert code == 2
+        assert "--scheduler steal requires --workers" in out.getvalue()
+
+    def test_cross_scheduler_cli_resume(self, tmp_path):
+        path = str(tmp_path / "cli.ckpt")
+        first = self._run(*self.ARGS, "--workers", "2",
+                          "--checkpoint", path)
+        resumed = self._run(*self.ARGS, "--workers", "4",
+                            "--scheduler", "steal",
+                            "--checkpoint", path, "--resume")
+        assert resumed == f"resuming from checkpoint {path}\n" + first
+
+    def test_run_id_ignores_scheduler_placement(self, tmp_path):
+        """Two invocations differing only in execution placement share
+        a run ID — and, in fact, the whole metrics artifact."""
+        def metrics_bytes(name, *extra):
+            path = tmp_path / name
+            self._run(*self.ARGS, "--metrics-out", str(path), *extra)
+            return path.read_bytes()
+
+        assert metrics_bytes("steal.jsonl", "--workers", "4",
+                             "--scheduler", "steal",
+                             "--lease-size", "3",
+                             "--max-worker-restarts", "9") == \
+            metrics_bytes("shards.jsonl", "--workers", "1")

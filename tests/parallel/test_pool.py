@@ -17,8 +17,11 @@ class TestShardRoundRobin:
     def test_more_shards_than_items_yields_empty_shards(self):
         assert shard_round_robin([1], 3) == [[1], [], []]
 
-    def test_empty_items(self):
-        assert shard_round_robin([], 2) == [[], []]
+    def test_empty_items_yield_no_shards(self):
+        assert shard_round_robin([], 2) == []
+
+    def test_empty_items_win_over_invalid_shard_count(self):
+        assert shard_round_robin([], 0) == []
 
     def test_zero_shards_rejected(self):
         with pytest.raises(ValueError):
@@ -79,3 +82,57 @@ class TestWorkPool:
     def test_invalid_worker_count_rejected(self):
         with pytest.raises(ValueError):
             WorkPool(0)
+
+
+class TestWorkerErrorDiagnostics:
+    def test_message_carries_exit_code_and_progress(self):
+        err = WorkerError(1, "boom", exit_code=3, completed_units=7)
+        assert "exit code 3" in str(err)
+        assert "7 unit(s) completed" in str(err)
+        assert err.exit_code == 3 and err.signal is None
+        assert err.completed_units == 7
+
+    def test_message_carries_signal(self):
+        err = WorkerError(0, "boom", signal=9)
+        assert "killed by signal 9" in str(err)
+        assert err.signal == 9 and err.exit_code is None
+
+    def test_unknown_context_adds_no_suffix(self):
+        err = WorkerError(2, "boom")
+        assert str(err).startswith("worker for shard 2 failed:\n")
+
+    @pytest.mark.skipif(not WorkPool(2).forks,
+                        reason="fork start method unavailable")
+    def test_forked_death_by_exit_reports_exit_code(self):
+        def die(i, shard):
+            if i == 1:
+                os._exit(42)
+            return i
+
+        with pytest.raises(WorkerError) as excinfo:
+            WorkPool(2).map_shards([[1], [2]], die)
+        assert excinfo.value.shard_index == 1
+        assert excinfo.value.exit_code == 42
+        assert excinfo.value.signal is None
+
+    @pytest.mark.skipif(not WorkPool(2).forks,
+                        reason="fork start method unavailable")
+    def test_forked_exception_reports_completed_units(self):
+        def partial(i, shard):
+            exc = RuntimeError("late failure")
+            exc.completed_units = len(shard) - 1
+            raise exc
+
+        with pytest.raises(WorkerError) as excinfo:
+            WorkPool(2).map_shards([[1, 2, 3], [4]], partial)
+        assert excinfo.value.completed_units in (0, 2)
+
+    def test_inline_exception_reports_completed_units(self):
+        def partial(i, shard):
+            exc = RuntimeError("late failure")
+            exc.completed_units = 5
+            raise exc
+
+        with pytest.raises(WorkerError) as excinfo:
+            WorkPool(1).map_shards([[1]], partial)
+        assert excinfo.value.completed_units == 5
