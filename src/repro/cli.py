@@ -15,6 +15,7 @@ Usage::
     python -m repro blockable reddit.com  # Blockable Items panel
     python -m repro obs summary run.jsonl # re-render a run's summary
     python -m repro obs diff A B          # perf gate: compare two runs
+    python -m repro serve --port 8791     # filter-match serving daemon
 
 Heavy stages honour ``--fast`` (small demo RSA keys) and the scale
 flags, so everything is runnable on a laptop in seconds to minutes.
@@ -122,6 +123,38 @@ def build_parser() -> argparse.ArgumentParser:
 
     blockable = add("blockable", "Blockable Items panel for one domain")
     blockable.add_argument("domain")
+
+    serve = add("serve", "resilient filter-match serving daemon")
+    serve.add_argument("--host", default="127.0.0.1",
+                       help="bind address (default 127.0.0.1)")
+    serve.add_argument("--port", type=int, default=8791,
+                       help="bind port; 0 picks a free one "
+                            "(default 8791)")
+    serve.add_argument("--max-inflight", type=int, default=8,
+                       help="concurrent requests executed at once")
+    serve.add_argument("--max-queue", type=int, default=64,
+                       help="requests allowed to wait for a slot; "
+                            "beyond this the daemon sheds (429)")
+    serve.add_argument("--deadline-ms", type=float, default=1_000.0,
+                       help="default per-request budget when the "
+                            "client sends no X-Repro-Deadline-Ms")
+    serve.add_argument("--drain-timeout", type=float, default=10.0,
+                       metavar="SECONDS",
+                       help="how long SIGTERM waits for in-flight "
+                            "requests before exiting anyway")
+    serve.add_argument("--snapshot-dir", metavar="DIR", default=None,
+                       help="epoch-keyed snapshot store: boot from "
+                            "the latest persisted epoch and persist "
+                            "every swapped reload there")
+    serve.add_argument("--lists", nargs="+", metavar="PATH",
+                       default=None,
+                       help="filter-list files to serve (list name = "
+                            "file name stem); default: the study's "
+                            "EasyList + Acceptable Ads whitelist")
+    serve.add_argument("--allow-test-delay", action="store_true",
+                       help="honour the X-Repro-Delay-Ms request "
+                            "header (drain/chaos tests and the load "
+                            "benchmark use it to stretch requests)")
 
     obs = sub.add_parser(
         "obs", help="analyse exported observability artifacts")
@@ -396,6 +429,90 @@ def _cmd_blockable(args, out) -> int:
     return 0
 
 
+def _serve_sources(args, out):
+    """Resolve the daemon's boot filter lists, or ``None`` + error.
+
+    Precedence: explicit ``--lists`` files, then the newest epoch in
+    ``--snapshot-dir`` (a restart resumes exactly the epoch it last
+    served), then the study's own EasyList + Acceptable Ads whitelist.
+    """
+    import os
+
+    if args.lists:
+        sources = []
+        for path in args.lists:
+            try:
+                with open(path, "r", encoding="utf-8") as handle:
+                    text = handle.read()
+            except OSError as exc:
+                out.write(f"error: {exc}\n")
+                return None
+            name = os.path.splitext(os.path.basename(path))[0]
+            sources.append((name, text))
+        return sources
+    if args.snapshot_dir:
+        from repro.state.snapshots import SnapshotStore
+        stored = SnapshotStore(args.snapshot_dir).load_latest()
+        if stored is not None:
+            epoch, sources = stored
+            out.write(f"booting from stored snapshot epoch {epoch}\n")
+            return sources
+    from repro.measurement.survey import build_engines
+
+    _, easylist, whitelist = build_engines(_study(args).history)
+    return [(fl.name, "\n".join(entry.text for entry in fl.entries))
+            for fl in (easylist, whitelist)]
+
+
+def _cmd_serve(args, out) -> int:
+    from repro.obs import OBS, observe
+    from repro.serve import (ReloadError, Reloader, ServeConfig,
+                             ServeDaemon, SnapshotHolder)
+    from repro.state.snapshots import SnapshotStore
+
+    sources = _serve_sources(args, out)
+    if sources is None:
+        return 2
+    store = (SnapshotStore(args.snapshot_dir)
+             if args.snapshot_dir else None)
+
+    def run() -> int:
+        try:
+            holder = SnapshotHolder.from_sources(sources)
+        except ReloadError as exc:
+            out.write(f"error: {exc}\n")
+            return 2
+        if store is not None:
+            store.save(holder.current().epoch, sources)
+        daemon = ServeDaemon(
+            holder,
+            ServeConfig(host=args.host, port=args.port,
+                        max_inflight=args.max_inflight,
+                        max_queue=args.max_queue,
+                        default_deadline_ms=args.deadline_ms,
+                        drain_timeout_s=args.drain_timeout,
+                        allow_test_delay=args.allow_test_delay),
+            reloader=Reloader(holder, store=store))
+        daemon.install_signal_handlers()
+        host, port = daemon.start()
+        snapshot = holder.current()
+        out.write(f"serving epoch {snapshot.epoch} "
+                  f"({snapshot.filter_count:,} filters) on "
+                  f"http://{host}:{port}\n")
+        if hasattr(out, "flush"):
+            out.flush()
+        daemon.wait_stopped()
+        out.write("drained and stopped\n")
+        return 0
+
+    if OBS.enabled:
+        # Already under main()'s --metrics-out/--trace wrapper; the
+        # export happens after the daemon drains and run() returns.
+        return run()
+    with observe(run_id=_derive_run_id(args)):
+        return run()
+
+
 def _obs_load(paths, out):
     """Load artifacts, or write an error and return ``None``."""
     from repro.obs.analyze import load_artifact
@@ -526,6 +643,7 @@ _COMMANDS = {
     "transparency": _cmd_transparency,
     "temporal": _cmd_temporal,
     "blockable": _cmd_blockable,
+    "serve": _cmd_serve,
     "obs": _cmd_obs,
 }
 

@@ -23,6 +23,8 @@ from repro.filters.engine import (
     Activation,
     AdblockEngine,
     DocumentPrivileges,
+    EngineSnapshot,
+    FrozenEngineError,
     RequestDecision,
     Verdict,
 )
@@ -56,6 +58,8 @@ __all__ = [
     "ContentType",
     "DocumentPrivileges",
     "ElementFilter",
+    "EngineSnapshot",
+    "FrozenEngineError",
     "Filter",
     "FilterIndex",
     "FilterList",

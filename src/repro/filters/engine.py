@@ -41,6 +41,8 @@ __all__ = [
     "Activation",
     "RequestDecision",
     "DocumentPrivileges",
+    "EngineSnapshot",
+    "FrozenEngineError",
     "AdblockEngine",
 ]
 
@@ -93,6 +95,88 @@ class DocumentPrivileges:
     granted_by: tuple[RequestFilter, ...] = ()
 
 
+class FrozenEngineError(RuntimeError):
+    """Raised when a frozen engine (or a snapshot session) is mutated."""
+
+
+class EngineSnapshot:
+    """The frozen, shareable compiled form of an engine's subscriptions.
+
+    A snapshot owns everything that is expensive to build and safe to
+    share: the keyword-bucketed request-filter indices, the element
+    filter lists, the filter→list-name map, the subscription epoch, and
+    the long-lived page-privilege memo.  It is immutable by contract —
+    no method on it (or on any session over it) adds or removes filters
+    — which is what makes one snapshot safely shareable between every
+    request thread of a serving daemon, and buildable off-thread while
+    an old snapshot keeps serving (:mod:`repro.serve`).
+
+    Sessions are the thin mutable layer: :meth:`session` returns an
+    :class:`AdblockEngine` that aliases the compiled structures but has
+    its own ``recording`` flag and activation log.
+
+    >>> from repro.filters.filterlist import parse_filter_list
+    >>> snap = EngineSnapshot.build([parse_filter_list("||ads.example^",
+    ...                                                name="demo")])
+    >>> session = snap.session()
+    >>> session.check_request("http://ads.example/x", ContentType.SCRIPT,
+    ...                       "example.com", "ads.example").blocked
+    True
+    >>> session.subscribe(parse_filter_list("||more.example^", name="m"))
+    Traceback (most recent call last):
+        ...
+    repro.filters.engine.FrozenEngineError: engine is frozen: build a new EngineSnapshot instead of subscribing
+    """
+
+    __slots__ = ("blocking", "exceptions", "element_hide",
+                 "element_exceptions", "lists", "epoch",
+                 "_list_of_filter", "_privilege_cache")
+
+    def __init__(self, *, blocking: FilterIndex, exceptions: FilterIndex,
+                 element_hide: list[tuple[str, ElementFilter]],
+                 element_exceptions: list[tuple[str, ElementFilter]],
+                 lists: tuple[FilterList, ...],
+                 list_of_filter: dict[int, str],
+                 epoch: int) -> None:
+        self.blocking = blocking
+        self.exceptions = exceptions
+        self.element_hide = element_hide
+        self.element_exceptions = element_exceptions
+        self.lists = lists
+        self.epoch = epoch
+        self._list_of_filter = list_of_filter
+        # Shared across every session: privilege answers are a pure
+        # function of (epoch, page_url, page_host, sitekey), so one
+        # session's miss is every session's hit.
+        self._privilege_cache: dict[
+            tuple, tuple[bool, bool, tuple[RequestFilter, ...]]] = {}
+
+    @classmethod
+    def build(cls, filter_lists: Iterable[FilterList]) -> "EngineSnapshot":
+        """Compile ``filter_lists`` into a frozen snapshot.
+
+        This is the off-thread entry point the serving daemon's
+        hot-reload uses: building touches nothing shared, so it can run
+        in the background while an older snapshot keeps serving.
+        """
+        engine = AdblockEngine()
+        for filter_list in filter_lists:
+            engine.subscribe(filter_list)
+        return engine.freeze()
+
+    def list_name_for(self, flt: RequestFilter | ElementFilter) -> str:
+        return self._list_of_filter.get(id(flt), "?")
+
+    @property
+    def filter_count(self) -> int:
+        """Total active filters compiled into this snapshot."""
+        return sum(len(fl) for fl in self.lists)
+
+    def session(self, record: bool = False) -> "AdblockEngine":
+        """A thin mutable consultation layer over this snapshot."""
+        return AdblockEngine(record=record, snapshot=self)
+
+
 class AdblockEngine:
     """ABP configured with blocking lists and exception (whitelist) lists.
 
@@ -104,35 +188,99 @@ class AdblockEngine:
 
     Each list contributes its blocking filters, exception filters, and
     element filters; the engine resolves interactions between them.
+
+    The engine is split into two layers.  The *compiled* layer —
+    indices, element filters, list map, epoch, privilege memo — can be
+    frozen into an :class:`EngineSnapshot` with :meth:`freeze` and
+    shared between sessions; ``AdblockEngine(snapshot=snap)`` (or
+    ``snap.session()``) builds a new session over an existing snapshot
+    without recompiling anything.  The *session* layer is what remains
+    mutable: the ``recording`` flag and the activation log.  A frozen
+    engine (and every snapshot session) rejects :meth:`subscribe` with
+    :class:`FrozenEngineError` — subscription changes require building
+    a fresh snapshot, which is exactly the atomic-swap discipline the
+    serving daemon's hot-reload relies on.
     """
 
     #: Upper bound on memoised page-privilege entries; the cache is
     #: cleared (not evicted) when full, which keeps the bookkeeping off
     #: the hot path.  A survey visits each domain once, so in practice
-    #: the cap is never reached.
+    #: the cap is never reached — but a long-lived serving daemon can
+    #: reach it, so every wipe is counted under
+    #: ``filters.engine.privilege_cache_clears``.
     PRIVILEGE_CACHE_MAX = 4096
 
-    def __init__(self, record: bool = False) -> None:
-        self._blocking = FilterIndex()
-        self._exceptions = FilterIndex()
-        self._element_hide: list[tuple[str, ElementFilter]] = []
-        self._element_exceptions: list[tuple[str, ElementFilter]] = []
-        self._list_of_filter: dict[int, str] = {}
-        self._lists: list[FilterList] = []
+    def __init__(self, record: bool = False, *,
+                 snapshot: EngineSnapshot | None = None) -> None:
+        if snapshot is None:
+            self._blocking = FilterIndex()
+            self._exceptions = FilterIndex()
+            self._element_hide: list[tuple[str, ElementFilter]] = []
+            self._element_exceptions: list[tuple[str, ElementFilter]] = []
+            self._list_of_filter: dict[int, str] = {}
+            self._lists: list[FilterList] = []
+            # Memoised document_privileges match results, keyed by
+            # (subscription epoch, page_url, page_host, sitekey).  The
+            # epoch advances on every filter added, so stale entries can
+            # never be served after a subscription change.
+            self._subscription_epoch = 0
+            self._privilege_cache: dict[
+                tuple, tuple[bool, bool, tuple[RequestFilter, ...]]] = {}
+            self._snapshot: EngineSnapshot | None = None
+        else:
+            # A session: alias the snapshot's compiled structures (no
+            # copies — that is the point) and share its privilege memo.
+            self._blocking = snapshot.blocking
+            self._exceptions = snapshot.exceptions
+            self._element_hide = snapshot.element_hide
+            self._element_exceptions = snapshot.element_exceptions
+            self._list_of_filter = snapshot._list_of_filter
+            self._lists = list(snapshot.lists)
+            self._subscription_epoch = snapshot.epoch
+            self._privilege_cache = snapshot._privilege_cache
+            self._snapshot = snapshot
         self.recording = record
         self.activations: list[Activation] = []
-        # Memoised document_privileges match results, keyed by
-        # (subscription epoch, page_url, page_host, sitekey).  The epoch
-        # advances on every filter added, so stale entries can never be
-        # served after a subscription change.
-        self._subscription_epoch = 0
-        self._privilege_cache: dict[
-            tuple, tuple[bool, bool, tuple[RequestFilter, ...]]] = {}
 
     # -- subscription management -------------------------------------
 
+    @property
+    def frozen(self) -> bool:
+        """True once the compiled layer is sealed (snapshot exists)."""
+        return self._snapshot is not None
+
+    def freeze(self) -> EngineSnapshot:
+        """Seal the compiled layer and return it as a shareable snapshot.
+
+        Freezing is idempotent — repeated calls return the same
+        snapshot.  After freezing, :meth:`subscribe` raises
+        :class:`FrozenEngineError`; the engine itself keeps working as
+        a session over its own snapshot.
+        """
+        if self._snapshot is None:
+            self._snapshot = EngineSnapshot(
+                blocking=self._blocking,
+                exceptions=self._exceptions,
+                element_hide=self._element_hide,
+                element_exceptions=self._element_exceptions,
+                lists=tuple(self._lists),
+                list_of_filter=self._list_of_filter,
+                epoch=self._subscription_epoch,
+            )
+            # Adopt the snapshot's memo so the engine and its sessions
+            # share one long-lived cache (the engine's own memo was
+            # keyed on the same epoch, but starts empty post-freeze to
+            # keep ownership in one place).
+            self._snapshot._privilege_cache.update(self._privilege_cache)
+            self._privilege_cache = self._snapshot._privilege_cache
+        return self._snapshot
+
     def subscribe(self, filter_list: FilterList) -> None:
         """Add every filter of ``filter_list`` to the engine."""
+        if self._snapshot is not None:
+            raise FrozenEngineError(
+                "engine is frozen: build a new EngineSnapshot instead "
+                "of subscribing")
         self._lists.append(filter_list)
         name = filter_list.name
         for flt in filter_list.filters:
@@ -158,6 +306,11 @@ class AdblockEngine:
     @property
     def subscriptions(self) -> tuple[FilterList, ...]:
         return tuple(self._lists)
+
+    @property
+    def subscription_epoch(self) -> int:
+        """The compiled state's version: advances on every filter added."""
+        return self._subscription_epoch
 
     def list_name_for(self, flt: RequestFilter | ElementFilter) -> str:
         return self._list_of_filter.get(id(flt), "?")
@@ -210,7 +363,14 @@ class AdblockEngine:
                     granted_list.append(flt)
             granted = tuple(granted_list)
             if len(self._privilege_cache) >= self.PRIVILEGE_CACHE_MAX:
+                # A full wipe (not an eviction) — cheap, but it resets
+                # hit rates for *every* page, which matters once a
+                # long-lived daemon shares this memo across requests.
+                # Never silent: each wipe is counted.
                 self._privilege_cache.clear()
+                if OBS.enabled:
+                    OBS.registry.counter(
+                        "filters.engine.privilege_cache_clears").inc()
             self._privilege_cache[cache_key] = (allow_all, disable_elemhide,
                                                 granted)
         else:

@@ -89,8 +89,17 @@ def load_artifact(path: str) -> RunArtifact:
     try:
         records = read_jsonl(path)
     except (ArtifactError, ValueError):
-        with open(path, "r", encoding="utf-8") as handle:
-            document = json.load(handle)
+        # A truncated JSONL export reaches this fallback too, and then
+        # fails the whole-document parse as well; fold that failure
+        # into ArtifactError so the CLI reports one clean line naming
+        # the file instead of a json.JSONDecodeError traceback.
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                document = json.load(handle)
+        except ValueError:
+            raise ArtifactError(
+                f"{path}: neither a valid JSONL export (bad or missing "
+                f"integrity footer) nor a JSON document") from None
         if not isinstance(document, dict):
             raise ArtifactError(
                 f"{path}: neither a JSONL export nor a JSON document")

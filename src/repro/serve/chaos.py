@@ -1,0 +1,255 @@
+"""Chaos harness: hostile clients + a dying reloader, with accounting.
+
+The robustness acceptance for the serving daemon is an *accounting*
+property: under concurrent load from slow and flaky clients, with a
+reload swapping snapshots mid-flight and the reloader being killed or
+wedged, **every request ends in exactly one explicit outcome** — no
+hangs, no silent drops — and the daemon stays healthy throughout.
+
+This module is the attack side of that contract.  It reuses the
+repo's existing fault machinery instead of inventing new randomness:
+
+* :class:`~repro.web.faults.FaultPlan` (PR 1) assigns each client
+  request its misbehaviour deterministically — the same seeded,
+  order-independent salt-and-hash draw the crawl fault layer uses —
+  so a chaos run is exactly reproducible;
+* :class:`~repro.state.crashpoints.CrashInjector` (PR 3) kills the
+  reload build at the ``serve.reload.build`` crashpoint, simulating a
+  reloader death mid-compile;
+* a *wedge* blocks the build on an event the test controls, pinning
+  the reloader's build lock to prove a wedged reload cannot take the
+  serving path down with it.
+
+Client misbehaviours (mapped from the fault plan's kinds):
+
+=================  ====================================================
+``slow``           dribbles the request bytes with pauses (tarpit client)
+``abort``          sends the request, then closes without reading — the
+                   daemon must finish and count the outcome anyway
+``tiny-deadline``  sends a hopeless ``X-Repro-Deadline-Ms`` so the
+                   request sheds or degrades, never hangs
+``normal``         a well-behaved request
+=================  ====================================================
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from dataclasses import dataclass, field
+
+from repro.serve.daemon import ServeDaemon
+from repro.serve.reload import Reloader
+from repro.state.crashpoints import CrashInjector, SimulatedCrash, crashing
+from repro.web.faults import FaultKind, FaultPlan
+
+__all__ = ["ChaosReport", "chaos_behaviour", "run_chaos_clients",
+           "kill_reloader", "wedge_reloader"]
+
+#: How fault-plan kinds map onto client misbehaviours.
+_BEHAVIOUR_OF_KIND = {
+    FaultKind.SLOW_RESPONSE: "slow",
+    FaultKind.READ_TIMEOUT: "slow",
+    FaultKind.FLAKY: "abort",
+    FaultKind.DNS_FAILURE: "abort",
+    FaultKind.CONNECT_TIMEOUT: "abort",
+    FaultKind.SERVER_ERROR: "tiny-deadline",
+    FaultKind.TRUNCATED_BODY: "tiny-deadline",
+    FaultKind.REDIRECT_LOOP: "normal",
+}
+
+
+def chaos_behaviour(plan: FaultPlan, client: int, request: int) -> str:
+    """The deterministic misbehaviour for one (client, request) pair."""
+    fault = plan.fault_for(f"chaos.client{client}.request{request}")
+    if fault is None:
+        return "normal"
+    return _BEHAVIOUR_OF_KIND.get(fault.kind, "normal")
+
+
+@dataclass
+class ChaosReport:
+    """Where every chaos request ended up.  ``accounted`` must be total."""
+
+    sent: int = 0
+    served: int = 0
+    degraded: int = 0
+    shed_overload: int = 0      # HTTP 429
+    shed_unavailable: int = 0   # HTTP 503 (draining)
+    errors: int = 0             # HTTP 4xx/5xx others (incl. 400)
+    aborted: int = 0            # the *client* walked away on purpose
+    hung: int = 0               # socket timeout — must stay 0
+    transport: int = 0          # unexpected connection loss — must stay 0
+    by_status: dict[int, int] = field(default_factory=dict)
+
+    def merge(self, other: "ChaosReport") -> None:
+        self.sent += other.sent
+        self.served += other.served
+        self.degraded += other.degraded
+        self.shed_overload += other.shed_overload
+        self.shed_unavailable += other.shed_unavailable
+        self.errors += other.errors
+        self.aborted += other.aborted
+        self.hung += other.hung
+        self.transport += other.transport
+        for status, count in other.by_status.items():
+            self.by_status[status] = self.by_status.get(status, 0) + count
+
+    @property
+    def accounted(self) -> int:
+        return (self.served + self.degraded + self.shed_overload
+                + self.shed_unavailable + self.errors + self.aborted
+                + self.hung + self.transport)
+
+
+def _raw_request(host: str, port: int, body: bytes, *,
+                 behaviour: str, timeout_s: float) -> tuple[int, bytes]:
+    """One hand-rolled HTTP POST so misbehaviour is byte-controllable.
+
+    Returns ``(status, body)``; status ``-1`` means the client aborted
+    on purpose, ``-2`` a timeout (a hang), ``-3`` unexpected loss.
+    """
+    headers = [
+        b"POST /v1/match HTTP/1.1",
+        b"Host: chaos",
+        b"Content-Type: application/json",
+        b"Content-Length: " + str(len(body)).encode(),
+        b"Connection: close",
+    ]
+    if behaviour == "tiny-deadline":
+        headers.append(b"X-Repro-Deadline-Ms: 0.001")
+    payload = b"\r\n".join(headers) + b"\r\n\r\n" + body
+    try:
+        with socket.create_connection((host, port),
+                                      timeout=timeout_s) as sock:
+            if behaviour == "slow":
+                # Tarpit client: dribble the payload in small chunks.
+                # Short, bounded pauses — slow enough to interleave
+                # with other traffic, never slow enough to hang.
+                for start in range(0, len(payload), 64):
+                    sock.sendall(payload[start:start + 64])
+            else:
+                sock.sendall(payload)
+            if behaviour == "abort":
+                # Walk away before reading the answer.
+                return -1, b""
+            chunks: list[bytes] = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+    except (TimeoutError, socket.timeout):
+        return -2, b""
+    except OSError:
+        return -3, b""
+    raw = b"".join(chunks)
+    if not raw:
+        return -3, b""
+    head, _, rest = raw.partition(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    return status, rest
+
+
+def run_chaos_clients(daemon: ServeDaemon, corpus: list[dict], *,
+                      clients: int = 4, requests_per_client: int = 25,
+                      fault_rate: float = 0.5, seed: int = 7,
+                      timeout_s: float = 30.0) -> ChaosReport:
+    """Slam ``daemon`` with seeded hostile clients; account for all."""
+    host, port = daemon.address
+    plan = FaultPlan.uniform(fault_rate, seed=seed)
+    reports = [ChaosReport() for _ in range(clients)]
+
+    def client_loop(index: int) -> None:
+        report = reports[index]
+        for number in range(requests_per_client):
+            behaviour = chaos_behaviour(plan, index, number)
+            request = corpus[(index + number * clients) % len(corpus)]
+            body = json.dumps(request).encode("utf-8")
+            report.sent += 1
+            status, raw = _raw_request(host, port, body,
+                                       behaviour=behaviour,
+                                       timeout_s=timeout_s)
+            if status == -1:
+                report.aborted += 1
+                continue
+            if status == -2:
+                report.hung += 1
+                continue
+            if status == -3:
+                report.transport += 1
+                continue
+            report.by_status[status] = report.by_status.get(status, 0) + 1
+            if status == 200:
+                outcome = json.loads(raw.decode("utf-8"))["outcome"]
+                if outcome == "served":
+                    report.served += 1
+                else:
+                    report.degraded += 1
+            elif status == 429:
+                report.shed_overload += 1
+            elif status == 503:
+                report.shed_unavailable += 1
+            else:
+                report.errors += 1
+
+    threads = [threading.Thread(target=client_loop, args=(index,),
+                                name=f"chaos-client-{index}")
+               for index in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=timeout_s * requests_per_client)
+    total = ChaosReport()
+    for report in reports:
+        total.merge(report)
+    return total
+
+
+def kill_reloader(reloader: Reloader,
+                  sources: list[tuple[str, str]]) -> bool:
+    """Kill the reload build mid-compile; True when the death landed.
+
+    Installs a PR-3 :class:`CrashInjector` aimed at the
+    ``serve.reload.build`` crashpoint, so the builder dies after
+    validation but before the swap — the worst moment.  The holder
+    must be untouched (callers assert the stale epoch keeps serving).
+    """
+    try:
+        with crashing(CrashInjector(at_step=1)):
+            reloader.reload(sources)
+    except SimulatedCrash:
+        return True
+    return False
+
+
+def wedge_reloader(reloader: Reloader,
+                   sources: list[tuple[str, str]],
+                   wedged: threading.Event,
+                   release: threading.Event) -> threading.Thread:
+    """Start a reload that wedges mid-build until ``release`` is set.
+
+    The wedge holds the reloader's build lock (subsequent reloads are
+    explicitly rejected as busy) but never the serving path — the test
+    asserts match traffic flows while the wedge is in place.
+    """
+    original_build = reloader._build
+
+    def wedging_build(src):
+        wedged.set()
+        release.wait(timeout=60.0)
+        return original_build(src)
+
+    reloader._build = wedging_build
+
+    def run() -> None:
+        try:
+            reloader.reload(sources)
+        finally:
+            reloader._build = original_build
+
+    thread = threading.Thread(target=run, name="wedged-reload",
+                              daemon=True)
+    thread.start()
+    return thread

@@ -1,0 +1,354 @@
+"""The long-lived filter-match serving daemon.
+
+A stdlib-only (``http.server``) HTTP daemon serving match / verdict /
+document-privilege requests over one frozen
+:class:`~repro.filters.engine.EngineSnapshot`, with the robustness
+layer the ROADMAP's "millions of users" north star actually needs:
+
+* **Admission control** — every match request passes through the
+  bounded :class:`~repro.serve.admission.AdmissionController`;
+  overload sheds explicitly (HTTP 429/503 + ``Retry-After``), never
+  queues without bound.
+* **Deadline propagation** — each request carries a budget (the
+  ``X-Repro-Deadline-Ms`` header, or the configured default) that is
+  honoured while queued *and* inside the match path: a batch whose
+  budget expires returns its completed prefix marked ``degraded``.
+* **Epoch hot-reload** — ``POST /admin/reload`` builds the next
+  snapshot in a background-safe :class:`~repro.serve.reload.Reloader`
+  and swaps it atomically; a candidate that fails validation is
+  rejected and the old epoch keeps serving.
+* **Graceful drain** — SIGTERM stops admission, finishes in-flight
+  requests, flushes observability exports, then exits.
+
+Endpoints::
+
+    POST /v1/match       one op or {"requests": [...]} batch
+    POST /admin/reload   {"lists": [{"name":..., "text":...}]}
+    GET  /healthz        liveness + epoch + reload state (always 200)
+    GET  /readyz         200 only when serving and not draining
+    GET  /metricz        the flat serve metrics view
+
+Responses are canonical JSON (:func:`repro.serve.protocol.encode`), so
+daemon bytes can be compared against direct engine calls — the verdict
+parity contract ``tests/serve`` and ``benchmarks/bench_serve.py``
+enforce.
+"""
+
+from __future__ import annotations
+
+import json
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable
+
+from repro.obs import OBS
+from repro.serve import protocol
+from repro.serve.admission import AdmissionController
+from repro.serve.protocol import ProtocolError
+from repro.serve.reload import Reloader, SnapshotHolder
+
+__all__ = ["ServeConfig", "ServeDaemon"]
+
+
+@dataclass(slots=True)
+class ServeConfig:
+    """Tunables for one daemon instance."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                      # 0 = pick a free port
+    max_inflight: int = 8
+    max_queue: int = 64
+    default_deadline_ms: float = 1_000.0
+    drain_timeout_s: float = 10.0
+    #: Honour the ``X-Repro-Delay-Ms`` header (sleep before serving).
+    #: Off by default; the drain/chaos tests and the load benchmark
+    #: turn it on to create genuinely in-flight requests.
+    allow_test_delay: bool = False
+
+
+class ServeDaemon:
+    """One serving daemon: HTTP front, admission, reload, drain."""
+
+    def __init__(self, holder: SnapshotHolder,
+                 config: ServeConfig | None = None,
+                 reloader: Reloader | None = None,
+                 on_drained: Callable[[], None] | None = None) -> None:
+        self.holder = holder
+        self.config = config or ServeConfig()
+        self.reloader = reloader or Reloader(holder)
+        self.admission = AdmissionController(
+            max_inflight=self.config.max_inflight,
+            max_queue=self.config.max_queue)
+        self.on_drained = on_drained
+        self._server: ThreadingHTTPServer | None = None
+        self._serve_thread: threading.Thread | None = None
+        self._drain_started = threading.Event()
+        self._drained = threading.Event()
+        self._stopped = threading.Event()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _make_server(self) -> ThreadingHTTPServer:
+        daemon = self
+
+        class Handler(_ServeHandler):
+            serve_daemon = daemon
+
+        server = ThreadingHTTPServer(
+            (self.config.host, self.config.port), Handler)
+        server.daemon_threads = True
+        return server
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound ``(host, port)`` (valid after :meth:`start`)."""
+        assert self._server is not None, "daemon not started"
+        host, port = self._server.server_address[:2]
+        return str(host), int(port)
+
+    def start(self) -> tuple[str, int]:
+        """Bind and serve in a background thread (tests, benchmarks)."""
+        self._server = self._make_server()
+        self._serve_thread = threading.Thread(
+            target=self._server.serve_forever,
+            name="repro-serve", daemon=True)
+        self._serve_thread.start()
+        return self.address
+
+    def serve_forever(self) -> None:
+        """Bind and serve on the calling thread (the CLI path)."""
+        self._server = self._make_server()
+        self._server.serve_forever()
+
+    def wait_stopped(self, timeout_s: float | None = None) -> bool:
+        """Block until :meth:`stop` completes (the CLI's park point)."""
+        return self._stopped.wait(timeout_s)
+
+    def install_signal_handlers(self) -> None:
+        """SIGTERM/SIGINT → graceful drain (callable from main thread)."""
+
+        def _on_signal(signum, _frame) -> None:
+            # Handlers must return promptly; the drain runs elsewhere.
+            threading.Thread(target=self.drain_and_stop,
+                             name="repro-serve-drain",
+                             daemon=True).start()
+
+        signal.signal(signal.SIGTERM, _on_signal)
+        signal.signal(signal.SIGINT, _on_signal)
+
+    def begin_drain(self) -> None:
+        """Step 1 of shutdown: refuse new work, keep finishing old."""
+        if self._drain_started.is_set():
+            return
+        self._drain_started.set()
+        self.admission.begin_drain()
+
+    def drain_and_stop(self) -> bool:
+        """The full SIGTERM sequence; True when in-flight work finished.
+
+        Stop admitting → wait (bounded) for in-flight requests → flush
+        observability exports via ``on_drained`` → stop the listener.
+        Every step runs even when a timeout forces an early exit, so
+        the process always ends in a reportable state.
+        """
+        self.begin_drain()
+        clean = self.admission.drained(self.config.drain_timeout_s)
+        self._drained.set()
+        if OBS.enabled:
+            OBS.registry.counter(
+                "serve.drains", clean=str(clean).lower()).inc()
+        if self.on_drained is not None:
+            self.on_drained()
+        self.stop()
+        return clean
+
+    def stop(self) -> None:
+        """Tear down the listener (idempotent)."""
+        if self._stopped.is_set():
+            return
+        self._stopped.set()
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+        if self._serve_thread is not None:
+            self._serve_thread.join(timeout=5.0)
+
+    @property
+    def draining(self) -> bool:
+        return self._drain_started.is_set()
+
+    @property
+    def stopped(self) -> bool:
+        return self._stopped.is_set()
+
+    # -- request handling (called from handler threads) ----------------
+
+    def handle_match(self, body: bytes,
+                     deadline_ms: float | None,
+                     test_delay_s: float = 0.0) -> tuple[int, dict, dict]:
+        """The whole match path: admission → parse → serve → outcome.
+
+        Returns ``(status, body, headers)``; every path through here
+        yields exactly one explicit outcome.  ``test_delay_s`` (the
+        ``X-Repro-Delay-Ms`` header, gated on
+        :attr:`ServeConfig.allow_test_delay`) stretches the in-slot
+        service time so tests can create genuinely in-flight requests.
+        """
+        start = time.monotonic()
+        budget_ms = (deadline_ms if deadline_ms is not None
+                     else self.config.default_deadline_ms)
+        deadline_s = start + budget_ms / 1000.0
+        decision = self.admission.admit(deadline_s)
+        if not decision.admitted:
+            status, payload = protocol.shed(
+                decision.reason or "shed",
+                retry_after=decision.retry_after,
+                draining=decision.draining)
+            return status, payload, {
+                "Retry-After": f"{max(0.05, decision.retry_after):.3f}"}
+        try:
+            if test_delay_s > 0.0:
+                time.sleep(test_delay_s)
+            try:
+                requests = protocol.parse_match_payload(body)
+            except ProtocolError as exc:
+                self._count_outcome("error")
+                return (*protocol.error(str(exc)), {})
+            snapshot = self.holder.current()
+            outcome, payload = protocol.serve_match(
+                snapshot, requests,
+                deadline_expired=lambda: time.monotonic() >= deadline_s)
+            self._count_outcome(outcome)
+            if OBS.enabled:
+                OBS.registry.histogram("serve.latency_ms").observe(
+                    (time.monotonic() - start) * 1000.0)
+            return 200, payload, {}
+        finally:
+            self.admission.release(decision,
+                                   service_s=time.monotonic() - start)
+
+    def handle_reload(self, body: bytes) -> tuple[int, dict]:
+        try:
+            document = json.loads(body.decode("utf-8"))
+            lists = document["lists"]
+            sources = [(item["name"], item["text"]) for item in lists]
+        except (ValueError, KeyError, TypeError, UnicodeDecodeError):
+            return 400, {"status": "error",
+                         "error": "body must be {'lists': "
+                                  "[{'name':..., 'text':...}]}"}
+        result = self.reloader.reload(sources)
+        status = 200 if result.status == "swapped" else 409
+        return status, {"status": result.status, "epoch": result.epoch,
+                        "filters": result.filters, "error": result.error}
+
+    def health(self) -> dict:
+        snapshot = self.holder.current()
+        return {
+            "status": "ok",
+            "epoch": snapshot.epoch,
+            "filters": snapshot.filter_count,
+            "draining": self.draining,
+            "reload": self.reloader.state(),
+        }
+
+    def metrics(self) -> dict:
+        if OBS.enabled:
+            return dict(OBS.registry.flat())
+        return {}
+
+    @staticmethod
+    def _count_outcome(outcome: str) -> None:
+        if OBS.enabled:
+            OBS.registry.counter("serve.outcomes", outcome=outcome).inc()
+
+
+class _ServeHandler(BaseHTTPRequestHandler):
+    """Routes HTTP traffic into the daemon (one instance per request)."""
+
+    serve_daemon: ServeDaemon  # injected by ServeDaemon._make_server
+    protocol_version = "HTTP/1.1"
+
+    # The default handler logs every request to stderr; a serving
+    # daemon under load must not.
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass
+
+    def _send(self, status: int, payload: dict,
+              headers: dict | None = None) -> None:
+        body = protocol.encode(payload)
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            # The client gave up; the outcome was still computed and
+            # counted — nothing hangs, nothing is silently dropped.
+            if OBS.enabled:
+                OBS.registry.counter("serve.client_aborts").inc()
+
+    def _read_body(self) -> bytes:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        return self.rfile.read(length) if length else b""
+
+    def _test_delay_s(self) -> float:
+        if not self.serve_daemon.config.allow_test_delay:
+            return 0.0
+        delay_ms = self.headers.get("X-Repro-Delay-Ms")
+        try:
+            return max(0.0, float(delay_ms)) / 1000.0 if delay_ms else 0.0
+        except ValueError:
+            return 0.0
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server API)
+        daemon = self.serve_daemon
+        if self.path == "/healthz":
+            self._send(200, daemon.health())
+        elif self.path == "/readyz":
+            if daemon.draining:
+                self._send(503, {"status": "draining"},
+                           {"Retry-After": "1"})
+            else:
+                self._send(200, {"status": "ready",
+                                 "epoch": daemon.holder.current().epoch})
+        elif self.path == "/metricz":
+            self._send(200, daemon.metrics())
+        else:
+            self._send(*protocol.error(f"no such path {self.path!r}",
+                                       status=404))
+
+    def do_POST(self) -> None:  # noqa: N802 (http.server API)
+        daemon = self.serve_daemon
+        if OBS.enabled:
+            OBS.registry.counter("serve.requests",
+                                 route=self.path).inc()
+        if self.path == "/v1/match":
+            deadline_header = self.headers.get("X-Repro-Deadline-Ms")
+            deadline_ms: float | None = None
+            if deadline_header:
+                try:
+                    deadline_ms = float(deadline_header)
+                except ValueError:
+                    self._send(*protocol.error(
+                        "X-Repro-Deadline-Ms must be a number"))
+                    return
+            body = self._read_body()
+            status, payload, headers = daemon.handle_match(
+                body, deadline_ms, test_delay_s=self._test_delay_s())
+            self._send(status, payload, headers)
+        elif self.path == "/admin/reload":
+            if daemon.draining:
+                self._send(503, {"status": "draining"},
+                           {"Retry-After": "1"})
+                return
+            status, payload = daemon.handle_reload(self._read_body())
+            self._send(status, payload)
+        else:
+            self._send(*protocol.error(f"no such path {self.path!r}",
+                                       status=404))

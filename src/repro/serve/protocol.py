@@ -1,0 +1,250 @@
+"""The serving daemon's wire protocol: requests, outcomes, encoding.
+
+Every request the daemon accepts ends in exactly one *explicit outcome*
+— the robustness contract of :mod:`repro.serve`:
+
+* ``served`` — the full result, computed against one engine snapshot;
+* ``degraded`` — the request's deadline expired mid-computation; the
+  response says how much completed (batch requests return the finished
+  prefix) instead of hanging or silently truncating;
+* ``shed`` — admission control refused the work *before* doing any
+  (queue full, deadline already hopeless, daemon draining), mapped to
+  HTTP 429/503 with a ``Retry-After`` header;
+* ``error`` — the request itself was malformed (HTTP 400).
+
+:func:`serve_match` is deliberately a pure function of ``(snapshot,
+payload, deadline)``: the daemon handler, the chaos harness, the parity
+benchmark, and the tests all call the same code, which is what makes
+the "daemon responses are byte-identical to direct engine calls"
+acceptance check meaningful.  :func:`encode` pins the byte encoding
+(sorted keys, compact separators, UTF-8) so byte-level comparisons are
+well-defined.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.filters.engine import (
+    DocumentPrivileges,
+    EngineSnapshot,
+    RequestDecision,
+)
+from repro.filters.options import ContentType
+
+__all__ = [
+    "ProtocolError",
+    "MatchRequest",
+    "parse_match_request",
+    "parse_match_payload",
+    "serve_match",
+    "decision_record",
+    "privileges_record",
+    "encode",
+    "served",
+    "degraded",
+    "shed",
+    "error",
+]
+
+#: Ops a match payload may carry, with the content types they need.
+_OPS = ("check_request", "document_privileges", "elemhide_stylesheet")
+
+
+class ProtocolError(ValueError):
+    """A malformed request payload (maps to HTTP 400)."""
+
+
+@dataclass(frozen=True, slots=True)
+class MatchRequest:
+    """One parsed, validated match operation."""
+
+    op: str
+    url: str = ""
+    content_type: ContentType = ContentType.OTHER
+    page_host: str = ""
+    request_host: str = ""
+    page_url: str = ""
+    sitekey: str | None = None
+
+
+def _content_type(name: object) -> ContentType:
+    if not isinstance(name, str) or not name:
+        raise ProtocolError(f"content_type must be a non-empty string, "
+                            f"got {name!r}")
+    try:
+        return ContentType[name.upper().replace("-", "_")]
+    except KeyError:
+        raise ProtocolError(f"unknown content_type {name!r}") from None
+
+
+def _require(payload: dict, key: str) -> str:
+    value = payload.get(key)
+    if not isinstance(value, str) or not value:
+        raise ProtocolError(f"missing required field {key!r}")
+    return value
+
+
+def parse_match_request(payload: object) -> MatchRequest:
+    """Validate one operation object into a :class:`MatchRequest`."""
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"request must be a JSON object, "
+                            f"got {type(payload).__name__}")
+    op = payload.get("op", "check_request")
+    if op not in _OPS:
+        raise ProtocolError(f"unknown op {op!r} (expected one of {_OPS})")
+    sitekey = payload.get("sitekey")
+    if sitekey is not None and not isinstance(sitekey, str):
+        raise ProtocolError("sitekey must be a string when present")
+    if op == "check_request":
+        return MatchRequest(
+            op=op,
+            url=_require(payload, "url"),
+            content_type=_content_type(payload.get("content_type",
+                                                   "other")),
+            page_host=_require(payload, "page_host"),
+            request_host=_require(payload, "request_host"),
+            page_url=payload.get("page_url", ""),
+            sitekey=sitekey,
+        )
+    if op == "document_privileges":
+        return MatchRequest(
+            op=op,
+            page_url=_require(payload, "page_url"),
+            page_host=_require(payload, "page_host"),
+            sitekey=sitekey,
+        )
+    # elemhide_stylesheet
+    return MatchRequest(op=op, page_host=_require(payload, "page_host"))
+
+
+def parse_match_payload(body: bytes) -> list[MatchRequest]:
+    """Parse a request body: one operation, or a ``requests`` batch."""
+    try:
+        document = json.loads(body.decode("utf-8"))
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise ProtocolError(f"body is not valid JSON: {exc}") from None
+    if isinstance(document, dict) and "requests" in document:
+        batch = document["requests"]
+        if not isinstance(batch, list) or not batch:
+            raise ProtocolError("'requests' must be a non-empty list")
+        return [parse_match_request(item) for item in batch]
+    return [parse_match_request(document)]
+
+
+# -- result records --------------------------------------------------------
+
+def decision_record(decision: RequestDecision,
+                    snapshot: EngineSnapshot) -> dict:
+    """A :class:`RequestDecision` as a JSON-ready record."""
+    return {
+        "verdict": decision.verdict.value,
+        "blocking": [{"filter": flt.text,
+                      "list": snapshot.list_name_for(flt)}
+                     for flt in decision.blocking],
+        "exceptions": [{"filter": flt.text,
+                        "list": snapshot.list_name_for(flt)}
+                       for flt in decision.exceptions],
+    }
+
+
+def privileges_record(privileges: DocumentPrivileges,
+                      snapshot: EngineSnapshot) -> dict:
+    """A :class:`DocumentPrivileges` as a JSON-ready record."""
+    return {
+        "allow_all": privileges.allow_all,
+        "disable_elemhide": privileges.disable_elemhide,
+        "granted_by": [{"filter": flt.text,
+                        "list": snapshot.list_name_for(flt)}
+                       for flt in privileges.granted_by],
+    }
+
+
+def _run_one(request: MatchRequest, snapshot: EngineSnapshot) -> dict:
+    session = snapshot.session()
+    if request.op == "document_privileges":
+        return privileges_record(
+            session.document_privileges(request.page_url,
+                                        request.page_host,
+                                        sitekey=request.sitekey),
+            snapshot)
+    if request.op == "elemhide_stylesheet":
+        return {"stylesheet":
+                session.elemhide_stylesheet(request.page_host)}
+    privileges = None
+    if request.page_url:
+        privileges = session.document_privileges(
+            request.page_url, request.page_host, sitekey=request.sitekey)
+    decision = session.check_request(
+        request.url, request.content_type, request.page_host,
+        request.request_host, privileges=privileges,
+        sitekey=request.sitekey)
+    return decision_record(decision, snapshot)
+
+
+def serve_match(snapshot: EngineSnapshot,
+                requests: list[MatchRequest],
+                *,
+                deadline_expired: Callable[[], bool] | None = None
+                ) -> tuple[str, dict]:
+    """Run ``requests`` against ``snapshot`` under a deadline.
+
+    Returns ``(outcome, body)`` where ``outcome`` is ``"served"`` or
+    ``"degraded"``.  The deadline is consulted *between* operations —
+    the deadline-propagation point of the match path — so a batch whose
+    budget runs out mid-way returns the completed prefix, explicitly
+    marked, instead of blowing the budget or dropping work silently.
+    """
+    results: list[dict] = []
+    for request in requests:
+        if deadline_expired is not None and deadline_expired():
+            return "degraded", {
+                "outcome": "degraded",
+                "reason": "deadline-expired",
+                "epoch": snapshot.epoch,
+                "completed": len(results),
+                "requested": len(requests),
+                "results": results,
+            }
+        results.append(_run_one(request, snapshot))
+    body = {
+        "outcome": "served",
+        "epoch": snapshot.epoch,
+        "results": results,
+    }
+    return "served", body
+
+
+# -- response envelopes ----------------------------------------------------
+
+def encode(body: dict) -> bytes:
+    """The canonical byte encoding every response uses.
+
+    Sorted keys + compact separators + UTF-8: a pure function of the
+    body dict, so 'byte-identical responses' is a meaningful contract.
+    """
+    return (json.dumps(body, sort_keys=True, separators=(",", ":"),
+                       ensure_ascii=False) + "\n").encode("utf-8")
+
+
+def served(body: dict) -> tuple[int, dict]:
+    return 200, body
+
+
+def degraded(body: dict) -> tuple[int, dict]:
+    """Degraded results still return 200: the body says what completed."""
+    return 200, body
+
+
+def shed(reason: str, *, retry_after: float,
+         draining: bool = False) -> tuple[int, dict]:
+    """An admission refusal: 429 for overload, 503 for unavailability."""
+    status = 503 if draining else 429
+    return status, {"outcome": "shed", "reason": reason,
+                    "retry_after": round(retry_after, 3)}
+
+
+def error(reason: str, status: int = 400) -> tuple[int, dict]:
+    return status, {"outcome": "error", "reason": reason}

@@ -15,6 +15,10 @@ Checkpoint`, which replays a journal, truncates torn tail records,
 * :mod:`repro.state.crashpoints` — deterministic process-death
   injection (:class:`~repro.state.crashpoints.CrashInjector`) used by
   the crash-resume test harness.
+* :mod:`repro.state.snapshots` — atomic, epoch-keyed
+  :class:`~repro.state.snapshots.SnapshotStore` artifacts holding the
+  filter-list sources each validated serving snapshot was compiled
+  from, so a daemon restart reloads exactly the epoch it was serving.
 * :mod:`repro.state.leaselog` — the work-stealing scheduler's
   supervision side-journal (:class:`~repro.state.leaselog.LeaseLog`):
   lease grants, revocations with poison strikes, and quarantines, kept
@@ -37,6 +41,7 @@ from repro.state.journal import (JournalCorruption, JournalError,
                                  RunJournal, replay_journal)
 from repro.state.leaselog import (LeaseLog, discard_lease_log,
                                   lease_log_path, read_lease_strikes)
+from repro.state.snapshots import SnapshotStore, SnapshotStoreError
 
 __all__ = [
     "ArtifactError",
@@ -62,4 +67,6 @@ __all__ = [
     "discard_lease_log",
     "lease_log_path",
     "read_lease_strikes",
+    "SnapshotStore",
+    "SnapshotStoreError",
 ]

@@ -1,0 +1,196 @@
+"""Atomic, epoch-keyed snapshot artifacts for the serving daemon.
+
+The serving daemon (:mod:`repro.serve`) compiles filter lists into a
+frozen engine snapshot and hot-reloads new ones at runtime.  Each
+*validated* snapshot's source material — the filter-list texts, keyed
+on the engine's subscription epoch — is persisted here so that:
+
+* a daemon restart can reload exactly the epoch it was serving, and
+* a rejected reload leaves no artifact behind (only snapshots that
+  passed validation and swapped in are ever written).
+
+Artifacts are JSON-lines files written through
+:func:`repro.state.atomic.atomic_write_jsonl` (temp + fsync + rename +
+CRC footer), so a crash mid-save can never leave a torn snapshot — the
+store either has the complete epoch or does not have it at all.  File
+names embed the epoch and a content fingerprint::
+
+    epoch-00000042-1a2b3c4d.jsonl
+
+Two different list sets that happen to compile to the same epoch count
+therefore never collide.  Like the rest of :mod:`repro.state`, this
+module is stdlib-only and imports nothing from the rest of ``repro``:
+it stores raw list *texts*; parsing and compiling belong to the caller.
+
+The epoch counter tracks the engine's filter count, so a reload to a
+*smaller* list set lowers it — epoch numbers record identity, not
+serving order.  Serving order lives in a ``CURRENT`` pointer file,
+atomically replaced on every save, which :meth:`SnapshotStore.load_latest`
+follows so a restart resumes what was last served:
+
+>>> import tempfile
+>>> store = SnapshotStore(tempfile.mkdtemp())
+>>> store.save(7, [("easylist", "||ads.example^")])  # doctest: +ELLIPSIS
+'...epoch-00000007-....jsonl'
+>>> store.latest_epoch()
+7
+>>> store.load(7)
+[('easylist', '||ads.example^')]
+>>> _ = store.save(2, [("easylist", "||b.example^\\n||c.example^")])
+>>> store.load_latest()[0]        # last served, not highest epoch
+2
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+from typing import Iterable, Sequence
+
+from repro.state.atomic import (
+    ArtifactError,
+    atomic_write_jsonl,
+    atomic_write_text,
+    read_jsonl,
+)
+
+__all__ = ["SnapshotStore", "SnapshotStoreError"]
+
+_NAME_RE = re.compile(r"^epoch-(\d{8})-([0-9a-f]{8})\.jsonl$")
+_CURRENT = "CURRENT"
+
+
+class SnapshotStoreError(ValueError):
+    """Raised for missing epochs or malformed snapshot artifacts."""
+
+
+def _fingerprint(lists: Sequence[tuple[str, str]]) -> str:
+    digest = hashlib.sha256()
+    for name, text in lists:
+        digest.update(name.encode("utf-8") + b"\x00")
+        digest.update(text.encode("utf-8") + b"\x00")
+    return digest.hexdigest()[:8]
+
+
+class SnapshotStore:
+    """A directory of epoch-keyed snapshot source artifacts."""
+
+    def __init__(self, directory: str) -> None:
+        self.directory = os.path.abspath(directory)
+        os.makedirs(self.directory, exist_ok=True)
+
+    # -- writing -------------------------------------------------------
+
+    def save(self, epoch: int,
+             lists: Iterable[tuple[str, str]]) -> str:
+        """Persist one validated snapshot's sources; returns the path.
+
+        ``lists`` is the ordered ``(name, text)`` source material the
+        snapshot was compiled from.  The write is atomic: concurrent
+        readers see either nothing or the complete artifact.
+        """
+        ordered = [(str(name), str(text)) for name, text in lists]
+        filename = (f"epoch-{epoch:08d}-{_fingerprint(ordered)}.jsonl")
+        path = os.path.join(self.directory, filename)
+        records = [{"type": "snapshot", "epoch": epoch,
+                    "lists": [name for name, _ in ordered]}]
+        records.extend({"type": "list", "name": name, "text": text}
+                       for name, text in ordered)
+        atomic_write_jsonl(path, records)
+        # The epoch counter is not monotonic across reloads (it tracks
+        # the engine's filter count), so "highest epoch" is not "most
+        # recently served".  A CURRENT pointer, atomically replaced
+        # after each successful save, records serving order explicitly.
+        atomic_write_text(os.path.join(self.directory, _CURRENT),
+                          filename + "\n")
+        return path
+
+    # -- reading -------------------------------------------------------
+
+    def epochs(self) -> list[int]:
+        """All persisted epochs, ascending (duplicates collapsed)."""
+        found = {int(m.group(1))
+                 for m in map(_NAME_RE.match, os.listdir(self.directory))
+                 if m}
+        return sorted(found)
+
+    def latest_epoch(self) -> int | None:
+        epochs = self.epochs()
+        return epochs[-1] if epochs else None
+
+    def _paths_for(self, epoch: int) -> list[str]:
+        return sorted(
+            os.path.join(self.directory, name)
+            for name in os.listdir(self.directory)
+            if (m := _NAME_RE.match(name)) and int(m.group(1)) == epoch)
+
+    def load(self, epoch: int) -> list[tuple[str, str]]:
+        """The ``(name, text)`` sources saved for ``epoch``.
+
+        When several fingerprints exist for one epoch (lists changed
+        but compiled to the same filter count), the lexicographically
+        last artifact wins — matching :meth:`save`'s newest-write
+        semantics is not possible without timestamps, so callers that
+        care should key on content, not only epoch.
+        """
+        paths = self._paths_for(epoch)
+        if not paths:
+            raise SnapshotStoreError(
+                f"no snapshot artifact for epoch {epoch} in "
+                f"{self.directory}")
+        return self._load_path(paths[-1], epoch)
+
+    def _load_path(self, path: str, epoch: int) -> list[tuple[str, str]]:
+        try:
+            records = read_jsonl(path)
+        except ArtifactError as exc:
+            raise SnapshotStoreError(str(exc)) from exc
+        if not records or records[0].get("type") != "snapshot":
+            raise SnapshotStoreError(
+                f"{path}: not a snapshot artifact")
+        if records[0].get("epoch") != epoch:
+            raise SnapshotStoreError(
+                f"{path}: header epoch {records[0].get('epoch')} "
+                f"does not match requested epoch {epoch}")
+        return [(record["name"], record["text"])
+                for record in records[1:] if record.get("type") == "list"]
+
+    def _current_filename(self) -> str | None:
+        """The CURRENT pointer's target, when present and still valid."""
+        pointer = os.path.join(self.directory, _CURRENT)
+        try:
+            with open(pointer, "r", encoding="utf-8") as handle:
+                filename = handle.readline().strip()
+        except OSError:
+            return None
+        if (_NAME_RE.match(filename)
+                and os.path.exists(os.path.join(self.directory,
+                                                filename))):
+            return filename
+        return None
+
+    def load_latest(self) -> tuple[int, list[tuple[str, str]]] | None:
+        """The most recently *saved* snapshot, or ``None`` when empty.
+
+        Follows the CURRENT pointer (serving order), not the highest
+        epoch number: a reload to a smaller list set lowers the epoch
+        counter, and a restart must resume what was last served, not
+        what once had the most filters.  A missing or stale pointer
+        (hand-pruned directory, pre-pointer store) falls back to the
+        highest epoch.
+        """
+        filename = self._current_filename()
+        if filename is not None:
+            match = _NAME_RE.match(filename)
+            assert match is not None  # _current_filename validated it
+            epoch = int(match.group(1))
+            return epoch, self._load_path(
+                os.path.join(self.directory, filename), epoch)
+        latest = self.latest_epoch()
+        if latest is None:
+            return None
+        return latest, self.load(latest)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SnapshotStore({self.directory!r}, epochs={self.epochs()})"

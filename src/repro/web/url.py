@@ -209,8 +209,11 @@ def public_suffix(host: str) -> str:
     last_two = ".".join(labels[-2:])
     if last_two in _MULTI_LABEL_SUFFIXES:
         return last_two
-    if (len(labels[-1]) == 2 and len(labels) >= 3
-            and labels[-2] in _GENERIC_SECOND_LEVEL):
+    # The generic co.XX rule applies to the bare two-label host too:
+    # ``co.zz`` *is* a public suffix, exactly like ``a.co.zz``'s suffix.
+    # Making the rule independent of label count keeps the suffix stable
+    # under prepending subdomains, which registered_domain relies on.
+    if len(labels[-1]) == 2 and labels[-2] in _GENERIC_SECOND_LEVEL:
         return last_two
     return labels[-1]
 

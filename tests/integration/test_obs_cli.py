@@ -52,6 +52,30 @@ class TestSummary:
         text = run_cli("obs", "summary", "/no/such/file.jsonl", expect=2)
         assert text.startswith("error:")
 
+    def test_truncated_artifact_fails_cleanly(self, run, tmp_path):
+        """A torn JSONL export (crash mid-write, no integrity footer)
+
+        must exit 2 with a one-line message naming the file — not an
+        uncaught json.JSONDecodeError traceback.
+        """
+        _, metrics, _ = run
+        torn = tmp_path / "torn.jsonl"
+        with open(metrics, "rb") as handle:
+            whole = handle.read()
+        torn.write_bytes(whole[:len(whole) // 2])
+        text = run_cli("obs", "summary", str(torn), expect=2)
+        assert text.startswith("error:")
+        assert str(torn) in text
+        assert len(text.strip().splitlines()) == 1
+
+    def test_truncated_diff_baseline_fails_cleanly(self, run, tmp_path):
+        _, metrics, _ = run
+        torn = tmp_path / "torn-base.jsonl"
+        torn.write_text('{"type":"counter","name":"x",\n')
+        text = run_cli("obs", "diff", str(torn), metrics, expect=2)
+        assert text.startswith("error:")
+        assert str(torn) in text
+
 
 class TestSlowAndTree:
     def test_slow_ranks_visit_spans(self, run):

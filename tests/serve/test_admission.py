@@ -1,0 +1,157 @@
+"""Admission control: bounded queue, deadline shedding, drain."""
+
+import threading
+import time
+
+import pytest
+
+from repro.obs import OBS, observe
+from repro.serve.admission import AdmissionController
+
+
+class TestBounds:
+    def test_validates_configuration(self):
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=0)
+        with pytest.raises(ValueError):
+            AdmissionController(max_inflight=1, max_queue=-1)
+
+    def test_admits_up_to_max_inflight(self):
+        controller = AdmissionController(max_inflight=3, max_queue=0)
+        decisions = [controller.admit() for _ in range(3)]
+        assert all(d.admitted for d in decisions)
+        assert controller.inflight == 3
+
+    def test_sheds_queue_full_beyond_bound(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        first = controller.admit()
+        refused = controller.admit()
+        assert first.admitted and not refused.admitted
+        assert refused.reason == "queue-full"
+        assert refused.retry_after > 0.0
+        assert not refused.draining
+
+    def test_release_frees_the_slot(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        first = controller.admit()
+        controller.release(first)
+        assert controller.admit().admitted
+
+    def test_release_of_refusal_is_a_no_op(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        held = controller.admit()
+        refused = controller.admit()
+        controller.release(refused)
+        assert controller.inflight == 1
+        controller.release(held)
+        assert controller.inflight == 0
+
+
+class TestDeadlines:
+    def test_hopeless_deadline_is_shed_not_queued(self):
+        controller = AdmissionController(max_inflight=1, max_queue=8)
+        held = controller.admit()
+        doomed = controller.admit(deadline_s=time.monotonic() - 1.0)
+        assert not doomed.admitted
+        assert doomed.reason == "deadline-hopeless"
+        controller.release(held)
+
+    def test_deadline_expiring_in_queue_is_shed(self):
+        controller = AdmissionController(max_inflight=1, max_queue=8)
+        held = controller.admit()
+        start = time.monotonic()
+        waited = controller.admit(deadline_s=start + 0.08)
+        assert not waited.admitted
+        assert waited.reason == "deadline-in-queue"
+        assert time.monotonic() - start >= 0.05
+        controller.release(held)
+
+    def test_queued_request_admitted_when_slot_frees(self):
+        controller = AdmissionController(max_inflight=1, max_queue=8)
+        held = controller.admit()
+        result: list = []
+
+        def waiter():
+            result.append(controller.admit(
+                deadline_s=time.monotonic() + 5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        controller.release(held)
+        thread.join(timeout=5.0)
+        assert result and result[0].admitted
+        assert result[0].queued_for > 0.0
+
+
+class TestRetryAfter:
+    def test_ema_tracks_service_time(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        for _ in range(20):
+            decision = controller.admit()
+            controller.release(decision, service_s=1.0)
+        held = controller.admit()
+        refused = controller.admit()
+        # After twenty 1s services the EMA sits near 1s and the refusal
+        # reflects the one in-flight request still holding the slot.
+        assert refused.retry_after == pytest.approx(1.0, rel=0.2)
+        controller.release(held)
+
+
+class TestDrain:
+    def test_draining_sheds_new_work_as_503_class(self):
+        controller = AdmissionController(max_inflight=2, max_queue=4)
+        controller.begin_drain()
+        refused = controller.admit()
+        assert not refused.admitted
+        assert refused.reason == "draining"
+        assert refused.draining
+
+    def test_drain_wakes_queued_waiters(self):
+        controller = AdmissionController(max_inflight=1, max_queue=4)
+        held = controller.admit()
+        result: list = []
+
+        def waiter():
+            result.append(controller.admit(
+                deadline_s=time.monotonic() + 30.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        time.sleep(0.05)
+        controller.begin_drain()
+        thread.join(timeout=5.0)
+        assert result and result[0].reason == "draining"
+        controller.release(held)
+
+    def test_drained_waits_for_inflight(self):
+        controller = AdmissionController(max_inflight=2, max_queue=0)
+        held = controller.admit()
+        controller.begin_drain()
+        assert controller.drained(timeout_s=0.05) is False
+
+        def finish():
+            time.sleep(0.1)
+            controller.release(held)
+
+        threading.Thread(target=finish).start()
+        assert controller.drained(timeout_s=5.0) is True
+
+    def test_drained_immediately_true_when_idle(self):
+        controller = AdmissionController(max_inflight=1, max_queue=0)
+        controller.begin_drain()
+        assert controller.drained(timeout_s=0.01) is True
+
+
+class TestMetrics:
+    def test_shed_and_admit_counters(self):
+        with observe() as (registry, _):
+            controller = AdmissionController(max_inflight=1, max_queue=0)
+            held = controller.admit()
+            controller.admit()
+            controller.release(held)
+            flat = registry.flat()
+        assert flat["serve.admission.admitted"] == 1
+        assert flat["serve.admission.shed{reason=queue-full}"] == 1
+        assert flat["serve.admission.inflight"] == 0
+        assert OBS.enabled is False

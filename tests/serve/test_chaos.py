@@ -1,0 +1,163 @@
+"""Chaos: hostile clients + dying reloaders, with total accounting.
+
+The acceptance criterion under test: every request accepted by the
+daemon completes with an explicit outcome (response, shed, or error) —
+no hangs, no silent drops — while slow/flaky clients misbehave and the
+reloader is killed or wedged mid-build.
+"""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve import (
+    Reloader,
+    ServeConfig,
+    ServeDaemon,
+    SnapshotHolder,
+)
+from repro.serve.chaos import (
+    chaos_behaviour,
+    kill_reloader,
+    run_chaos_clients,
+    wedge_reloader,
+)
+from repro.web.faults import FaultPlan
+
+from tests.serve.test_daemon import MATCH, SOURCES, request
+
+CORPUS = [
+    MATCH,
+    {"url": "http://clean.example/p.png", "content_type": "image",
+     "page_host": "news.example", "request_host": "clean.example"},
+    {"requests": [MATCH, {"op": "elemhide_stylesheet",
+                          "page_host": "news.example"}]},
+    {"op": "document_privileges", "page_url": "http://friendly.example/",
+     "page_host": "friendly.example"},
+]
+
+
+@pytest.fixture
+def daemon():
+    holder = SnapshotHolder.from_sources(SOURCES)
+    instance = ServeDaemon(
+        holder,
+        ServeConfig(port=0, max_inflight=2, max_queue=4,
+                    default_deadline_ms=5_000.0, drain_timeout_s=10.0,
+                    allow_test_delay=True),
+        reloader=Reloader(holder))
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+class TestBehaviourPlan:
+    def test_deterministic_across_runs(self):
+        first = FaultPlan.uniform(0.5, seed=7)
+        second = FaultPlan.uniform(0.5, seed=7)
+        sequence = [(c, r) for c in range(4) for r in range(25)]
+        assert [chaos_behaviour(first, c, r) for c, r in sequence] == \
+            [chaos_behaviour(second, c, r) for c, r in sequence]
+
+    def test_rate_half_actually_misbehaves(self):
+        plan = FaultPlan.uniform(0.5, seed=7)
+        behaviours = {chaos_behaviour(plan, c, r)
+                      for c in range(4) for r in range(25)}
+        assert "normal" in behaviours
+        assert len(behaviours) >= 3        # slow/abort/tiny-deadline mix
+
+
+class TestHostileClients:
+    def test_every_request_is_accounted(self, daemon):
+        report = run_chaos_clients(daemon, CORPUS, clients=4,
+                                   requests_per_client=15,
+                                   fault_rate=0.5, seed=7)
+        assert report.sent == 4 * 15
+        assert report.accounted == report.sent
+        assert report.hung == 0
+        assert report.transport == 0
+        assert report.served > 0
+        assert report.aborted > 0           # chaos actually happened
+
+    def test_accounting_holds_with_reloads_mid_flight(self, daemon):
+        stop = threading.Event()
+        reload_results = []
+
+        def churn():
+            flip = 0
+            while not stop.is_set():
+                flip += 1
+                lists = ([{"name": "easylist",
+                           "text": "||ads.example^\n||extra.example^"}]
+                         if flip % 2 else
+                         [{"name": n, "text": t} for n, t in SOURCES])
+                status, raw, _ = request(daemon, "POST", "/admin/reload",
+                                         {"lists": lists})
+                reload_results.append((status, json.loads(raw)["status"]))
+                stop.wait(0.05)
+
+        churner = threading.Thread(target=churn)
+        churner.start()
+        try:
+            report = run_chaos_clients(daemon, CORPUS, clients=4,
+                                       requests_per_client=10,
+                                       fault_rate=0.5, seed=11)
+        finally:
+            stop.set()
+            churner.join(timeout=30.0)
+        assert report.accounted == report.sent
+        assert report.hung == 0
+        assert report.transport == 0
+        # Reloads really interleaved with traffic, and every one ended
+        # in an explicit state.
+        assert any(status == 200 for status, _ in reload_results)
+        assert all(outcome in ("swapped", "rejected")
+                   for _, outcome in reload_results)
+
+
+class TestReloaderDeath:
+    def test_killed_reloader_leaves_old_epoch_serving(self, daemon):
+        before = daemon.holder.current()
+        died = kill_reloader(daemon.reloader,
+                             [("easylist", "||ads.example^\n||x.example^")])
+        assert died
+        assert daemon.holder.current() is before
+        state = daemon.reloader.state()
+        assert state["last_reload"]["status"] == "crashed"
+        # The serving path never noticed.
+        status, raw, _ = request(daemon, "POST", "/v1/match", MATCH)
+        assert status == 200
+        assert json.loads(raw)["epoch"] == before.epoch
+
+    def test_retry_after_death_succeeds(self, daemon):
+        sources = [("easylist", "||ads.example^\n||x.example^")]
+        assert kill_reloader(daemon.reloader, sources)
+        result = daemon.reloader.reload(sources)
+        assert result.status == "swapped"
+        assert daemon.holder.current().epoch == result.epoch
+
+    def test_wedged_reloader_does_not_block_serving(self, daemon):
+        before_epoch = daemon.holder.current().epoch
+        wedged = threading.Event()
+        release = threading.Event()
+        thread = wedge_reloader(
+            daemon.reloader,
+            [("easylist", "||ads.example^\n||wedge.example^")],
+            wedged, release)
+        assert wedged.wait(timeout=10.0)
+        try:
+            # Wedged mid-build: match traffic still flows on the old
+            # epoch, health stays up, and a second reload is refused
+            # explicitly instead of piling up behind the wedge.
+            status, raw, _ = request(daemon, "POST", "/v1/match", MATCH)
+            assert status == 200
+            assert json.loads(raw)["epoch"] == before_epoch
+            assert request(daemon, "GET", "/healthz")[0] == 200
+            busy = daemon.reloader.reload(SOURCES)
+            assert busy.status == "rejected"
+            assert "already in progress" in busy.error
+        finally:
+            release.set()
+            thread.join(timeout=30.0)
+        assert daemon.holder.current().epoch != before_epoch

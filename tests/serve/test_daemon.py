@@ -1,0 +1,225 @@
+"""The live daemon over real HTTP: parity, shedding, drain, health.
+
+These tests exercise the acceptance criteria end to end against a
+real ``ThreadingHTTPServer`` on a loopback port: daemon response bytes
+are compared against direct engine calls (before a reload, after a
+reload to the same epoch, and after a rolled-back failed reload), an
+overloaded daemon sheds with 429 + Retry-After, and a draining daemon
+finishes in-flight work while refusing new work with 503.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.serve import (
+    Reloader,
+    ServeConfig,
+    ServeDaemon,
+    SnapshotHolder,
+    protocol,
+)
+from repro.serve.protocol import parse_match_payload, serve_match
+
+SOURCES = [
+    ("easylist", "||ads.example^\n||track.example^$third-party"),
+    ("exceptionrules", "@@||ads.example^$domain=friendly.example"),
+]
+MATCH = {"url": "http://ads.example/a.js", "content_type": "script",
+         "page_host": "news.example", "request_host": "ads.example"}
+
+
+def request(daemon, method, path, body=None, headers=None,
+            timeout=30.0):
+    host, port = daemon.address
+    connection = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        connection.request(
+            method, path,
+            body=json.dumps(body).encode() if body is not None else None,
+            headers=headers or {})
+        response = connection.getresponse()
+        return response.status, response.read(), dict(
+            response.getheaders())
+    finally:
+        connection.close()
+
+
+@pytest.fixture
+def daemon():
+    holder = SnapshotHolder.from_sources(SOURCES)
+    instance = ServeDaemon(
+        holder,
+        ServeConfig(port=0, max_inflight=1, max_queue=0,
+                    default_deadline_ms=5_000.0, drain_timeout_s=10.0,
+                    allow_test_delay=True),
+        reloader=Reloader(holder))
+    instance.start()
+    yield instance
+    instance.stop()
+
+
+def expected_bytes(daemon, payload: dict) -> bytes:
+    """What the daemon *must* answer: the direct engine result."""
+    _, body = serve_match(daemon.holder.current(),
+                          parse_match_payload(json.dumps(payload).encode()))
+    return protocol.encode(body)
+
+
+class TestParity:
+    def test_daemon_bytes_equal_direct_engine_bytes(self, daemon):
+        status, raw, _ = request(daemon, "POST", "/v1/match", MATCH)
+        assert status == 200
+        assert raw == expected_bytes(daemon, MATCH)
+
+    def test_parity_holds_after_reload_to_same_epoch(self, daemon):
+        epoch = daemon.holder.current().epoch
+        before = request(daemon, "POST", "/v1/match", MATCH)[1]
+        status, raw, _ = request(
+            daemon, "POST", "/admin/reload",
+            {"lists": [{"name": n, "text": t} for n, t in SOURCES]})
+        reload_body = json.loads(raw)
+        assert (status, reload_body["status"]) == (200, "swapped")
+        assert reload_body["epoch"] == epoch
+        after = request(daemon, "POST", "/v1/match", MATCH)[1]
+        assert after == before == expected_bytes(daemon, MATCH)
+
+    def test_parity_holds_after_rolled_back_failed_reload(self, daemon):
+        before = request(daemon, "POST", "/v1/match", MATCH)[1]
+        status, raw, _ = request(
+            daemon, "POST", "/admin/reload",
+            {"lists": [{"name": "easylist", "text": "! empty\n"}]})
+        assert status == 409
+        assert json.loads(raw)["status"] == "rejected"
+        after = request(daemon, "POST", "/v1/match", MATCH)[1]
+        assert after == before == expected_bytes(daemon, MATCH)
+
+    def test_successful_reload_changes_the_serving_epoch(self, daemon):
+        epoch = daemon.holder.current().epoch
+        status, raw, _ = request(
+            daemon, "POST", "/admin/reload",
+            {"lists": [{"name": "easylist",
+                        "text": "||ads.example^\n||brand-new.example^"}]})
+        assert status == 200
+        assert json.loads(raw)["epoch"] != epoch
+        served = json.loads(request(daemon, "POST", "/v1/match",
+                                    MATCH)[1])
+        assert served["epoch"] == json.loads(raw)["epoch"]
+
+
+class TestShedding:
+    def test_overload_sheds_429_with_retry_after(self, daemon):
+        release = threading.Event()
+        results = []
+
+        def occupant():
+            results.append(request(
+                daemon, "POST", "/v1/match", MATCH,
+                headers={"X-Repro-Delay-Ms": "1500"}))
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        # Wait for the occupant to actually hold the slot.
+        for _ in range(100):
+            if daemon.admission.inflight == 1:
+                break
+            threading.Event().wait(0.02)
+        status, raw, headers = request(daemon, "POST", "/v1/match", MATCH)
+        thread.join(timeout=30.0)
+        release.set()
+        assert status == 429
+        shed = json.loads(raw)
+        assert shed["outcome"] == "shed"
+        assert shed["reason"] == "queue-full"
+        assert float(headers["Retry-After"]) > 0.0
+        assert results[0][0] == 200    # the occupant still completed
+
+    def test_hopeless_deadline_is_shed_or_degraded_never_hung(
+            self, daemon):
+        status, raw, _ = request(
+            daemon, "POST", "/v1/match",
+            {"requests": [MATCH, MATCH]},
+            headers={"X-Repro-Deadline-Ms": "0.001"})
+        body = json.loads(raw)
+        assert (status, body["outcome"]) in (
+            (200, "degraded"), (429, "shed"))
+
+    def test_bad_deadline_header_is_400(self, daemon):
+        status, raw, _ = request(daemon, "POST", "/v1/match", MATCH,
+                                 headers={"X-Repro-Deadline-Ms": "soon"})
+        assert status == 400
+        assert json.loads(raw)["outcome"] == "error"
+
+    def test_malformed_body_is_400(self, daemon):
+        status, raw, _ = request(daemon, "POST", "/v1/match",
+                                 {"op": "check_request"})
+        assert status == 400
+        assert json.loads(raw)["outcome"] == "error"
+
+
+class TestHealth:
+    def test_healthz_reports_epoch_and_reload_state(self, daemon):
+        status, raw, _ = request(daemon, "GET", "/healthz")
+        body = json.loads(raw)
+        assert status == 200
+        assert body["epoch"] == daemon.holder.current().epoch
+        assert body["reload"]["state"] == "idle"
+        assert body["draining"] is False
+
+    def test_readyz_ready_when_serving(self, daemon):
+        status, raw, _ = request(daemon, "GET", "/readyz")
+        assert status == 200
+        assert json.loads(raw)["status"] == "ready"
+
+    def test_unknown_paths_are_404(self, daemon):
+        assert request(daemon, "GET", "/nope")[0] == 404
+        assert request(daemon, "POST", "/nope", {})[0] == 404
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_and_refuses_new(self, daemon):
+        results = []
+
+        def occupant():
+            results.append(request(
+                daemon, "POST", "/v1/match", MATCH,
+                headers={"X-Repro-Delay-Ms": "1000"}))
+
+        thread = threading.Thread(target=occupant)
+        thread.start()
+        for _ in range(100):
+            if daemon.admission.inflight == 1:
+                break
+            threading.Event().wait(0.02)
+        assert daemon.admission.inflight == 1
+
+        daemon.begin_drain()
+        refused_status, refused_raw, _ = request(daemon, "POST",
+                                                 "/v1/match", MATCH)
+        ready_status, _, ready_headers = request(daemon, "GET", "/readyz")
+        health_status = request(daemon, "GET", "/healthz")[0]
+        reload_status = request(
+            daemon, "POST", "/admin/reload",
+            {"lists": [{"name": "x", "text": "||a.example^"}]})[0]
+
+        drainer = threading.Thread(target=daemon.drain_and_stop)
+        drainer.start()
+        thread.join(timeout=30.0)
+        drainer.join(timeout=30.0)
+
+        assert refused_status == 503
+        assert json.loads(refused_raw)["reason"] == "draining"
+        assert ready_status == 503
+        assert "Retry-After" in ready_headers
+        assert health_status == 200         # liveness stays up
+        assert reload_status == 503
+        # The in-flight request was finished, not killed.
+        assert results and results[0][0] == 200
+        assert json.loads(results[0][1])["outcome"] == "served"
+        assert daemon.stopped
+
+    def test_drain_and_stop_is_clean_when_idle(self, daemon):
+        assert daemon.drain_and_stop() is True
+        assert daemon.stopped

@@ -1,0 +1,211 @@
+"""The wire protocol: parsing, canonical bytes, and verdict parity.
+
+Parity is the load-bearing contract: :func:`repro.serve.protocol
+.serve_match` over a frozen snapshot must produce byte-identical
+results to calling the mutable :class:`AdblockEngine` directly.
+"""
+
+import json
+
+import pytest
+
+from repro.filters.engine import AdblockEngine, EngineSnapshot
+from repro.filters.filterlist import parse_filter_list
+from repro.filters.options import ContentType
+from repro.serve import protocol
+from repro.serve.protocol import (
+    MatchRequest,
+    ProtocolError,
+    parse_match_payload,
+    parse_match_request,
+    serve_match,
+)
+
+EASYLIST = "||ads.example^\n||track.example^$third-party\n##.banner-ad"
+WHITELIST = "@@||ads.example^$domain=friendly.example"
+
+
+@pytest.fixture(scope="module")
+def snapshot() -> EngineSnapshot:
+    return EngineSnapshot.build([
+        parse_filter_list(EASYLIST, name="easylist"),
+        parse_filter_list(WHITELIST, name="exceptionrules"),
+    ])
+
+
+def body_of(payload: dict) -> bytes:
+    return json.dumps(payload).encode("utf-8")
+
+
+class TestParsing:
+    def test_defaults_to_check_request(self):
+        request = parse_match_request(
+            {"url": "http://ads.example/a.js", "content_type": "script",
+             "page_host": "news.example", "request_host": "ads.example"})
+        assert request.op == "check_request"
+        assert request.content_type is ContentType.SCRIPT
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            parse_match_request({"op": "launch_missiles"})
+
+    def test_unknown_content_type_rejected(self):
+        with pytest.raises(ProtocolError, match="content_type"):
+            parse_match_request(
+                {"url": "u", "content_type": "hologram",
+                 "page_host": "p", "request_host": "r"})
+
+    def test_missing_field_names_the_field(self):
+        with pytest.raises(ProtocolError, match="'request_host'"):
+            parse_match_request(
+                {"url": "u", "content_type": "image", "page_host": "p"})
+
+    def test_non_object_rejected(self):
+        with pytest.raises(ProtocolError, match="JSON object"):
+            parse_match_request(["not", "a", "dict"])
+
+    def test_bad_json_body_rejected(self):
+        with pytest.raises(ProtocolError, match="not valid JSON"):
+            parse_match_payload(b"{nope")
+
+    def test_empty_batch_rejected(self):
+        with pytest.raises(ProtocolError, match="non-empty"):
+            parse_match_payload(body_of({"requests": []}))
+
+    def test_batch_parses_each_item(self):
+        requests = parse_match_payload(body_of({"requests": [
+            {"op": "elemhide_stylesheet", "page_host": "a.example"},
+            {"op": "document_privileges", "page_url": "http://b.example/",
+             "page_host": "b.example"},
+        ]}))
+        assert [r.op for r in requests] == ["elemhide_stylesheet",
+                                            "document_privileges"]
+
+
+class TestEncode:
+    def test_canonical_bytes(self):
+        assert protocol.encode({"b": 1, "a": [2]}) == b'{"a":[2],"b":1}\n'
+
+    def test_key_order_cannot_leak(self):
+        first = protocol.encode({"x": 1, "y": 2})
+        second = protocol.encode({"y": 2, "x": 1})
+        assert first == second
+
+
+class TestVerdictParity:
+    """serve_match == direct engine calls, byte for byte."""
+
+    CASES = [
+        MatchRequest(op="check_request", url="http://ads.example/a.js",
+                     content_type=ContentType.SCRIPT,
+                     page_host="news.example",
+                     request_host="ads.example"),
+        MatchRequest(op="check_request", url="http://ads.example/a.js",
+                     content_type=ContentType.SCRIPT,
+                     page_host="friendly.example",
+                     request_host="ads.example",
+                     page_url="http://friendly.example/"),
+        MatchRequest(op="check_request", url="http://clean.example/p.png",
+                     content_type=ContentType.IMAGE,
+                     page_host="news.example",
+                     request_host="clean.example"),
+        MatchRequest(op="document_privileges",
+                     page_url="http://friendly.example/",
+                     page_host="friendly.example"),
+        MatchRequest(op="elemhide_stylesheet", page_host="news.example"),
+    ]
+
+    def test_served_results_match_direct_engine(self, snapshot):
+        outcome, body = serve_match(snapshot, self.CASES)
+        assert outcome == "served"
+
+        engine = AdblockEngine()
+        engine.subscribe(parse_filter_list(EASYLIST, name="easylist"))
+        engine.subscribe(parse_filter_list(WHITELIST,
+                                           name="exceptionrules"))
+        # list_name_for is keyed on filter object identity, so the
+        # direct engine's records go through its own frozen view.
+        direct_view = engine.freeze()
+        direct = []
+        for case in self.CASES:
+            if case.op == "document_privileges":
+                direct.append(protocol.privileges_record(
+                    engine.document_privileges(case.page_url,
+                                               case.page_host),
+                    direct_view))
+            elif case.op == "elemhide_stylesheet":
+                direct.append({"stylesheet":
+                               engine.elemhide_stylesheet(case.page_host)})
+            else:
+                privileges = None
+                if case.page_url:
+                    privileges = engine.document_privileges(
+                        case.page_url, case.page_host)
+                direct.append(protocol.decision_record(
+                    engine.check_request(case.url, case.content_type,
+                                         case.page_host,
+                                         case.request_host,
+                                         privileges=privileges),
+                    direct_view))
+        assert protocol.encode({"results": body["results"]}) == \
+            protocol.encode({"results": direct})
+
+    def test_verdicts_cover_block_allow_and_exception(self, snapshot):
+        _, body = serve_match(snapshot, self.CASES)
+        verdicts = [r["verdict"] for r in body["results"][:3]]
+        assert verdicts[0] == "block"
+        assert verdicts[1] != "block"       # whitelisted page
+        assert verdicts[2] != "block"       # clean request
+
+    def test_sessions_share_snapshot_memo(self):
+        fresh = EngineSnapshot.build([
+            parse_filter_list(EASYLIST, name="easylist"),
+            parse_filter_list(WHITELIST, name="exceptionrules"),
+        ])
+        assert len(fresh._privilege_cache) == 0
+        serve_match(fresh, [self.CASES[1]])
+        assert len(fresh._privilege_cache) == 1
+        serve_match(fresh, [self.CASES[1]])     # second session, same memo
+        assert len(fresh._privilege_cache) == 1
+
+
+class TestDeadline:
+    def test_no_deadline_serves_everything(self, snapshot):
+        outcome, body = serve_match(snapshot, TestVerdictParity.CASES)
+        assert outcome == "served"
+        assert len(body["results"]) == len(TestVerdictParity.CASES)
+
+    def test_expired_deadline_returns_completed_prefix(self, snapshot):
+        calls = iter([False, False, True])
+        outcome, body = serve_match(
+            snapshot, TestVerdictParity.CASES[:3],
+            deadline_expired=lambda: next(calls))
+        assert outcome == "degraded"
+        assert body["reason"] == "deadline-expired"
+        assert body["completed"] == 2
+        assert body["requested"] == 3
+        assert len(body["results"]) == 2
+
+    def test_degraded_prefix_equals_served_prefix(self, snapshot):
+        """The prefix a degraded batch returns is not approximate."""
+        _, full = serve_match(snapshot, TestVerdictParity.CASES[:3])
+        calls = iter([False, True])
+        _, cut = serve_match(snapshot, TestVerdictParity.CASES[:3],
+                             deadline_expired=lambda: next(calls))
+        assert cut["results"] == full["results"][:1]
+
+
+class TestEnvelopes:
+    def test_shed_maps_draining_to_503(self):
+        status, body = protocol.shed("draining", retry_after=0.2,
+                                     draining=True)
+        assert (status, body["outcome"]) == (503, "shed")
+
+    def test_shed_maps_overload_to_429(self):
+        status, body = protocol.shed("queue-full", retry_after=1.0)
+        assert status == 429
+        assert body["retry_after"] == 1.0
+
+    def test_error_defaults_to_400(self):
+        status, body = protocol.error("nope")
+        assert (status, body["outcome"]) == (400, "error")

@@ -13,7 +13,7 @@ import pkgutil
 import pytest
 
 DOCTESTED_PACKAGES = ("repro.filters", "repro.obs", "repro.state",
-                      "repro.parallel")
+                      "repro.parallel", "repro.serve")
 
 
 def _modules() -> list[str]:

@@ -146,6 +146,61 @@ class TestCircuitBreaker:
         assert registry.get("www.example.com") is registry.get("example.com")
         assert registry.get("other.com") is not registry.get("example.com")
 
+    def test_long_lived_breaker_full_cycle_across_requests(self):
+        """One breaker reused across sequential requests (the serving-
+
+        daemon pattern: a breaker lives as long as the process) walks
+        the whole closed → open → half-open → closed cycle on a shared
+        clock, and keeps working on the next incident.
+        """
+        clock = SimulatedClock()
+        breaker = CircuitBreaker(failure_threshold=2, cooldown=30.0)
+
+        def attempt(succeeds: bool) -> str:
+            if not breaker.allow(clock.now()):
+                return "refused"
+            if succeeds:
+                breaker.record_success()
+                return "ok"
+            breaker.record_failure(clock.now())
+            return "failed"
+
+        # Healthy traffic: stays CLOSED.
+        for _ in range(5):
+            assert attempt(True) == "ok"
+            clock.advance(1.0)
+        assert breaker.state is BreakerState.CLOSED
+
+        # An incident: two failures trip it OPEN; requests during the
+        # cooldown are refused without touching the backend.
+        assert attempt(False) == "failed"
+        assert attempt(False) == "failed"
+        assert breaker.state is BreakerState.OPEN
+        clock.advance(10.0)
+        assert attempt(True) == "refused"
+
+        # Cooldown elapses: exactly one HALF_OPEN probe goes through,
+        # and its success closes the breaker for everyone.
+        clock.advance(30.0)
+        assert breaker.allow(clock.now())
+        assert breaker.state is BreakerState.HALF_OPEN
+        assert not breaker.allow(clock.now())   # concurrent request held
+        breaker.record_success()
+        assert breaker.state is BreakerState.CLOSED
+
+        # The same instance handles the *next* incident identically —
+        # no stale failure streak left behind by the first cycle.
+        for _ in range(5):
+            assert attempt(True) == "ok"
+            clock.advance(1.0)
+        assert attempt(False) == "failed"
+        assert attempt(False) == "failed"
+        assert breaker.state is BreakerState.OPEN
+        assert breaker.open_count == 2
+        clock.advance(31.0)
+        assert attempt(True) == "ok"            # half-open probe succeeds
+        assert breaker.state is BreakerState.CLOSED
+
 
 class TestExecuteWithPolicy:
     def test_first_attempt_success(self):
