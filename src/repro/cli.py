@@ -156,6 +156,26 @@ def build_parser() -> argparse.ArgumentParser:
                             "header (drain/chaos tests and the load "
                             "benchmark use it to stretch requests)")
 
+    compile_index = add("compile-index",
+                        "ahead-of-time compile the filter-index "
+                        "artifact into a snapshot store")
+    compile_index.add_argument("--snapshot-dir", metavar="DIR",
+                               required=True,
+                               help="snapshot store to write the "
+                                    "sources and compiled-index "
+                                    "artifact into")
+    compile_index.add_argument("--lists", nargs="+", metavar="PATH",
+                               default=None,
+                               help="filter-list files to compile "
+                                    "(list name = file name stem); "
+                                    "default: the latest stored epoch, "
+                                    "else the study's EasyList + "
+                                    "Acceptable Ads whitelist")
+    compile_index.add_argument("--verify", action="store_true",
+                               help="load the artifact back and check "
+                                    "candidate parity against the "
+                                    "freshly built snapshot")
+
     obs = sub.add_parser(
         "obs", help="analyse exported observability artifacts")
     obs_sub = obs.add_subparsers(dest="obs_command", required=True)
@@ -478,12 +498,15 @@ def _cmd_serve(args, out) -> int:
 
     def run() -> int:
         try:
-            holder = SnapshotHolder.from_sources(sources)
+            # Store-aware boot: a persisted compiled-index artifact for
+            # these exact lists skips automaton construction entirely.
+            holder = SnapshotHolder.from_sources(sources, store)
         except ReloadError as exc:
             out.write(f"error: {exc}\n")
             return 2
         if store is not None:
-            store.save(holder.current().epoch, sources)
+            from repro.serve.reload import persist_snapshot_artifact
+            persist_snapshot_artifact(store, holder.current(), sources)
         daemon = ServeDaemon(
             holder,
             ServeConfig(host=args.host, port=args.port,
@@ -511,6 +534,74 @@ def _cmd_serve(args, out) -> int:
         return run()
     with observe(run_id=_derive_run_id(args)):
         return run()
+
+
+def _cmd_compile_index(args, out) -> int:
+    """Pay the index-compilation cost now; every later boot loads it."""
+    from repro.filters.compiled import parse_artifact
+    from repro.filters.filterlist import parse_filter_list
+    from repro.serve.reload import (ReloadError, build_snapshot_from_sources,
+                                    persist_snapshot_artifact)
+    from repro.state.snapshots import SnapshotStore, content_fingerprint
+
+    sources = _serve_sources(args, out)
+    if sources is None:
+        return 2
+    try:
+        # Deliberately store-less: this command's whole point is a
+        # fresh compile, so a stale blob can never be re-blessed.
+        snapshot = build_snapshot_from_sources(sources)
+    except ReloadError as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    store = SnapshotStore(args.snapshot_dir)
+    persist_snapshot_artifact(store, snapshot, sources)
+    fingerprint = content_fingerprint(sources)
+    out.write(f"compiled epoch {snapshot.epoch} "
+              f"(fingerprint {fingerprint}, "
+              f"{snapshot.filter_count:,} filters) -> {store.directory}\n")
+    for name, stats in snapshot.compiled_stats().items():
+        out.write(f"  {name:<11} {stats['filters']:>6} filters  "
+                  f"{stats['keywords']:>6} keywords  "
+                  f"{stats['fallback']:>5} fallback  "
+                  f"{stats['automaton_states']:>6} automaton states\n")
+    if args.verify:
+        stored = store.load_blob(fingerprint)
+        if stored is None:
+            out.write("verify: FAILED (artifact not found after save)\n")
+            return 1
+        rebuilt = parse_artifact(stored[1]).build_snapshot(
+            [parse_filter_list(text, name=name) for name, text in sources])
+        mismatches = _compile_index_mismatches(snapshot, rebuilt)
+        if mismatches:
+            out.write(f"verify: FAILED ({mismatches} mismatches)\n")
+            return 1
+        out.write("verify: ok (round-trip candidate parity)\n")
+    return 0
+
+
+def _compile_index_mismatches(fresh, rebuilt) -> int:
+    """Structural + probe parity between a snapshot and its round-trip.
+
+    Compares by filter *text* because the rebuilt snapshot holds
+    freshly parsed filter objects: identical keywords, identical
+    bucket-by-bucket filter sequences, and identical candidate
+    sequences for one probe URL per keyword.
+    """
+    mismatches = 0
+    for name in ("blocking", "exceptions"):
+        left = getattr(fresh, name)
+        right = getattr(rebuilt, name)
+        if left.keywords != right.keywords:
+            mismatches += 1
+        if [f.text for f in left] != [f.text for f in right]:
+            mismatches += 1
+        for keyword in left.keywords:
+            url = f"http://probe.example/{keyword}?x=1"
+            if ([f.text for f in left.candidates(url)]
+                    != [f.text for f in right.candidates(url)]):
+                mismatches += 1
+    return mismatches
 
 
 def _obs_load(paths, out):
@@ -644,6 +735,7 @@ _COMMANDS = {
     "temporal": _cmd_temporal,
     "blockable": _cmd_blockable,
     "serve": _cmd_serve,
+    "compile-index": _cmd_compile_index,
     "obs": _cmd_obs,
 }
 

@@ -28,6 +28,14 @@ from repro.filters.engine import (
     RequestDecision,
     Verdict,
 )
+from repro.filters.compiled import (
+    CompiledArtifact,
+    CompiledArtifactError,
+    CompiledFilterIndex,
+    KeywordAutomaton,
+    parse_artifact,
+    serialize_artifact,
+)
 from repro.filters.filterlist import FilterList, parse_filter_list
 from repro.filters.hygiene import HygieneReport, audit
 from repro.filters.index import FilterIndex
@@ -54,6 +62,9 @@ __all__ = [
     "Activation",
     "AdblockEngine",
     "Comment",
+    "CompiledArtifact",
+    "CompiledArtifactError",
+    "CompiledFilterIndex",
     "CompiledPattern",
     "ContentType",
     "DocumentPrivileges",
@@ -62,6 +73,7 @@ __all__ = [
     "FrozenEngineError",
     "Filter",
     "FilterIndex",
+    "KeywordAutomaton",
     "FilterList",
     "FilterOptions",
     "HygieneReport",
@@ -82,8 +94,10 @@ __all__ = [
     "classify_whitelist",
     "compile_pattern",
     "explicit_domains",
+    "parse_artifact",
     "parse_filter",
     "parse_filter_list",
     "parse_options",
     "parse_selector",
+    "serialize_artifact",
 ]

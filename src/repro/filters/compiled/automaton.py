@@ -1,0 +1,310 @@
+"""A packed Aho-Corasick keyword automaton over URL bytes.
+
+The keyword index (:mod:`repro.filters.index`) buckets filters under
+literal tokens; probing asks "which of the index's keywords occur as a
+full token of this URL?".  This module compiles the keyword set, once
+per subscription epoch, into a classic Aho-Corasick automaton stored as
+flat packed tables (``array('i')`` + ``bytes``) — no dicts of dicts, no
+per-node objects — so the compiled form is
+
+* cheap to share: forked survey workers inherit the arrays as read-only
+  copy-on-write pages and never re-derive them;
+* trivially serializable: the artifact writer
+  (:mod:`repro.filters.compiled.artifact`) copies the tables verbatim
+  and a loader reconstitutes the automaton without ever re-running the
+  trie/fail-link construction;
+* deterministic: identical keyword sequences produce identical tables
+  byte-for-byte, which is what lets the CI perf gate diff artifacts.
+
+Layout (CSR — compressed sparse rows — since trie fan-out collapses to
+~1 past the first character):
+
+* ``edge_offsets[s] .. edge_offsets[s+1]`` delimits state ``s``'s slice
+  of ``edge_syms`` (the sorted outgoing byte labels) and
+  ``edge_targets`` (the matching successor states);
+* ``fail[s]`` is the standard failure link (longest proper suffix of
+  ``s``'s string that is also a trie prefix);
+* ``out[s]`` is the keyword id ending exactly at ``s``, or ``-1``;
+* ``out_link[s]`` is the nearest failure-chain state with an output
+  (dictionary suffix link), or ``-1``;
+* ``depth[s]`` is ``s``'s distance from the root (= matched length).
+
+Keywords are drawn from the token alphabet ``[a-z0-9%]`` (see
+``_URL_KEYWORD_RE`` in :mod:`repro.filters.index`), so a single shared
+256-byte translation table (:data:`TOKEN_TABLE`) both lowercases and
+collapses every separator byte to a space; token boundaries are then
+exactly ASCII-space boundaries.
+
+>>> auto = KeywordAutomaton.build([b"ads", b"adserv", b"track"])
+>>> auto.walk_token(b"adserv")          # exact full-token acceptance
+1
+>>> auto.walk_token(b"adservX") is None
+True
+>>> [auto.keywords[k] for _, k in auto.scan(b"xxadservyy track")]
+[b'ads', b'adserv', b'track']
+>>> [auto.keywords[k]                   # full tokens only: no 'ads'
+...  for k in auto.token_hits(b"http://ADSERV.example/track?x=1")]
+[b'adserv', b'track']
+"""
+
+from __future__ import annotations
+
+from array import array
+from collections import deque
+from typing import Iterable, Iterator, Sequence
+
+__all__ = ["KeywordAutomaton", "TOKEN_TABLE", "TOKEN_BYTES"]
+
+#: The token alphabet: exactly the character class of the index's
+#: ``_URL_KEYWORD_RE`` (``[a-z0-9%]``).
+TOKEN_BYTES = b"abcdefghijklmnopqrstuvwxyz0123456789%"
+
+def _build_token_table() -> bytes:
+    table = bytearray(b" " * 256)
+    for byte in TOKEN_BYTES:
+        table[byte] = byte
+    for byte in range(ord("A"), ord("Z") + 1):
+        table[byte] = byte + 32          # lowercase, like str.lower()
+    return bytes(table)
+
+#: ``bytes.translate`` table: token bytes pass through (uppercase
+#: lowercased), every other byte becomes a space.  After translation,
+#: ``.split()`` yields exactly the URL's keyword-alphabet tokens.
+TOKEN_TABLE = _build_token_table()
+
+_SPACE = 0x20
+
+
+class KeywordAutomaton:
+    """Packed-table Aho-Corasick automaton over a fixed keyword set."""
+
+    __slots__ = ("keywords", "edge_offsets", "edge_syms", "edge_targets",
+                 "fail", "out", "out_link", "depth")
+
+    def __init__(self, *, keywords: tuple[bytes, ...],
+                 edge_offsets: array, edge_syms: bytes,
+                 edge_targets: array, fail: array, out: array,
+                 out_link: array, depth: array) -> None:
+        self.keywords = keywords
+        self.edge_offsets = edge_offsets
+        self.edge_syms = edge_syms
+        self.edge_targets = edge_targets
+        self.fail = fail
+        self.out = out
+        self.out_link = out_link
+        self.depth = depth
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def build(cls, keywords: Iterable[bytes]) -> "KeywordAutomaton":
+        """Compile ``keywords`` (unique, token-alphabet bytes) to tables.
+
+        Keyword ids are positional: ``keywords[i]`` gets id ``i``, so
+        the caller's ordering (the index's bucket ordering) is the
+        automaton's output numbering.
+        """
+        kws = tuple(keywords)
+        seen: set[bytes] = set()
+        for kw in kws:
+            if not kw:
+                raise ValueError("empty keyword")
+            if kw in seen:
+                raise ValueError(f"duplicate keyword {kw!r}")
+            seen.add(kw)
+            if kw.translate(TOKEN_TABLE) != kw or b" " in kw:
+                raise ValueError(
+                    f"keyword {kw!r} outside the token alphabet")
+        children: list[dict[int, int]] = [{}]
+        out_list = [-1]
+        depth_list = [0]
+        for kid, kw in enumerate(kws):
+            node = 0
+            for byte in kw:
+                nxt = children[node].get(byte)
+                if nxt is None:
+                    nxt = len(children)
+                    children[node][byte] = nxt
+                    children.append({})
+                    out_list.append(-1)
+                    depth_list.append(depth_list[node] + 1)
+                node = nxt
+            out_list[node] = kid
+        states = len(children)
+        fail_list = [0] * states
+        out_link_list = [-1] * states
+        queue: deque[int] = deque()
+        for child in children[0].values():
+            queue.append(child)
+        while queue:
+            node = queue.popleft()
+            fail_node = fail_list[node]
+            out_link_list[node] = (fail_node
+                                   if out_list[fail_node] != -1
+                                   else out_link_list[fail_node])
+            for byte, child in children[node].items():
+                probe = fail_node
+                while True:
+                    target = children[probe].get(byte)
+                    if target is not None and target != child:
+                        fail_list[child] = target
+                        break
+                    if probe == 0:
+                        break
+                    probe = fail_list[probe]
+                queue.append(child)
+        offsets = array("i", [0] * (states + 1))
+        syms = bytearray()
+        targets = array("i")
+        for node in range(states):
+            offsets[node] = len(syms)
+            for byte in sorted(children[node]):
+                syms.append(byte)
+                targets.append(children[node][byte])
+        offsets[states] = len(syms)
+        return cls(keywords=kws, edge_offsets=offsets,
+                   edge_syms=bytes(syms), edge_targets=targets,
+                   fail=array("i", fail_list), out=array("i", out_list),
+                   out_link=array("i", out_link_list),
+                   depth=array("i", depth_list))
+
+    @classmethod
+    def from_tables(cls, *, keywords: Sequence[bytes],
+                    edge_offsets: array, edge_syms: bytes,
+                    edge_targets: array, fail: array, out: array,
+                    out_link: array, depth: array) -> "KeywordAutomaton":
+        """Reconstitute an automaton from previously packed tables.
+
+        This is the artifact-load path: no trie construction, no fail
+        links to derive — the arrays are adopted as-is after structural
+        validation (sizes consistent, state ids in range), which keeps a
+        corrupted artifact from turning into out-of-range indexing at
+        probe time.
+        """
+        states = len(fail)
+        edges = len(edge_syms)
+        if (len(edge_offsets) != states + 1 or len(edge_targets) != edges
+                or len(out) != states or len(out_link) != states
+                or len(depth) != states or states == 0):
+            raise ValueError("inconsistent automaton table sizes")
+        if edge_offsets[0] != 0 or edge_offsets[states] != edges:
+            raise ValueError("malformed edge offsets")
+        last = 0
+        for offset in edge_offsets:
+            if offset < last:
+                raise ValueError("edge offsets not monotonic")
+            last = offset
+        kws = tuple(keywords)
+        for target in edge_targets:
+            if not 1 <= target < states:
+                raise ValueError("edge target out of range")
+        for kid in out:
+            if not -1 <= kid < len(kws):
+                raise ValueError("output keyword id out of range")
+        for link, node in zip(out_link, fail):
+            if not -1 <= link < states or not 0 <= node < states:
+                raise ValueError("fail/output link out of range")
+        return cls(keywords=kws, edge_offsets=edge_offsets,
+                   edge_syms=edge_syms, edge_targets=edge_targets,
+                   fail=fail, out=out, out_link=out_link, depth=depth)
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def states(self) -> int:
+        return len(self.fail)
+
+    @property
+    def edges(self) -> int:
+        return len(self.edge_syms)
+
+    def stats(self) -> dict[str, int]:
+        return {"keywords": len(self.keywords), "states": self.states,
+                "edges": self.edges}
+
+    # -- walking -------------------------------------------------------
+
+    def _step(self, state: int, byte: int) -> int:
+        """Goto function: successor of ``state`` on ``byte``, or ``-1``."""
+        lo = self.edge_offsets[state]
+        hi = self.edge_offsets[state + 1]
+        where = self.edge_syms.find(byte, lo, hi)
+        return self.edge_targets[where] if where >= 0 else -1
+
+    def walk_token(self, token: bytes) -> int | None:
+        """Keyword id of ``token`` under exact full-token acceptance.
+
+        Returns ``None`` when the walk dies or ends on a non-output
+        state — i.e. a keyword that is merely a prefix, suffix, or
+        substring of ``token`` is *not* accepted.  This mirrors the
+        index's probe semantics exactly: buckets are keyed by whole
+        tokens, so ``ads`` inside ``adserv`` must not fire.
+        """
+        state = 0
+        step = self._step
+        for byte in token:
+            state = step(state, byte)
+            if state < 0:
+                return None
+        kid = self.out[state]
+        return kid if kid >= 0 else None
+
+    def scan(self, data: bytes) -> Iterator[tuple[int, int]]:
+        """Classic AC substring scan: yields ``(end_pos, keyword_id)``.
+
+        One linear pass; every occurrence of every keyword is reported
+        (including overlapping ones, via the dictionary suffix links).
+        ``end_pos`` is the index one past the occurrence's last byte.
+        This is the reference the differential-fuzz suite holds the
+        optimised probe driver to.
+        """
+        state = 0
+        step = self._step
+        fail = self.fail
+        out = self.out
+        out_link = self.out_link
+        for pos, byte in enumerate(data):
+            target = step(state, byte)
+            while target < 0 and state:
+                state = fail[state]
+                target = step(state, byte)
+            state = target if target >= 0 else 0
+            node = state
+            if out[node] < 0:
+                node = out_link[node]
+            while node is not None and node >= 0:
+                yield pos + 1, out[node]
+                node = out_link[node]
+
+    def token_hits(self, data: bytes) -> list[int]:
+        """Distinct keyword ids occurring as *full tokens* of ``data``.
+
+        ``data`` is raw URL bytes; normalization (lowercasing, separator
+        collapsing) happens here via :data:`TOKEN_TABLE`.  Order is
+        first occurrence, which is exactly the bucket-probe order of the
+        legacy ``FilterIndex.candidates`` (distinct tokens in
+        first-occurrence order).  A match only counts when flanked by
+        token boundaries on both sides — this is the automaton-walk
+        reference implementation of the probe; the production driver in
+        :class:`~repro.filters.compiled.index.CompiledFilterIndex`
+        computes the same set with C-level primitives.
+        """
+        norm = data.translate(TOKEN_TABLE)
+        size = len(norm)
+        hits: list[int] = []
+        seen: set[int] = set()
+        for end, kid in self.scan(norm):
+            if kid in seen:
+                continue
+            start = end - len(self.keywords[kid])
+            if start > 0 and norm[start - 1] != _SPACE:
+                continue
+            if end < size and norm[end] != _SPACE:
+                continue
+            seen.add(kid)
+            hits.append(kid)
+        return hits
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"KeywordAutomaton(keywords={len(self.keywords)}, "
+                f"states={self.states}, edges={self.edges})")

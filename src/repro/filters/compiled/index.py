@@ -1,0 +1,328 @@
+"""The compiled, frozen form of :class:`~repro.filters.index.FilterIndex`.
+
+``FilterIndex`` is the mutable build-time structure: it chooses keywords
+as filters arrive and grows dict buckets.  Once an engine freezes
+(:meth:`repro.filters.engine.AdblockEngine.freeze`), the index is
+compiled into this read-only form, which fixes the PR-4 hot path's two
+remaining costs:
+
+* **per-probe tokenisation** — the legacy path ran a regex over every
+  URL (memoised in an 8192-entry ``lru_cache`` that forked workers had
+  to re-warm and that thrashes once the survey's working set exceeds
+  it).  The compiled probe is a single pass over the URL bytes with
+  C-level primitives: one 256-byte ``translate`` (lowercase + collapse
+  separators), one ``split``, one ``set.intersection`` against the
+  keyword set.  No cache, nothing to warm after ``fork``.
+* **per-candidate generator machinery** — ``candidates()`` was a
+  generator resuming once per yielded filter, which dominates when the
+  fallback bucket is large (the synthetic EasyList routes ~25% of its
+  filters there).  The compiled index returns *prebuilt tuples*:
+  the zero-hit answer is one shared ``fallback`` tuple, a single-hit
+  answer is the bucket's precomputed ``bucket + fallback`` tuple.
+
+The candidate *sequence* is byte-identical to the legacy index's:
+distinct URL tokens in first-occurrence order select buckets (bucket
+contents in insertion order), then the fallback bucket, always, last —
+the never-filter-out-a-match guarantee is untouched.  The
+differential-fuzz suite (``tests/filters/test_compiled_fuzz.py``) holds
+this equivalence against both the legacy index and the packed
+:class:`~repro.filters.compiled.automaton.KeywordAutomaton`, which is
+compiled alongside as the index's serialized identity and reference
+matcher.
+
+Non-ASCII URLs take a conservative detour through the legacy string
+tokeniser: ``str.lower()`` can fold non-ASCII code points *into* ASCII
+(``'K'.lower() == 'k'``), so byte-level lowercasing of such URLs
+could miss a bucket and break the completeness guarantee.
+
+>>> from repro.filters.index import FilterIndex
+>>> from repro.filters.parser import parse_filter
+>>> legacy = FilterIndex([parse_filter("||adzerk.net^"),
+...                       parse_filter("/banner[0-9]+/")])
+>>> compiled = CompiledFilterIndex.compile(legacy)
+>>> [f.text for f in compiled.candidates("http://adzerk.net/x")]
+['||adzerk.net^', '/banner[0-9]+/']
+>>> [f.text for f in compiled.candidates("http://example.com/page")]
+['/banner[0-9]+/']
+"""
+
+from __future__ import annotations
+
+from itertools import chain
+from typing import Iterator, Sequence
+
+from repro.filters.compiled.automaton import TOKEN_TABLE, KeywordAutomaton
+from repro.filters.index import FilterIndex, _url_tokens
+from repro.filters.options import ContentType
+from repro.filters.parser import RequestFilter
+from repro.obs import OBS
+
+__all__ = ["CompiledFilterIndex"]
+
+
+class _MultiCandidates:
+    """A reusable, lazily chained multi-bucket candidate sequence.
+
+    The fallback bucket routinely holds hundreds of filters, so
+    materialising ``bucket + bucket + fallback`` into a list would copy
+    hundreds of pointers per multi-hit probe.  This object keeps the
+    (two or three) hit buckets plus the fallback as a tuple of tuples
+    and iterates them back-to-back with C-level ``chain`` iteration —
+    each ``__iter__`` call yields a fresh iterator, so callers may
+    re-iterate it just like the prebuilt single-hit tuples.
+    """
+
+    __slots__ = ("_parts", "_length")
+
+    def __init__(self, parts: tuple[tuple[RequestFilter, ...], ...]) -> None:
+        self._parts = parts
+        self._length = sum(map(len, parts))
+
+    def __iter__(self) -> Iterator[RequestFilter]:
+        return chain.from_iterable(self._parts)
+
+    def __len__(self) -> int:
+        return self._length
+
+
+class CompiledFilterIndex:
+    """Read-only keyword index: packed automaton + prebuilt bucket tuples.
+
+    Construction goes through :meth:`compile` (from a built
+    ``FilterIndex``) or :meth:`from_parts` (the artifact-load path).
+    The probe surface mirrors ``FilterIndex`` — ``candidates``,
+    ``match_first``, ``match_all``, iteration, ``len`` — so engines and
+    sessions use either interchangeably; ``candidates`` returns a
+    reusable sequence rather than a one-shot generator.
+    """
+
+    __slots__ = ("name", "automaton", "_keywords", "_buckets", "_fallback",
+                 "_kwset", "_single", "_raw", "_bucket_of", "_count")
+
+    def __init__(self, *, name: str,
+                 keywords: tuple[str, ...],
+                 buckets: tuple[tuple[RequestFilter, ...], ...],
+                 fallback: tuple[RequestFilter, ...],
+                 automaton: KeywordAutomaton) -> None:
+        if len(keywords) != len(buckets):
+            raise ValueError("one bucket per keyword required")
+        self.name = name
+        self.automaton = automaton
+        self._keywords = keywords
+        self._buckets = buckets
+        self._fallback = fallback
+        encoded = [keyword.encode("ascii") for keyword in keywords]
+        # A plain set (not frozenset): ``set.intersection`` then returns
+        # a mutable set the multi-hit assembler can drain in place.
+        self._kwset = set(encoded)
+        # Single-hit probes (the overwhelmingly common non-empty case)
+        # return one precomputed ``bucket + fallback`` tuple: memory is
+        # O(buckets x fallback) pointers, traded for zero per-probe
+        # concatenation.  ``_raw`` keeps the bare buckets for the rare
+        # multi-hit assembly.
+        self._single = {token: bucket + fallback
+                        for token, bucket in zip(encoded, buckets)}
+        self._raw = dict(zip(encoded, buckets))
+        self._bucket_of = {id(flt): kid
+                           for kid, bucket in enumerate(buckets)
+                           for flt in bucket}
+        self._bucket_of.update((id(flt), -1) for flt in fallback)
+        self._count = sum(map(len, buckets)) + len(fallback)
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def compile(cls, index: FilterIndex,
+                name: str = "index") -> "CompiledFilterIndex":
+        """Compile a built ``FilterIndex`` (bucket order preserved)."""
+        keywords = tuple(index._by_keyword)
+        buckets = tuple(tuple(bucket)
+                        for bucket in index._by_keyword.values())
+        fallback = tuple(index._fallback)
+        automaton = KeywordAutomaton.build(
+            keyword.encode("ascii") for keyword in keywords)
+        compiled = cls(name=name, keywords=keywords, buckets=buckets,
+                       fallback=fallback, automaton=automaton)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("filters.index.automaton_builds",
+                        index=name, source="compile").inc()
+            reg.gauge("filters.index.automaton_states",
+                      index=name).set(automaton.states)
+        return compiled
+
+    @classmethod
+    def from_parts(cls, *, name: str, keywords: Sequence[str],
+                   buckets: Sequence[Sequence[RequestFilter]],
+                   fallback: Sequence[RequestFilter],
+                   automaton: KeywordAutomaton) -> "CompiledFilterIndex":
+        """Assemble from deserialized parts (no automaton rebuild)."""
+        compiled = cls(name=name, keywords=tuple(keywords),
+                       buckets=tuple(tuple(b) for b in buckets),
+                       fallback=tuple(fallback), automaton=automaton)
+        if OBS.enabled:
+            reg = OBS.registry
+            reg.counter("filters.index.automaton_builds",
+                        index=name, source="artifact").inc()
+            reg.gauge("filters.index.automaton_states",
+                      index=name).set(automaton.states)
+        return compiled
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __iter__(self) -> Iterator[RequestFilter]:
+        for bucket in self._buckets:
+            yield from bucket
+        yield from self._fallback
+
+    @property
+    def keywords(self) -> tuple[str, ...]:
+        return self._keywords
+
+    @property
+    def fallback(self) -> tuple[RequestFilter, ...]:
+        return self._fallback
+
+    def bucket_filters(self, keyword_id: int) -> tuple[RequestFilter, ...]:
+        return self._buckets[keyword_id]
+
+    def bucket_of(self, flt: RequestFilter) -> int:
+        """Bucket id holding ``flt`` (``-1`` = fallback); serialization."""
+        return self._bucket_of[id(flt)]
+
+    def stats(self) -> dict[str, int]:
+        """Size figures for health endpoints and the CLI."""
+        return {"filters": self._count,
+                "keywords": len(self._keywords),
+                "fallback": len(self._fallback),
+                **{f"automaton_{key}": value
+                   for key, value in self.automaton.stats().items()
+                   if key != "keywords"}}
+
+    # -- probing -------------------------------------------------------
+
+    def candidates(self, url: str) -> Sequence[RequestFilter]:
+        """Candidate filters for ``url``, as a reusable sequence.
+
+        Same completeness guarantee and same ordering as
+        :meth:`FilterIndex.candidates`; the zero- and single-hit cases
+        return prebuilt tuples, so callers may iterate them repeatedly
+        without re-probing.
+        """
+        if OBS.enabled:
+            return self._instrumented_candidates(url)
+        if url.isascii():
+            toks = url.encode("ascii").translate(TOKEN_TABLE).split()
+            hits = self._kwset.intersection(toks)
+        else:
+            toks = [token.encode("ascii")
+                    for token in _url_tokens(url)]
+            hits = self._kwset.intersection(toks)
+        if not hits:
+            return self._fallback
+        if len(hits) == 1:
+            # ``hits`` is a fresh mutable set; pop() beats building an
+            # iterator just to read the lone element.
+            return self._single[hits.pop()]
+        return self._multi_hit(toks, hits)
+
+    def _multi_hit(self, toks: Sequence[bytes],
+                   pending: set[bytes]) -> Sequence[RequestFilter]:
+        """Assemble a multi-bucket answer in first-occurrence order."""
+        parts: list[tuple[RequestFilter, ...]] = []
+        raw = self._raw
+        for token in toks:
+            if token in pending:
+                pending.discard(token)
+                parts.append(raw[token])
+                if not pending:
+                    break
+        parts.append(self._fallback)
+        return _MultiCandidates(tuple(parts))
+
+    def _instrumented_candidates(self, url: str) -> Sequence[RequestFilter]:
+        """:meth:`candidates` plus ``filters.index.*`` accounting.
+
+        Probes the *identical* bucket sequence as the fast path (same
+        driver, same ordering); ``bucket_misses`` counts distinct
+        keyword-eligible tokens (length >= 3) absent from the index,
+        and ``automaton_transitions`` counts the symbols the probe
+        drives through the completed automaton — one transition per
+        byte of every distinct token offered.
+        """
+        if url.isascii():
+            raw_tokens = url.encode("ascii").translate(TOKEN_TABLE).split()
+            distinct = [token for token in dict.fromkeys(raw_tokens)
+                        if len(token) >= 3]
+        else:
+            raw_tokens = distinct = [token.encode("ascii")
+                                     for token in _url_tokens(url)]
+        kwset = self._kwset
+        order = [token for token in distinct if token in kwset]
+        reg = OBS.registry
+        reg.counter("filters.index.probes").inc()
+        reg.counter("filters.index.bucket_hits").inc(len(order))
+        reg.counter("filters.index.bucket_misses").inc(
+            len(distinct) - len(order))
+        reg.counter("filters.index.automaton_transitions").inc(
+            sum(map(len, distinct)))
+        raw = self._raw
+        yielded = sum(len(raw[token]) for token in order)
+        reg.counter("filters.index.candidates_yielded").inc(
+            yielded + len(self._fallback))
+        if self._fallback:
+            reg.counter("filters.index.fallback_scanned").inc(
+                len(self._fallback))
+        if not order:
+            return self._fallback
+        if len(order) == 1:
+            return self._single[order[0]]
+        out: list[RequestFilter] = []
+        for token in order:
+            out.extend(raw[token])
+        out.extend(self._fallback)
+        return out
+
+    # -- matching ------------------------------------------------------
+
+    def match_first(
+        self,
+        url: str,
+        content_type: ContentType,
+        page_host: str,
+        request_host: str,
+        *,
+        sitekey: str | None = None,
+    ) -> RequestFilter | None:
+        """First matching filter, or ``None``."""
+        for flt in self.candidates(url):
+            if flt.matches(url, content_type, page_host, request_host,
+                           sitekey=sitekey):
+                return flt
+        return None
+
+    def match_all(
+        self,
+        url: str,
+        content_type: ContentType,
+        page_host: str,
+        request_host: str,
+        *,
+        sitekey: str | None = None,
+    ) -> list[RequestFilter]:
+        """Every matching filter (the survey records all activations)."""
+        return [
+            flt
+            for flt in self.candidates(url)
+            if flt.matches(url, content_type, page_host, request_host,
+                           sitekey=sitekey)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"CompiledFilterIndex({self.name!r}, "
+                f"filters={self._count}, "
+                f"keywords={len(self._keywords)}, "
+                f"fallback={len(self._fallback)})")

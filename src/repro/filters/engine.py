@@ -132,7 +132,7 @@ class EngineSnapshot:
                  "element_exceptions", "lists", "epoch",
                  "_list_of_filter", "_privilege_cache")
 
-    def __init__(self, *, blocking: FilterIndex, exceptions: FilterIndex,
+    def __init__(self, *, blocking, exceptions,
                  element_hide: list[tuple[str, ElementFilter]],
                  element_exceptions: list[tuple[str, ElementFilter]],
                  lists: tuple[FilterList, ...],
@@ -171,6 +171,21 @@ class EngineSnapshot:
     def filter_count(self) -> int:
         """Total active filters compiled into this snapshot."""
         return sum(len(fl) for fl in self.lists)
+
+    def compiled_stats(self) -> dict[str, dict[str, int]]:
+        """Per-index size figures (``/healthz``, the compile-index CLI).
+
+        Empty when the snapshot's indexes are not compiled (only
+        possible for hand-assembled snapshots; :meth:`build` and
+        :meth:`AdblockEngine.freeze` always compile).
+        """
+        stats: dict[str, dict[str, int]] = {}
+        for name in ("blocking", "exceptions"):
+            index = getattr(self, name)
+            stats_fn = getattr(index, "stats", None)
+            if callable(stats_fn):
+                stats[name] = stats_fn()
+        return stats
 
     def session(self, record: bool = False) -> "AdblockEngine":
         """A thin mutable consultation layer over this snapshot."""
@@ -256,8 +271,24 @@ class AdblockEngine:
         snapshot.  After freezing, :meth:`subscribe` raises
         :class:`FrozenEngineError`; the engine itself keeps working as
         a session over its own snapshot.
+
+        Freezing is also where the keyword indexes are *compiled*: the
+        mutable :class:`FilterIndex` pair becomes a pair of read-only
+        :class:`~repro.filters.compiled.index.CompiledFilterIndex`
+        (packed keyword automaton + prebuilt candidate tuples), and the
+        engine rebinds to them so its own probes take the compiled hot
+        path too.  Candidate ordering is preserved byte-for-byte.
         """
         if self._snapshot is None:
+            # Imported here, not at module level: the compiled package's
+            # artifact module imports EngineSnapshot from this module.
+            from repro.filters.compiled.index import CompiledFilterIndex
+            if isinstance(self._blocking, FilterIndex):
+                self._blocking = CompiledFilterIndex.compile(
+                    self._blocking, name="blocking")
+            if isinstance(self._exceptions, FilterIndex):
+                self._exceptions = CompiledFilterIndex.compile(
+                    self._exceptions, name="exceptions")
             self._snapshot = EngineSnapshot(
                 blocking=self._blocking,
                 exceptions=self._exceptions,

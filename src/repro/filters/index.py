@@ -36,6 +36,13 @@ smallest, breaking ties toward the *longest* keyword (rarer in URLs, so
 probed less often).  Insertion order therefore shapes the buckets —
 see the method docstring for the exact tie-breaking doctest.
 
+``FilterIndex`` is the *build-time* structure; freezing an engine
+compiles it into the read-only
+:class:`~repro.filters.compiled.index.CompiledFilterIndex` (packed
+keyword automaton, prebuilt candidate tuples), which preserves both
+semantics above byte-for-byte — the differential-fuzz suite holds the
+two implementations equal.
+
 When observability is enabled (:mod:`repro.obs`), every probe records
 bucket hit/miss counts and fallback scan sizes under
 ``filters.index.*``; with the default null registry the only cost is
@@ -46,30 +53,29 @@ from __future__ import annotations
 
 import re
 from collections import defaultdict
-from functools import lru_cache
 from typing import Iterable, Iterator
 
 from repro.filters.options import ContentType
 from repro.filters.parser import RequestFilter
 from repro.obs import OBS
-from repro.parallel.caches import register_process_cache
 
 __all__ = ["FilterIndex"]
 
 _URL_KEYWORD_RE = re.compile(r"[a-z0-9%]{3,}")
 
 
-@register_process_cache
-@lru_cache(maxsize=8192)
 def _url_tokens(url: str) -> tuple[str, ...]:
     """The URL's distinct keyword tokens, first-occurrence order.
 
     One probe tokenises the URL exactly once; the dedup that
     :meth:`FilterIndex.candidates` used to do per probe with a seen-set
-    is folded into the token tuple itself.  Cached because a page visit
-    probes both the blocking and the exception index with the same URL
-    (and ad-network URLs repeat across pages), and registered as a
-    process cache so forked workers stay bounded.
+    is folded into the token tuple itself.  This used to be an
+    ``lru_cache``-backed process cache; the cache (and its per-worker
+    re-warming after ``fork``) is gone now that frozen engines probe
+    through :class:`~repro.filters.compiled.index.CompiledFilterIndex`,
+    which tokenises with C-level byte primitives and needs no memo.
+    The uncached path here serves the mutable build-time index (tests,
+    unfrozen engines) and the compiled index's non-ASCII detour.
     """
     return tuple(dict.fromkeys(_URL_KEYWORD_RE.findall(url.lower())))
 
@@ -152,13 +158,11 @@ class FilterIndex:
         unconditionally (see the module docstring).
         """
         if not OBS.enabled:
-            # The bare fast path: this is the hottest loop in the whole
-            # survey, so the disabled cost of observability is exactly
-            # the one flag check above.  Keyword extraction only emits
-            # separator-delimited tokens, so every matching filter's
-            # keyword appears as a full token of the URL; probing each
-            # distinct token (tokenised once, cached) covers all
-            # candidate buckets.
+            # The bare fast path of the *mutable* index (frozen engines
+            # probe the compiled index instead).  Keyword extraction
+            # only emits separator-delimited tokens, so every matching
+            # filter's keyword appears as a full token of the URL;
+            # probing each distinct token covers all candidate buckets.
             by_keyword = self._by_keyword
             for word in _url_tokens(url):
                 bucket = by_keyword.get(word)
@@ -173,21 +177,20 @@ class FilterIndex:
 
         Counts are recorded eagerly (before any bucket is yielded), so a
         caller that stops at the first match still leaves an accurate
-        probe record behind.  ``bucket_hits`` counts distinct matching
-        buckets; ``bucket_misses`` counts URL tokens (with multiplicity)
-        absent from the index.
+        probe record behind.  Tokenisation goes through the same
+        :func:`_url_tokens` as the fast path — enabled and disabled
+        observability probe *identical* bucket sequences — so
+        ``bucket_hits`` and ``bucket_misses`` both count **distinct**
+        URL tokens (hits: present in the index; misses: absent).
         """
         reg = OBS.registry
         hits = 0
         misses = 0
         probe_order: list[str] = []
-        seen_buckets: set[str] = set()
-        for word in _URL_KEYWORD_RE.findall(url.lower()):
+        for word in _url_tokens(url):
             if word in self._by_keyword:
-                if word not in seen_buckets:
-                    seen_buckets.add(word)
-                    probe_order.append(word)
-                    hits += 1
+                probe_order.append(word)
+                hits += 1
             else:
                 misses += 1
         reg.counter("filters.index.probes").inc()

@@ -2,10 +2,12 @@
 
 The hot paths memoize aggressively — ``repro.web.url`` caches
 public-suffix reductions, ``repro.filters.pattern`` caches compiled
-patterns and keyword candidates, ``repro.filters.index`` caches URL
-tokenisations.  All of those are process-local ``functools.lru_cache``
-tables, which interact badly with ``fork``-based parallelism in two
-ways:
+patterns and keyword candidates.  (URL tokenisation used to be cached
+here too; the compiled filter index —
+:mod:`repro.filters.compiled` — tokenises with C-level byte primitives
+and needs no memo, so that cache is gone.)  The survivors are
+process-local ``functools.lru_cache`` tables, which interact badly
+with ``fork``-based parallelism in two ways:
 
 * a forked worker inherits the parent's cache *contents* (copy-on-write
   pages that become private the moment the worker touches them, so a

@@ -22,6 +22,13 @@ scheduling order — because every unit is executed shared-nothing:
   merging, so a live result and a journal-restored one are the same
   object shape down to the byte.
 
+**Engine sharing.**  The parent's engine is frozen before the pool
+forks, so each worker inherits the compiled filter indexes
+(:mod:`repro.filters.compiled`: packed automaton arrays, prebuilt
+candidate tuples) as read-only copy-on-write pages.  Workers never
+write them — there is no per-worker tokeniser cache left to warm, so
+the pages stay physically shared for the lifetime of the pool.
+
 **Durability.**  When a checkpoint is given, each worker appends its
 completed units to a private *shard journal*
 (``<checkpoint>.shardNNN``, same checksummed format as the main

@@ -250,6 +250,7 @@ class ServeDaemon:
             "status": "ok",
             "epoch": snapshot.epoch,
             "filters": snapshot.filter_count,
+            "compiled": snapshot.compiled_stats(),
             "draining": self.draining,
             "reload": self.reloader.state(),
         }

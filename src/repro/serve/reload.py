@@ -20,7 +20,12 @@ construction:
 
 Each successful swap persists its source lists to the epoch-keyed
 :class:`~repro.state.snapshots.SnapshotStore` (when one is attached),
-so a daemon restart reloads exactly the epoch it last served.
+plus the compiled filter-index artifact
+(:mod:`repro.filters.compiled.artifact`) keyed by the same epoch and
+content fingerprint — so a daemon restart, or a reload back to
+previously served lists, skips keyword-bucket assignment and automaton
+construction and adopts the prebuilt tables instead (falling back to a
+from-scratch build on any artifact problem).
 
 >>> from repro.serve.reload import SnapshotHolder, Reloader
 >>> holder = SnapshotHolder.from_sources([("easylist", "||ads.example^")])
@@ -35,15 +40,21 @@ so a daemon restart reloads exactly the epoch it last served.
 
 from __future__ import annotations
 
+import functools
 import threading
 from dataclasses import dataclass
 from typing import Iterable, Sequence
 
+from repro.filters.compiled import (
+    CompiledArtifactError,
+    parse_artifact,
+    serialize_artifact,
+)
 from repro.filters.engine import EngineSnapshot
 from repro.filters.filterlist import parse_filter_list
 from repro.obs import OBS
 from repro.state.crashpoints import crashpoint
-from repro.state.snapshots import SnapshotStore
+from repro.state.snapshots import SnapshotStore, content_fingerprint
 
 __all__ = [
     "ReloadError",
@@ -51,6 +62,7 @@ __all__ = [
     "SnapshotHolder",
     "Reloader",
     "build_snapshot_from_sources",
+    "persist_snapshot_artifact",
     "validate_sources",
 ]
 
@@ -96,16 +108,68 @@ def validate_sources(sources: Sequence[tuple[str, str]]) -> None:
 
 
 def build_snapshot_from_sources(
-        sources: Sequence[tuple[str, str]]) -> EngineSnapshot:
+        sources: Sequence[tuple[str, str]],
+        store: SnapshotStore | None = None) -> EngineSnapshot:
     """Validate and compile ``(name, text)`` sources into a snapshot.
+
+    With a ``store`` attached, the compiled filter-index artifact keyed
+    by the sources' content fingerprint is tried first: a hit skips
+    keyword-bucket assignment and automaton construction entirely (the
+    lists are still parsed and validated — the artifact carries *index
+    structure*, not filter semantics).  Any artifact problem — absent,
+    corrupt, stale — falls back to the from-scratch build, so the
+    artifact path can only ever make a reload faster, never wronger.
 
     The ``serve.reload.build`` crashpoint lets the chaos harness kill
     the builder mid-compile and prove the old epoch keeps serving.
     """
     validate_sources(sources)
     crashpoint("serve.reload.build")
-    return EngineSnapshot.build(
-        [parse_filter_list(text, name=name) for name, text in sources])
+    lists = [parse_filter_list(text, name=name) for name, text in sources]
+    if store is not None:
+        snapshot = _snapshot_from_artifact(sources, lists, store)
+        if snapshot is not None:
+            return snapshot
+    return EngineSnapshot.build(lists)
+
+
+def _snapshot_from_artifact(sources, lists, store):
+    """The artifact fast path; ``None`` means "build from scratch"."""
+    found = store.load_blob(content_fingerprint(sources))
+    if found is None:
+        _count_artifact_load("miss")
+        return None
+    _epoch, payload = found
+    try:
+        snapshot = parse_artifact(payload).build_snapshot(lists)
+    except CompiledArtifactError:
+        # parse/attach already counted the rejection under
+        # filters.index.automaton_artifact{event=rejected}.
+        return None
+    _count_artifact_load("hit")
+    return snapshot
+
+
+def _count_artifact_load(event: str) -> None:
+    if OBS.enabled:
+        OBS.registry.counter("filters.index.automaton_artifact",
+                             event=f"load_{event}").inc()
+
+
+def persist_snapshot_artifact(store: SnapshotStore,
+                              snapshot: EngineSnapshot,
+                              sources: Sequence[tuple[str, str]]) -> None:
+    """Save a swapped snapshot's sources *and* its compiled-index blob.
+
+    The blob shares the source snapshot's epoch + content-fingerprint
+    identity, so the next boot or reload of these exact lists loads the
+    prebuilt tables instead of re-deriving them.
+    """
+    store.save(snapshot.epoch, sources)
+    fingerprint = content_fingerprint(
+        [(str(name), str(text)) for name, text in sources])
+    store.save_blob(snapshot.epoch, fingerprint,
+                    serialize_artifact(snapshot, fingerprint=fingerprint))
 
 
 class SnapshotHolder:
@@ -125,9 +189,11 @@ class SnapshotHolder:
         self.generation = 0
 
     @classmethod
-    def from_sources(cls, sources: Sequence[tuple[str, str]]
+    def from_sources(cls, sources: Sequence[tuple[str, str]],
+                     store: SnapshotStore | None = None
                      ) -> "SnapshotHolder":
-        return cls(build_snapshot_from_sources(sources), sources)
+        """Boot a holder, loading the compiled artifact when available."""
+        return cls(build_snapshot_from_sources(sources, store), sources)
 
     def current(self) -> EngineSnapshot:
         with self._lock:
@@ -161,8 +227,10 @@ class Reloader:
         self.store = store
         #: The builder, as an instance attribute so the chaos harness
         #: can wedge it (block it mid-build) without monkeypatching
-        #: the module.
-        self._build = build_snapshot_from_sources
+        #: the module.  The store rides along so repeat reloads of
+        #: already-compiled lists take the artifact fast path.
+        self._build = functools.partial(build_snapshot_from_sources,
+                                        store=store)
         self._build_lock = threading.Lock()
         self._state_lock = threading.Lock()
         self._state = "idle"
@@ -226,7 +294,7 @@ class Reloader:
                 raise
             self.holder.swap(candidate, sources)
             if self.store is not None:
-                self.store.save(candidate.epoch, sources)
+                persist_snapshot_artifact(self.store, candidate, sources)
             result = ReloadResult(status="swapped", epoch=candidate.epoch,
                                   filters=candidate.filter_count)
             self._count(result)

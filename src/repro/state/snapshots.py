@@ -50,14 +50,16 @@ from typing import Iterable, Sequence
 
 from repro.state.atomic import (
     ArtifactError,
+    atomic_write_bytes,
     atomic_write_jsonl,
     atomic_write_text,
     read_jsonl,
 )
 
-__all__ = ["SnapshotStore", "SnapshotStoreError"]
+__all__ = ["SnapshotStore", "SnapshotStoreError", "content_fingerprint"]
 
 _NAME_RE = re.compile(r"^epoch-(\d{8})-([0-9a-f]{8})\.jsonl$")
+_BLOB_KIND_RE = re.compile(r"^[a-z][a-z0-9]{0,15}$")
 _CURRENT = "CURRENT"
 
 
@@ -65,12 +67,26 @@ class SnapshotStoreError(ValueError):
     """Raised for missing epochs or malformed snapshot artifacts."""
 
 
-def _fingerprint(lists: Sequence[tuple[str, str]]) -> str:
+def content_fingerprint(lists: Sequence[tuple[str, str]]) -> str:
+    """8-hex-char content identity of ordered ``(name, text)`` sources.
+
+    This is the fingerprint embedded in snapshot artifact filenames;
+    derived artifacts (the compiled filter-index blob foremost) key on
+    it too, so "same bytes in → same artifact name" holds across every
+    producer.
+
+    >>> content_fingerprint([("easylist", "||ads.example^")])
+    '97c15abe'
+    """
     digest = hashlib.sha256()
     for name, text in lists:
         digest.update(name.encode("utf-8") + b"\x00")
         digest.update(text.encode("utf-8") + b"\x00")
     return digest.hexdigest()[:8]
+
+
+# Backwards-compatible private alias (pre-compiled-index callers).
+_fingerprint = content_fingerprint
 
 
 class SnapshotStore:
@@ -105,6 +121,57 @@ class SnapshotStore:
         atomic_write_text(os.path.join(self.directory, _CURRENT),
                           filename + "\n")
         return path
+
+    # -- derived sidecar blobs -----------------------------------------
+
+    def _blob_name(self, epoch: int, fingerprint: str, kind: str) -> str:
+        if not _BLOB_KIND_RE.match(kind):
+            raise SnapshotStoreError(f"bad blob kind {kind!r}")
+        return f"epoch-{epoch:08d}-{fingerprint}.{kind}"
+
+    def save_blob(self, epoch: int, fingerprint: str, payload: bytes,
+                  *, kind: str = "cidx") -> str:
+        """Persist a derived binary artifact beside its source snapshot.
+
+        The compiled filter-index artifact
+        (:mod:`repro.filters.compiled.artifact`) is the flagship user:
+        it is a pure function of the epoch's source lists, so it shares
+        the snapshot's ``epoch`` + ``fingerprint`` identity and lives in
+        the same directory as an ``epoch-XXXXXXXX-ffffffff.<kind>``
+        sidecar.  The store treats the payload as opaque bytes —
+        internal integrity (CRC, versioning) belongs to the format
+        owner; the write itself is atomic like every other artifact.
+        """
+        path = os.path.join(self.directory,
+                            self._blob_name(epoch, fingerprint, kind))
+        atomic_write_bytes(path, payload)
+        return path
+
+    def load_blob(self, fingerprint: str,
+                  *, kind: str = "cidx") -> tuple[int, bytes] | None:
+        """The ``(epoch, payload)`` sidecar for ``fingerprint``, if any.
+
+        Keyed on content fingerprint alone: a reload back to previously
+        served lists finds the blob regardless of which epoch number is
+        currently serving.  Returns ``None`` when absent (callers fall
+        back to building from source); an unreadable blob is surfaced
+        as :class:`SnapshotStoreError`.
+        """
+        pattern = re.compile(
+            r"^epoch-(\d{8})-" + re.escape(fingerprint)
+            + r"\." + re.escape(kind) + r"$")
+        matches = sorted(
+            (name, match) for name in os.listdir(self.directory)
+            if (match := pattern.match(name)))
+        if not matches:
+            return None
+        name, match = matches[-1]
+        try:
+            with open(os.path.join(self.directory, name), "rb") as handle:
+                return int(match.group(1)), handle.read()
+        except OSError as exc:
+            raise SnapshotStoreError(
+                f"unreadable snapshot blob {name}: {exc}") from exc
 
     # -- reading -------------------------------------------------------
 

@@ -85,6 +85,50 @@ class TestIndexCompleteness:
         assert found == [flt]
 
 
+class TestInstrumentedTokenisationParity:
+    """Regression: the instrumented probe must tokenise exactly like the
+    fast path (``_url_tokens``: distinct tokens, first-occurrence order),
+    not re-run its own regex with per-occurrence accounting."""
+
+    # 'ads' occurs three times, 'cdn' twice: 5 raw token occurrences,
+    # 3 distinct tokens ('ads', 'cdn', 'http' ... plus hosts/paths).
+    URL = "http://ads.cdn.example/ads/cdn/ads?x=1"
+
+    def make_index(self):
+        return FilterIndex([rf("||ads.cdn.example^"), rf("/fall[0-9]/")])
+
+    def test_enabled_and_disabled_probe_identical_sequences(self):
+        from repro.obs import observe
+        index = self.make_index()
+        bare = list(index.candidates(self.URL))
+        with observe():
+            instrumented = list(index.candidates(self.URL))
+        assert instrumented == bare
+        # Repeated-token URL must not duplicate the bucket's filters.
+        assert [f.text for f in bare] == ["||ads.cdn.example^",
+                                          "/fall[0-9]/"]
+
+    def test_hit_miss_counters_count_distinct_tokens(self):
+        from repro.filters.index import _url_tokens
+        from repro.obs import observe
+        index = self.make_index()
+        distinct = _url_tokens(self.URL)
+        assert len(distinct) == len(set(distinct))
+        with observe() as (registry, _):
+            list(index.candidates(self.URL))
+        flat = registry.flat()
+        assert flat["filters.index.bucket_hits"] == 1   # the one keyword
+        assert (flat["filters.index.bucket_hits"]
+                + flat["filters.index.bucket_misses"]) == len(distinct)
+
+    def test_url_tokens_is_plain_and_distinct(self):
+        from repro.filters.index import _url_tokens
+        tokens = _url_tokens(self.URL)
+        assert tokens == ("http", "ads", "cdn", "example")
+        # No lru_cache wrapper left: nothing to re-warm after fork.
+        assert not hasattr(_url_tokens, "cache_info")
+
+
 def _host(url: str) -> str:
     from repro.web.url import parse_url
 

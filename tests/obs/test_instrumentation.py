@@ -81,6 +81,57 @@ class TestIndexInstrumentation:
         assert instrumented == bare
 
 
+class TestCompiledIndexInstrumentation:
+    def make_compiled(self):
+        from repro.filters.compiled.index import CompiledFilterIndex
+        index = FilterIndex([parse_filter("||adzerk.net^"),
+                             parse_filter("||doubleclick.net/ads"),
+                             parse_filter("/banner[0-9]+/")])
+        return CompiledFilterIndex.compile(index, name="blocking")
+
+    def test_compile_records_builds_and_states(self):
+        with observe() as (registry, _):
+            compiled = self.make_compiled()
+        flat = registry.flat()
+        assert flat["filters.index.automaton_builds"
+                    "{index=blocking,source=compile}"] == 1
+        assert flat["filters.index.automaton_states{index=blocking}"] == \
+            compiled.automaton.states
+
+    def test_probe_counts_transitions_over_distinct_tokens(self):
+        compiled = self.make_compiled()
+        url = "http://adzerk.net/ads/adzerk"   # 'adzerk' repeats
+        with observe() as (registry, _):
+            candidates = list(compiled.candidates(url))
+        assert candidates  # keyword bucket + fallback
+        flat = registry.flat()
+        assert flat["filters.index.probes"] == 1
+        # One transition per byte of each *distinct* token: http,
+        # adzerk, net, ads.
+        assert flat["filters.index.automaton_transitions"] == \
+            len("http") + len("adzerk") + len("net") + len("ads")
+        assert flat["filters.index.bucket_hits"] == 1
+        assert flat["filters.index.bucket_misses"] == 3
+        assert flat["filters.index.fallback_scanned"] == 1
+
+    def test_artifact_load_events(self, tmp_path):
+        from repro.serve.reload import (build_snapshot_from_sources,
+                                        persist_snapshot_artifact)
+        from repro.state.snapshots import SnapshotStore
+        store = SnapshotStore(str(tmp_path / "store"))
+        sources = [("easylist", "||ads.example^")]
+        with observe() as (registry, _):
+            snapshot = build_snapshot_from_sources(sources, store)
+            persist_snapshot_artifact(store, snapshot, sources)
+            build_snapshot_from_sources(sources, store)
+        flat = registry.flat()
+        assert flat["filters.index.automaton_artifact"
+                    "{event=load_miss}"] == 1
+        assert flat["filters.index.automaton_artifact{event=saved}"] == 1
+        assert flat["filters.index.automaton_artifact"
+                    "{event=load_hit}"] == 1
+
+
 class TestEngineInstrumentation:
     def make_engine(self) -> AdblockEngine:
         engine = AdblockEngine()

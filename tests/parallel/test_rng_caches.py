@@ -66,9 +66,17 @@ class TestProcessCaches:
         for expected in ("repro.web.url.public_suffix",
                          "repro.web.url.registered_domain",
                          "repro.filters.pattern.compile_pattern",
-                         "repro.filters.pattern.keyword_candidates",
-                         "repro.filters.index._url_tokens"):
+                         "repro.filters.pattern.keyword_candidates"):
             assert expected in registered
+
+    def test_url_tokeniser_is_not_a_process_cache(self):
+        # The compiled filter index replaced the lru_cache-backed URL
+        # tokeniser: nothing left to re-warm (or clear) after fork.
+        import repro.filters.index  # ensure the module has registered
+        registered = {f"{c.__module__}.{c.__qualname__}"
+                      for c in registered_caches()}
+        assert "repro.filters.index._url_tokens" not in registered
+        assert not hasattr(repro.filters.index._url_tokens, "cache_clear")
 
     def test_reset_clears_registered_caches(self):
         cache = _url_cache()
