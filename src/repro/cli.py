@@ -15,6 +15,8 @@ Usage::
     python -m repro blockable reddit.com  # Blockable Items panel
     python -m repro obs summary run.jsonl # re-render a run's summary
     python -m repro obs diff A B          # perf gate: compare two runs
+    python -m repro obs watch ts.jsonl    # live telemetry view
+    python -m repro obs flight dump.jsonl # post-mortem event sequence
     python -m repro serve --port 8791     # filter-match serving daemon
 
 Heavy stages honour ``--fast`` (small demo RSA keys) and the scale
@@ -24,6 +26,7 @@ flags, so everything is runnable on a laptop in seconds to minutes.
 from __future__ import annotations
 
 import argparse
+import signal
 import sys
 
 from repro.core.study import AcceptableAdsStudy, StudyConfig
@@ -45,6 +48,25 @@ def build_parser() -> argparse.ArgumentParser:
                         help="record nested timing spans and write them "
                              "as JSON lines to PATH; also prints the "
                              "observability summary table")
+    common.add_argument("--timeseries-out", metavar="PATH", default=None,
+                        help="stream periodic metric snapshots (one "
+                             "sample per tick) to size-rotated JSONL "
+                             "segments PATH.000, PATH.001, ...; watch "
+                             "live with 'repro obs watch PATH'")
+    common.add_argument("--timeseries-interval", type=float, default=1.0,
+                        metavar="SECONDS",
+                        help="seconds between time-series samples "
+                             "(simulated seconds for survey/history "
+                             "runs, wall seconds for serve; default 1)")
+    common.add_argument("--flight-out", metavar="PATH", default=None,
+                        help="keep a bounded ring of lifecycle events "
+                             "and dump it to PATH on crash, SIGUSR2, "
+                             "or exit ('repro obs flight PATH' renders "
+                             "it)")
+    common.add_argument("--flight-capacity", type=int, default=None,
+                        metavar="N",
+                        help="flight-recorder ring capacity "
+                             "(default 2048)")
     common.add_argument("--checkpoint", metavar="PATH", default=None,
                         help="journal completed units of work (history "
                              "revisions, crawled targets) to PATH so a "
@@ -214,6 +236,45 @@ def build_parser() -> argparse.ArgumentParser:
                       metavar="GLOB", dest="metric",
                       help="restrict the gate to metrics matching this "
                            "fnmatch pattern (repeatable)")
+    diff.add_argument("--json", action="store_true",
+                      help="emit the full report as one JSON document "
+                           "(machine-readable; same exit codes)")
+
+    watch = obs_sub.add_parser(
+        "watch", help="live view of a --timeseries-out export: latest "
+                      "sample, progress/ETA, worker table")
+    watch.add_argument("path", metavar="PATH",
+                       help="the --timeseries-out base path")
+    watch.add_argument("--once", action="store_true",
+                       help="render one frame and exit (CI smoke mode)")
+    watch.add_argument("--interval", type=float, default=2.0,
+                       metavar="SECONDS",
+                       help="refresh period (default 2)")
+    watch.add_argument("--metric", action="append", default=None,
+                       metavar="GLOB", dest="metric",
+                       help="only show metrics matching this fnmatch "
+                            "pattern (repeatable)")
+
+    timeline = obs_sub.add_parser(
+        "timeline", help="sparkline selected metrics across every tick "
+                         "of a --timeseries-out export")
+    timeline.add_argument("path", metavar="PATH")
+    timeline.add_argument("--metric", action="append", default=None,
+                          metavar="GLOB", dest="metric",
+                          help="metrics to plot (fnmatch, repeatable; "
+                               "default: run.progress.* gauges)")
+    timeline.add_argument("--width", type=int, default=60,
+                          help="sparkline width in characters")
+
+    flight = obs_sub.add_parser(
+        "flight", help="render a flight-recorder dump: the event "
+                       "sequence that led to a crash or drain")
+    flight.add_argument("path", metavar="PATH",
+                        help="the --flight-out dump file")
+    flight.add_argument("--kind", action="append", default=None,
+                        metavar="GLOB", dest="kind",
+                        help="only show events whose kind matches this "
+                             "fnmatch pattern (repeatable)")
     return parser
 
 
@@ -514,7 +575,8 @@ def _cmd_serve(args, out) -> int:
                         max_queue=args.max_queue,
                         default_deadline_ms=args.deadline_ms,
                         drain_timeout_s=args.drain_timeout,
-                        allow_test_delay=args.allow_test_delay),
+                        allow_test_delay=args.allow_test_delay,
+                        telemetry_interval_s=args.timeseries_interval),
             reloader=Reloader(holder, store=store))
         daemon.install_signal_handlers()
         host, port = daemon.start()
@@ -636,6 +698,158 @@ def _obs_spans(artifacts) -> list[dict]:
     return [record for artifact in artifacts for record in artifact.spans]
 
 
+def _obs_diff_json(report, out) -> int:
+    """The machine-readable diff the CI perf-gate consumes.
+
+    ``relative`` can be infinite (zero baseline moving); JSON has no
+    Infinity, so non-finite values are serialised as strings (``"inf"``)
+    and the document stays loadable by any strict parser.
+    """
+    import json
+    import math
+
+    def jsonable(value):
+        if value is None or math.isfinite(value):
+            return value
+        return str(value)           # "inf" / "-inf" / "nan"
+
+    document = {
+        "tolerance": report.tolerance,
+        "ok": report.ok,
+        "metrics": len(report.deltas),
+        "violations": len(report.violations),
+        "deltas": [{
+            "name": delta.name,
+            "baseline": delta.baseline,
+            "candidate": delta.candidate,
+            "relative": jsonable(delta.relative),
+            "violation": delta.violation,
+        } for delta in report.deltas],
+    }
+    out.write(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return 0 if report.ok else 1
+
+
+def _metric_selector(patterns):
+    from fnmatch import fnmatchcase
+
+    def selected(name: str) -> bool:
+        if not patterns:
+            return True
+        return any(fnmatchcase(name, pattern) for pattern in patterns)
+    return selected
+
+
+def _cmd_obs_watch(args, out) -> int:
+    """Render a --timeseries-out export, looping until interrupted."""
+    import time as time_module
+
+    from repro.obs.analyze import load_timeseries
+    from repro.reporting.tables import render_table
+    from repro.state.atomic import ArtifactError
+
+    selected = _metric_selector(args.metric)
+    try:
+        while True:
+            try:
+                series = load_timeseries(args.path)
+            except (OSError, ArtifactError) as exc:
+                out.write(f"error: {exc}\n")
+                return 2
+            latest = series.samples[-1] if series.samples else None
+            state = "sealed" if series.complete else "live"
+            run = f" run {series.run_id}" if series.run_id else ""
+            out.write(f"== {args.path}{run} — "
+                      f"{len(series.samples)} samples ({state})\n")
+            if latest is not None:
+                rows = [(name, value) for name, value
+                        in sorted(latest["metrics"].items())
+                        if selected(name)]
+                out.write(render_table(
+                    ("metric", "value"), rows,
+                    title=f"tick {latest['tick']} "
+                          f"@ t={latest['t_s']}s") + "\n")
+            if series.diagnostics:
+                diag = series.diagnostics[-1]
+                out.write(render_table(
+                    ("diagnostic", "value"),
+                    sorted(diag["metrics"].items()),
+                    title=f"execution (wall t={diag['t_s']}s)") + "\n")
+            if args.once:
+                return 0
+            if hasattr(out, "flush"):
+                out.flush()
+            time_module.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def _cmd_obs_timeline(args, out) -> int:
+    """Sparkline selected metrics across a time-series export's ticks."""
+    from repro.obs.analyze import load_timeseries
+    from repro.reporting.series import sparkline
+    from repro.state.atomic import ArtifactError
+
+    try:
+        series = load_timeseries(args.path)
+    except (OSError, ArtifactError) as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    if not series.samples:
+        out.write("(no samples)\n")
+        return 0
+    selected = _metric_selector(args.metric or ["run.progress.*"])
+    names = sorted({name for sample in series.samples
+                    for name in sample.get("metrics", {})
+                    if selected(name)})
+    if not names:
+        out.write("(no matching metrics)\n")
+        return 0
+    ticks = len(series.samples)
+    out.write(f"{args.path}: {ticks} ticks, "
+              f"t={series.samples[-1]['t_s']}s\n")
+    for name in names:
+        values, last = [], 0.0
+        for sample in series.samples:
+            last = sample["metrics"].get(name, last)
+            values.append(last)
+        out.write(f"  {name}\n    "
+                  f"{sparkline(values, width=args.width)}  "
+                  f"last={values[-1]}\n")
+    return 0
+
+
+def _cmd_obs_flight(args, out) -> int:
+    """Render one flight dump's event sequence."""
+    from repro.obs.analyze import load_flight
+    from repro.reporting.tables import render_table
+    from repro.state.atomic import ArtifactError
+
+    try:
+        dump = load_flight(args.path)
+    except (OSError, ArtifactError) as exc:
+        out.write(f"error: {exc}\n")
+        return 2
+    selected = _metric_selector(args.kind)
+    run = f" run {dump.run_id}" if dump.run_id else ""
+    out.write(f"flight dump {args.path}{run}: reason={dump.reason}, "
+              f"{len(dump.events)} events "
+              f"(capacity {dump.capacity}, dropped {dump.dropped})\n")
+    rows = []
+    for event in dump.events:
+        if not selected(event.get("kind", "")):
+            continue
+        attrs = ",".join(f"{key}={value}" for key, value
+                         in sorted(event.get("attrs", {}).items()))
+        rows.append((event.get("seq"), f"{event.get('t_s', 0.0):.3f}",
+                     event.get("kind", ""), attrs,
+                     event.get("span_id", "")))
+    out.write(render_table(
+        ("seq", "t_s", "kind", "attrs", "span"), rows,
+        title="event sequence (oldest first)") + "\n")
+    return 0
+
+
 def _cmd_obs(args, out) -> int:
     """Dispatch the ``repro obs`` analysis subcommands.
 
@@ -647,6 +861,13 @@ def _cmd_obs(args, out) -> int:
                                    diff_runs, slowest_spans)
     from repro.reporting.tables import render_summary_records, render_table
 
+    if args.obs_command == "watch":
+        return _cmd_obs_watch(args, out)
+    if args.obs_command == "timeline":
+        return _cmd_obs_timeline(args, out)
+    if args.obs_command == "flight":
+        return _cmd_obs_flight(args, out)
+
     if args.obs_command == "diff":
         loaded = _obs_load([args.baseline, args.candidate], out)
         if loaded is None:
@@ -654,6 +875,8 @@ def _cmd_obs(args, out) -> int:
         baseline, candidate = loaded
         report = diff_runs(baseline.flat, candidate.flat,
                            tolerance=args.tolerance, metrics=args.metric)
+        if args.json:
+            return _obs_diff_json(report, out)
         rows = []
         for delta in report.deltas:
             change = ("" if delta.relative is None
@@ -745,7 +968,9 @@ _COMMANDS = {
 #: cross-worker trace-identity guarantee hangs off).
 _RUN_ID_EXCLUDE = {"workers", "scheduler", "lease_size",
                    "max_worker_restarts", "checkpoint", "resume",
-                   "metrics_out", "trace"}
+                   "metrics_out", "trace", "timeseries_out",
+                   "timeseries_interval", "flight_out",
+                   "flight_capacity"}
 
 
 def _derive_run_id(args) -> str:
@@ -801,29 +1026,86 @@ def main(argv: list[str] | None = None, out=None) -> int:
     try:
         metrics_out = getattr(args, "metrics_out", None)
         trace_out = getattr(args, "trace", None)
-        if not metrics_out and not trace_out:
+        timeseries_out = getattr(args, "timeseries_out", None)
+        flight_out = getattr(args, "flight_out", None)
+        if not (metrics_out or trace_out or timeseries_out or flight_out):
             return command(args, out)
 
         # Observability requested: run the command under a live registry
-        # and tracer, export JSON lines, and finish with the summary
-        # table.
-        from repro.obs import JsonLinesExporter, observe, summary_table
+        # and tracer (plus the opt-in telemetry plane), export JSON
+        # lines, and finish with the summary table.
+        from repro.obs import (DEFAULT_FLIGHT_CAPACITY, FlightRecorder,
+                               JsonLinesExporter, RotatingJsonlExporter,
+                               TimeSeriesSampler, observe, summary_table)
 
         run_id = _derive_run_id(args)
-        with observe(run_id=run_id) as (registry, tracer):
-            status = command(args, out)
-            if metrics_out:
-                JsonLinesExporter(metrics_out, run_id=run_id).export(
-                    registry=registry)
-            if trace_out:
-                JsonLinesExporter(trace_out, run_id=run_id).export(
-                    tracer=tracer)
-            out.write("\n" + summary_table(registry, tracer,
-                                           run_id=run_id) + "\n")
-        return status
+        timeseries = None
+        if timeseries_out:
+            # Deterministic samples go to the main rotated segments;
+            # wall-clock diagnostics (worker table) to the sidecar.
+            timeseries = TimeSeriesSampler(
+                RotatingJsonlExporter(timeseries_out, run_id=run_id),
+                interval_s=args.timeseries_interval,
+                diagnostics_exporter=RotatingJsonlExporter(
+                    f"{timeseries_out}.diag", run_id=run_id))
+        flight = None
+        if flight_out:
+            flight = FlightRecorder(
+                args.flight_capacity or DEFAULT_FLIGHT_CAPACITY,
+                path=flight_out, run_id=run_id)
+        restore_usr2 = _install_flight_signal(flight)
+        try:
+            with observe(run_id=run_id, timeseries=timeseries,
+                         flight=flight) as (registry, tracer):
+                try:
+                    status = command(args, out)
+                except BaseException as exc:
+                    # The black-box contract: a dying run dumps its
+                    # ring, and the time-series exporter is left
+                    # unsealed — an honest torn tail, exactly like the
+                    # checkpoint journal's.
+                    if flight is not None:
+                        flight.dump(reason=type(exc).__name__)
+                    raise
+                if timeseries is not None:
+                    timeseries.close()
+                if flight is not None:
+                    flight.dump(reason="exit")
+                if metrics_out:
+                    JsonLinesExporter(metrics_out, run_id=run_id).export(
+                        registry=registry)
+                if trace_out:
+                    JsonLinesExporter(trace_out, run_id=run_id).export(
+                        tracer=tracer)
+                if metrics_out or trace_out:
+                    out.write("\n" + summary_table(registry, tracer,
+                                                   run_id=run_id) + "\n")
+            return status
+        finally:
+            restore_usr2()
     finally:
         if checkpoint is not None:
             checkpoint.close()
+
+
+def _install_flight_signal(flight):
+    """SIGUSR2 → dump the flight ring without disturbing the run.
+
+    Returns a restore callable.  A no-op off the main thread or on
+    platforms without SIGUSR2 — the signal path is a convenience, not
+    part of the telemetry contract.
+    """
+    if flight is None or not hasattr(signal, "SIGUSR2"):
+        return lambda: None
+
+    def _on_usr2(signum, _frame) -> None:
+        flight.dump(reason="sigusr2")
+
+    try:
+        previous = signal.signal(signal.SIGUSR2, _on_usr2)
+    except ValueError:        # not the main thread
+        return lambda: None
+    return lambda: signal.signal(signal.SIGUSR2, previous)
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -322,6 +322,12 @@ def run_survey(history: "WhitelistHistory",
                 return
             crawler = crawler_factory()
             if checkpoint is None:
+                from repro.obs import ProgressTracker
+                progress = (ProgressTracker(
+                    f"survey/{engine_config}",
+                    sum(len(g.targets) for g in groups))
+                    if OBS.registry.enabled or OBS.timeseries.enabled
+                    else None)
                 for group in groups:
                     with tracer.span("survey.crawl", group=group.name,
                                      config=engine_config):
@@ -329,6 +335,9 @@ def run_survey(history: "WhitelistHistory",
                     outcomes_by_group[group.name] = outcomes
                     records_by_group[group.name] = [
                         o.record for o in outcomes if o.record is not None]
+                    if progress is not None:
+                        for outcome in outcomes:
+                            progress.step(outcome.latency_ms)
                 return
             surveyed = journaled_survey(
                 crawler, groups, checkpoint=checkpoint,

@@ -54,11 +54,20 @@ from typing import Iterator
 
 from repro.obs.export import (
     InMemoryExporter,
+    InMemoryTimeSeries,
     JsonLinesExporter,
+    RotatingJsonlExporter,
     metric_records,
+    read_rotated_jsonl,
     run_record,
     span_records,
     summary_table,
+)
+from repro.obs.flight import (
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightRecorder,
+    NullFlightRecorder,
+    NULL_FLIGHT,
 )
 from repro.obs.ids import ROOT_PARENT_ID, derive_run_id, derive_span_id
 from repro.obs.metrics import (
@@ -69,6 +78,14 @@ from repro.obs.metrics import (
     MetricsRegistry,
     NullRegistry,
     NULL_REGISTRY,
+)
+from repro.obs.timeseries import (
+    DEFAULT_TICK_INTERVAL_S,
+    NullTimeSeries,
+    NULL_TIMESERIES,
+    ProgressTracker,
+    TimeSeriesSampler,
+    WallClockTicker,
 )
 from repro.obs.trace import NullTracer, NULL_TRACER, Span, Tracer
 
@@ -89,8 +106,21 @@ __all__ = [
     "NullTracer",
     "NULL_TRACER",
     "Span",
+    "TimeSeriesSampler",
+    "NullTimeSeries",
+    "NULL_TIMESERIES",
+    "ProgressTracker",
+    "WallClockTicker",
+    "DEFAULT_TICK_INTERVAL_S",
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "DEFAULT_FLIGHT_CAPACITY",
     "InMemoryExporter",
+    "InMemoryTimeSeries",
     "JsonLinesExporter",
+    "RotatingJsonlExporter",
+    "read_rotated_jsonl",
     "metric_records",
     "run_record",
     "span_records",
@@ -119,14 +149,29 @@ class ObsState:
     supervision counters are exactly the numbers that are not.
     Exporters therefore ignore ``diagnostics`` unless explicitly asked
     for it.
+
+    ``timeseries`` and ``flight`` are the live-telemetry plane:
+    a :class:`~repro.obs.timeseries.TimeSeriesSampler` streaming
+    periodic registry snapshots, and a
+    :class:`~repro.obs.flight.FlightRecorder` ring of lifecycle events.
+    Both default to null implementations; producers call straight
+    through (``OBS.timeseries.advance(...)``,
+    ``OBS.flight.record(...)``) and pay one attribute check when
+    telemetry is off.  Crucially, neither ever *writes* to ``registry``
+    — the sampler only reads it — so enabling telemetry cannot perturb
+    metric or trace exports.
     """
 
-    __slots__ = ("registry", "tracer", "diagnostics", "enabled", "run_id")
+    __slots__ = ("registry", "tracer", "diagnostics", "timeseries",
+                 "flight", "enabled", "run_id")
 
     def __init__(self) -> None:
         self.registry: MetricsRegistry = NULL_REGISTRY
         self.tracer: Tracer = NULL_TRACER
         self.diagnostics: MetricsRegistry = NULL_REGISTRY
+        self.timeseries: TimeSeriesSampler | NullTimeSeries = \
+            NULL_TIMESERIES
+        self.flight: FlightRecorder | NullFlightRecorder = NULL_FLIGHT
         self.enabled: bool = False
         self.run_id: str | None = None
 
@@ -137,7 +182,9 @@ OBS = ObsState()
 def enable(registry: MetricsRegistry | None = None,
            tracer: Tracer | None = None,
            run_id: str | None = None,
-           diagnostics: MetricsRegistry | None = None
+           diagnostics: MetricsRegistry | None = None,
+           timeseries: "TimeSeriesSampler | NullTimeSeries | None" = None,
+           flight: "FlightRecorder | NullFlightRecorder | None" = None
            ) -> tuple[MetricsRegistry, Tracer]:
     """Install a live registry/tracer pair (created fresh when omitted).
 
@@ -147,6 +194,9 @@ def enable(registry: MetricsRegistry | None = None,
     summaries (the CLI derives one per invocation).  A live
     ``diagnostics`` registry rides along whenever anything is enabled
     (pass your own to inspect it; it is never merged into ``registry``).
+    ``timeseries`` and ``flight`` stay null unless explicitly provided
+    — live telemetry is opt-in per run (``--timeseries-out`` /
+    ``--flight-out`` on the CLI).
     """
     if registry is None and tracer is None:
         registry, tracer = MetricsRegistry(), Tracer()
@@ -157,6 +207,9 @@ def enable(registry: MetricsRegistry | None = None,
         OBS.diagnostics = diagnostics
     else:
         OBS.diagnostics = MetricsRegistry() if OBS.enabled else NULL_REGISTRY
+    OBS.timeseries = timeseries if timeseries is not None \
+        else NULL_TIMESERIES
+    OBS.flight = flight if flight is not None else NULL_FLIGHT
     OBS.run_id = run_id
     return OBS.registry, OBS.tracer
 
@@ -166,6 +219,8 @@ def disable() -> None:
     OBS.registry = NULL_REGISTRY
     OBS.tracer = NULL_TRACER
     OBS.diagnostics = NULL_REGISTRY
+    OBS.timeseries = NULL_TIMESERIES
+    OBS.flight = NULL_FLIGHT
     OBS.enabled = False
     OBS.run_id = None
 
@@ -174,13 +229,16 @@ def disable() -> None:
 def observe(registry: MetricsRegistry | None = None,
             tracer: Tracer | None = None,
             run_id: str | None = None,
-            diagnostics: MetricsRegistry | None = None
+            diagnostics: MetricsRegistry | None = None,
+            timeseries: "TimeSeriesSampler | NullTimeSeries | None" = None,
+            flight: "FlightRecorder | NullFlightRecorder | None" = None
             ) -> Iterator[tuple[MetricsRegistry, Tracer]]:
     """Scoped :func:`enable`: restores the previous state on exit."""
     previous = (OBS.registry, OBS.tracer, OBS.diagnostics,
-                OBS.enabled, OBS.run_id)
+                OBS.timeseries, OBS.flight, OBS.enabled, OBS.run_id)
     try:
-        yield enable(registry, tracer, run_id, diagnostics)
+        yield enable(registry, tracer, run_id, diagnostics,
+                     timeseries, flight)
     finally:
         (OBS.registry, OBS.tracer, OBS.diagnostics,
-         OBS.enabled, OBS.run_id) = previous
+         OBS.timeseries, OBS.flight, OBS.enabled, OBS.run_id) = previous

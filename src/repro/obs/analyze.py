@@ -3,13 +3,16 @@
 Everything here works from *records* — the JSON shapes
 :mod:`repro.obs.export` writes — never from live registries or tracers,
 so any analysis that runs inside a live process reproduces identically
-from the JSONL artifact alone (the ``repro obs`` CLI contract).  Five
+from the JSONL artifact alone (the ``repro obs`` CLI contract).  The
 capabilities:
 
 * :func:`load_artifact` — read one artifact back in: a checksummed
   JSONL export (``--metrics-out``/``--trace``) or a committed
   ``BENCH_*.json`` benchmark file, normalised to one
   :class:`RunArtifact`;
+* :func:`load_timeseries` / :func:`load_flight` — the PR-10 telemetry
+  artifacts: rotated tick segments (+ ``.diag`` sidecar) and flight
+  dumps, with torn-tail tolerance matching the checkpoint journal;
 * :func:`build_span_tree` — reconstruct the span forest from records in
   *any* order using ``span_id``/``parent_id`` links (positionally, via
   depth + start order, when IDs are absent);
@@ -43,7 +46,11 @@ __all__ = [
     "SpanNode",
     "Delta",
     "DiffReport",
+    "TimeSeries",
+    "FlightDump",
     "load_artifact",
+    "load_timeseries",
+    "load_flight",
     "build_span_tree",
     "critical_path",
     "slowest_spans",
@@ -128,6 +135,108 @@ def _flatten_document(document: dict, prefix: str = "") -> dict[str, float]:
         elif isinstance(value, (int, float)) and not isinstance(value, bool):
             flat[name] = value
     return flat
+
+
+# -- telemetry artifacts ---------------------------------------------------
+
+@dataclass(slots=True)
+class TimeSeries:
+    """One time-series export (``--timeseries-out``), loaded back in.
+
+    ``samples`` are the deterministic tick records (main segments);
+    ``diagnostics`` come from the wall-clock ``.diag`` sidecar when one
+    exists.  ``complete`` is True when every main segment verified
+    strictly — a crashed or killed run leaves a torn final segment,
+    which the tolerant reader recovers (``complete=False``) and the
+    drained-daemon chaos test forbids (``strict=True`` raises instead).
+    """
+
+    path: str
+    run_id: str | None = None
+    samples: list[dict] = field(default_factory=list)
+    diagnostics: list[dict] = field(default_factory=list)
+    complete: bool = True
+
+    def gauge_series(self, name: str) -> list[tuple[float, float]]:
+        """``(t_s, value)`` per tick for one flat metric name."""
+        series: list[tuple[float, float]] = []
+        for sample in self.samples:
+            value = sample.get("metrics", {}).get(name)
+            if value is not None:
+                series.append((sample["t_s"], value))
+        return series
+
+
+def load_timeseries(path: str, *, strict: bool = False) -> TimeSeries:
+    """Read a rotated time-series export plus its ``.diag`` sidecar.
+
+    ``strict=True`` refuses a torn final segment (the no-torn-tail
+    assertion after a graceful drain); the default tolerates it like a
+    checkpoint journal tail.  The sidecar is always read tolerantly —
+    diagnostics are wall-clock best-effort by design — and a missing
+    sidecar is simply an empty diagnostics list.
+    """
+    from repro.obs.export import list_segments, read_rotated_jsonl
+    from repro.state.atomic import ArtifactError
+
+    complete = True
+    if strict:
+        records = read_rotated_jsonl(path, strict=True)
+    else:
+        try:
+            records = read_rotated_jsonl(path, strict=True)
+        except ArtifactError:
+            records = read_rotated_jsonl(path)
+            complete = False
+    series = TimeSeries(path=path, complete=complete)
+    for record in records:
+        kind = record.get("type")
+        if kind == "run":
+            series.run_id = record.get("run_id", series.run_id)
+        elif kind == "sample":
+            series.samples.append(record)
+    diag_base = f"{path}.diag"
+    if list_segments(diag_base):
+        for record in read_rotated_jsonl(diag_base):
+            if record.get("type") == "sample":
+                series.diagnostics.append(record)
+    return series
+
+
+@dataclass(slots=True)
+class FlightDump:
+    """One flight-recorder dump artifact, loaded back in."""
+
+    path: str
+    reason: str
+    capacity: int
+    dropped: int
+    run_id: str | None = None
+    events: list[dict] = field(default_factory=list)
+
+
+def load_flight(path: str) -> FlightDump:
+    """Read one flight dump; verifies the CRC footer strictly.
+
+    Flight dumps are written atomically (never torn), so unlike
+    time-series segments there is no tolerant mode — a bad footer means
+    the artifact is not trustworthy and the loader says so.
+    """
+    from repro.state.atomic import ArtifactError, read_jsonl
+
+    records = read_jsonl(path)
+    if not records or records[0].get("type") != "flight":
+        raise ArtifactError(
+            f"{path}: not a flight dump (missing 'flight' header record)")
+    header = records[0]
+    return FlightDump(
+        path=path,
+        reason=header.get("reason", ""),
+        capacity=header.get("capacity", 0),
+        dropped=header.get("dropped", 0),
+        run_id=header.get("run_id"),
+        events=[record for record in records[1:]
+                if record.get("type") == "event"])
 
 
 # -- span trees ------------------------------------------------------------

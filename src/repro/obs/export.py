@@ -27,6 +27,9 @@ version:
 
 from __future__ import annotations
 
+import json
+import os
+import zlib
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -38,8 +41,14 @@ __all__ = [
     "span_records",
     "run_record",
     "InMemoryExporter",
+    "InMemoryTimeSeries",
     "JsonLinesExporter",
+    "RotatingJsonlExporter",
+    "segment_path",
+    "list_segments",
+    "read_rotated_jsonl",
     "summary_table",
+    "DEFAULT_SEGMENT_BYTES",
 ]
 
 
@@ -125,6 +134,234 @@ class JsonLinesExporter:
         if tracer is not None:
             records.extend(span_records(tracer))
         return atomic_write_jsonl(self.path, records)
+
+
+#: Default rotation threshold for streamed time-series segments.
+DEFAULT_SEGMENT_BYTES = 256 * 1024
+
+
+def segment_path(path: str, index: int) -> str:
+    """The on-disk name of rotated segment ``index`` of ``path``.
+
+    >>> segment_path("run.ts.jsonl", 0)
+    'run.ts.jsonl.000'
+    """
+    return f"{path}.{index:03d}"
+
+
+def list_segments(path: str) -> list[str]:
+    """Every existing rotated segment of ``path``, in index order.
+
+    Only ``<path>.NNN`` all-digit suffixes count, so the ``.diag``
+    diagnostics sidecar (whose segments are ``<path>.diag.NNN``) never
+    leaks into the main listing.
+    """
+    directory = os.path.dirname(os.path.abspath(path)) or "."
+    prefix = os.path.basename(path) + "."
+    try:
+        names = os.listdir(directory)
+    except OSError:
+        return []
+    segments = [name for name in names
+                if name.startswith(prefix)
+                and name[len(prefix):].isdigit()]
+    return [os.path.join(directory, name)
+            for name in sorted(segments)]
+
+
+class RotatingJsonlExporter:
+    """A streaming, size-rotating JSONL writer with per-segment footers.
+
+    The snapshot exporters above atomically *replace* a whole file per
+    export; a live time-series instead **appends** one record at a
+    time, for hours, and must survive being killed mid-line.  The
+    rotating exporter therefore writes straight through (flushing every
+    record) and shards the stream into ``<path>.000``, ``<path>.001``,
+    ... segments, rotating once a segment reaches
+    ``max_segment_bytes``.  Rotation and
+    :meth:`close` seal the active segment with the same CRC footer
+    :func:`repro.state.atomic.atomic_write_jsonl` uses — the checksum
+    is accumulated incrementally, so sealing never re-reads the file.
+
+    Read semantics mirror the checkpoint journal's torn-tail contract
+    (see :func:`read_rotated_jsonl`): every *sealed* segment verifies
+    strictly; only the final, still-open segment may end in a torn line
+    (the process was killed mid-write), and that tail is dropped rather
+    than fatal.  Corruption anywhere else raises.
+
+    When ``run_id`` is given each segment opens with a run-ledger
+    header carrying the segment index, so any single segment is
+    self-identifying.
+    """
+
+    def __init__(self, path: str, *, run_id: str | None = None,
+                 max_segment_bytes: int = DEFAULT_SEGMENT_BYTES) -> None:
+        if max_segment_bytes <= 0:
+            raise ValueError(
+                f"max_segment_bytes must be positive: {max_segment_bytes}")
+        self.path = path
+        self.run_id = run_id
+        self.max_segment_bytes = max_segment_bytes
+        self.closed = False
+        self._handle = None
+        self._index = 0
+        self._crc = 0
+        self._records = 0
+        self._bytes = 0
+
+    # -- segment plumbing ---------------------------------------------
+
+    def _open_segment(self) -> None:
+        directory = os.path.dirname(os.path.abspath(self.path))
+        os.makedirs(directory, exist_ok=True)
+        self._handle = open(segment_path(self.path, self._index), "wb")
+        self._crc = 0
+        self._records = 0
+        self._bytes = 0
+        if self.run_id is not None:
+            self._append(run_record(self.run_id, segment=self._index))
+
+    def _append(self, record: dict) -> None:
+        data = (json.dumps(record, ensure_ascii=False) + "\n").encode(
+            "utf-8")
+        self._handle.write(data)
+        self._handle.flush()
+        self._crc = zlib.crc32(data, self._crc)
+        self._records += 1
+        self._bytes += len(data)
+
+    def _seal_segment(self) -> None:
+        from repro.state.atomic import FOOTER_TYPE
+        footer = {"type": FOOTER_TYPE, "records": self._records,
+                  "crc32": f"{self._crc & 0xFFFFFFFF:08x}"}
+        data = (json.dumps(footer, ensure_ascii=False) + "\n").encode(
+            "utf-8")
+        self._handle.write(data)
+        self._handle.flush()
+        try:
+            os.fsync(self._handle.fileno())
+        except OSError:  # pragma: no cover - platform-dependent
+            pass
+        self._handle.close()
+        self._handle = None
+
+    # -- public API ---------------------------------------------------
+
+    @property
+    def segments_written(self) -> int:
+        """Segments started so far (including the active one)."""
+        if self._handle is None and self._bytes == 0 and self._index == 0:
+            return 0
+        return self._index + 1
+
+    def write(self, record: dict) -> None:
+        """Append one record, rotating first if the segment is full."""
+        if self.closed:
+            return
+        if self._handle is None:
+            self._open_segment()
+        elif self._bytes >= self.max_segment_bytes:
+            self._seal_segment()
+            self._index += 1
+            self._open_segment()
+        self._append(record)
+
+    def close(self) -> None:
+        """Seal the active segment (idempotent).
+
+        A sink that never received a record still seals one (possibly
+        header-only) segment, so a clean run always leaves a complete,
+        verifiable artifact.
+        """
+        if self.closed:
+            return
+        self.closed = True
+        if self._handle is None:
+            self._open_segment()
+        self._seal_segment()
+
+
+class InMemoryTimeSeries:
+    """The list-backed time-series sink for tests and doctests."""
+
+    def __init__(self) -> None:
+        self.records: list[dict] = []
+        self.closed = False
+
+    def write(self, record: dict) -> None:
+        if not self.closed:
+            self.records.append(record)
+
+    def close(self) -> None:
+        self.closed = True
+
+
+def _read_tolerant_segment(path: str) -> list[dict]:
+    """Read the final (possibly still-open) segment of a stream.
+
+    A *footered* final segment verifies strictly.  An unfootered one is
+    an interrupted stream: a torn final line (no trailing newline, or
+    unparseable JSON) is dropped, but a bad line anywhere *before* the
+    tail is mid-file corruption and raises — exactly the journal's
+    torn-tail semantics.
+    """
+    from repro.state.atomic import (ArtifactError, FOOTER_TYPE,
+                                    read_jsonl)
+    try:
+        with open(path, "rb") as handle:
+            raw = handle.read()
+    except OSError as exc:
+        raise ArtifactError(
+            f"unreadable segment {path!r}: {exc}") from exc
+    lines = raw.split(b"\n")
+    torn_tail = False
+    if lines and lines[-1] == b"":
+        lines.pop()
+    elif lines:
+        lines.pop()          # no trailing newline: torn final line
+        torn_tail = True
+    records: list[dict] = []
+    for number, line in enumerate(lines, start=1):
+        try:
+            records.append(json.loads(line.decode("utf-8")))
+        except (ValueError, UnicodeDecodeError) as exc:
+            if number == len(lines):
+                torn_tail = True
+                break        # torn tail: drop and stop
+            raise ArtifactError(
+                f"{path}: line {number} is not valid JSON ({exc})"
+            ) from exc
+    if (not torn_tail and records and isinstance(records[-1], dict)
+            and records[-1].get("type") == FOOTER_TYPE):
+        # Sealed after all — verify count and checksum strictly.
+        return read_jsonl(path)
+    return records
+
+
+def read_rotated_jsonl(path: str, *,
+                       strict: bool = False) -> list[dict]:
+    """Read every segment of a rotated stream, oldest first.
+
+    Sealed (non-final) segments always verify their CRC footer; the
+    final segment tolerates a torn tail unless ``strict=True``, in
+    which case *every* segment must be sealed and intact — the
+    assertion a gracefully drained daemon must satisfy.  Raises
+    :class:`repro.state.atomic.ArtifactError` when no segments exist or
+    verification fails.
+    """
+    from repro.state.atomic import ArtifactError, read_jsonl
+
+    segments = list_segments(path)
+    if not segments:
+        raise ArtifactError(f"no time-series segments found for {path!r}")
+    records: list[dict] = []
+    for segment in segments[:-1]:
+        records.extend(read_jsonl(segment))
+    if strict:
+        records.extend(read_jsonl(segments[-1]))
+    else:
+        records.extend(_read_tolerant_segment(segments[-1]))
+    return records
 
 
 def summary_table(registry: "MetricsRegistry | None" = None,

@@ -1,0 +1,158 @@
+"""Flight recorder: a bounded ring buffer of lifecycle events.
+
+Metrics aggregate and spans time — neither answers "what *sequence* of
+events led here?" when a worker is killed mid-lease or a reloader
+wedges.  The flight recorder is the black box: producers append small
+structured events (state transitions, lease grants/revokes, reload
+swaps, shed decisions, crash-injector fires) into a fixed-capacity
+ring, and the ring is dumped to a CRC-footered JSONL artifact on
+unhandled exception, :class:`~repro.state.crashpoints.SimulatedCrash`,
+SIGUSR2, or graceful drain.
+
+Events are deliberately cheap: one dict, one deque append.  When the
+ring overflows, the *oldest* events fall out and ``dropped`` counts
+them — a post-mortem always sees the most recent window, which is the
+part that matters.
+
+Each event carries the current trace span ID when a span is open, so
+``repro obs flight`` can correlate the ring against an exported trace:
+
+>>> recorder = FlightRecorder(capacity=2, clock=lambda: 0.0)
+>>> recorder.record("worker.spawn", slot=0)
+>>> recorder.record("lease.grant", lease=1)
+>>> recorder.record("lease.revoke", lease=1)   # evicts worker.spawn
+>>> [event["kind"] for event in recorder.events()]
+['lease.grant', 'lease.revoke']
+>>> recorder.dropped
+1
+
+The dump artifact is a header record followed by the surviving events::
+
+    {"type": "flight", "reason": "SimulatedCrash", "capacity": 2, ...}
+    {"type": "event", "seq": 1, "t_s": 0.0, "kind": "lease.grant", ...}
+
+Like every pipeline artifact it is written atomically with a checksum
+footer (:func:`repro.state.atomic.atomic_write_jsonl`).
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Callable
+
+__all__ = [
+    "FlightRecorder",
+    "NullFlightRecorder",
+    "NULL_FLIGHT",
+    "DEFAULT_FLIGHT_CAPACITY",
+]
+
+#: Default ring capacity.  Sized so an 8-worker kill-schedule run fits
+#: comfortably (each unit produces at most a handful of events) while
+#: the ring stays a few hundred KB even with verbose attrs.
+DEFAULT_FLIGHT_CAPACITY = 2048
+
+
+class FlightRecorder:
+    """Fixed-capacity in-memory event ring with atomic dump.
+
+    ``path`` is the default dump destination (``dump`` may override).
+    ``clock`` is injectable for deterministic tests; event timestamps
+    are seconds since the recorder was created.
+    """
+
+    enabled = True
+
+    def __init__(self, capacity: int = DEFAULT_FLIGHT_CAPACITY, *,
+                 path: str | None = None,
+                 run_id: str | None = None,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if capacity <= 0:
+            raise ValueError(f"flight capacity must be positive: {capacity}")
+        self.capacity = capacity
+        self.path = path
+        self.run_id = run_id
+        self.clock = clock
+        self._start = clock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._seq = 0
+
+    # -- producing ----------------------------------------------------
+
+    def record(self, kind: str, **attrs: object) -> None:
+        """Append one event; correlates the current trace span if any."""
+        self._seq += 1
+        event: dict = {
+            "type": "event",
+            "seq": self._seq,
+            "t_s": round(self.clock() - self._start, 6),
+            "kind": kind,
+            "attrs": attrs,
+        }
+        from repro.obs import OBS
+        span = OBS.tracer.current()
+        if span is not None:
+            event["span_id"] = span.span_id
+        self._ring.append(event)
+
+    # -- inspecting ---------------------------------------------------
+
+    @property
+    def dropped(self) -> int:
+        """Events evicted by ring overflow (oldest-first)."""
+        return self._seq - len(self._ring)
+
+    def events(self) -> list[dict]:
+        """The surviving events, oldest first."""
+        return list(self._ring)
+
+    # -- dumping ------------------------------------------------------
+
+    def dump(self, path: str | None = None, *,
+             reason: str = "manual") -> str | None:
+        """Write header + ring to ``path`` (default: ``self.path``).
+
+        Returns the path written, or ``None`` when no destination is
+        configured (recording without a sink is legal — tests inspect
+        :meth:`events` directly).  Safe to call repeatedly: each dump
+        atomically replaces the artifact with the current ring.
+        """
+        target = path if path is not None else self.path
+        if target is None:
+            return None
+        from repro.state.atomic import atomic_write_jsonl
+
+        header: dict = {
+            "type": "flight",
+            "reason": reason,
+            "capacity": self.capacity,
+            "events": len(self._ring),
+            "dropped": self.dropped,
+        }
+        if self.run_id is not None:
+            header["run_id"] = self.run_id
+        atomic_write_jsonl(target, [header, *self._ring])
+        return target
+
+
+class NullFlightRecorder:
+    """The disabled recorder: records nothing, dumps nothing."""
+
+    enabled = False
+    capacity = 0
+    path = None
+    dropped = 0
+
+    def record(self, kind: str, **attrs: object) -> None:
+        pass
+
+    def events(self) -> list[dict]:
+        return []
+
+    def dump(self, path: str | None = None, *,
+             reason: str = "manual") -> None:
+        return None
+
+
+NULL_FLIGHT = NullFlightRecorder()

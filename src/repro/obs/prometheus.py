@@ -1,0 +1,301 @@
+"""Prometheus text exposition for the metrics registry, plus a strict parser.
+
+The serving daemon's ``/metricz`` endpoint has always returned the flat
+JSON view; real scrape pipelines speak the Prometheus text format
+instead, so ``/metricz?format=prometheus`` renders the same registry
+through :func:`render_prometheus_text`.  The renderer maps the repo's
+instrument model onto the classic exposition format:
+
+* dotted names sanitize to underscore names (``serve.latency_ms`` →
+  ``serve_latency_ms``);
+* counters gain the conventional ``_total`` suffix;
+* histograms expand to cumulative ``_bucket{le=...}`` series (including
+  the mandatory ``+Inf`` bucket), ``_sum``, and ``_count`` —
+  translating the registry's per-bucket counts into Prometheus's
+  cumulative convention.
+
+:func:`parse_prometheus_text` is the deliberately strict inverse used
+by tests and the CI serve-smoke job: it rejects malformed sample lines,
+samples without a preceding ``# TYPE``, duplicate ``TYPE`` lines,
+non-cumulative histogram buckets, and a missing ``+Inf`` bucket — so
+"the endpoint parses" is a real guarantee, not a ``grep``.
+
+>>> from repro.obs.metrics import MetricsRegistry
+>>> registry = MetricsRegistry()
+>>> registry.counter("serve.requests", route="/v1/match").inc(3)
+>>> text = render_prometheus_text(registry)
+>>> print(text, end="")
+# HELP serve_requests_total repro counter serve.requests
+# TYPE serve_requests_total counter
+serve_requests_total{route="/v1/match"} 3
+>>> families = parse_prometheus_text(text)
+>>> families["serve_requests_total"]["type"]
+'counter'
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "render_prometheus_text",
+    "parse_prometheus_text",
+    "PrometheusFormatError",
+]
+
+
+class PrometheusFormatError(ValueError):
+    """Raised by :func:`parse_prometheus_text` for malformed exposition."""
+
+
+_SANITIZE = re.compile(r"[^a-zA-Z0-9_:]")
+_METRIC_NAME = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*")
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^{}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+_LABEL_PAIR = re.compile(
+    r'^(?P<key>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"$')
+_VALID_TYPES = ("counter", "gauge", "histogram", "summary", "untyped")
+
+
+def _family_name(name: str, kind: str) -> str:
+    sanitized = _SANITIZE.sub("_", name)
+    if not _METRIC_NAME.fullmatch(sanitized):
+        sanitized = "_" + sanitized
+    if kind == "counter" and not sanitized.endswith("_total"):
+        sanitized += "_total"
+    return sanitized
+
+
+def _escape_label(value: object) -> str:
+    return (str(value).replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def _format_labels(labels: dict, extra: list[tuple[str, str]] = ()) -> str:
+    pairs = [(key, _escape_label(labels[key])) for key in labels]
+    pairs.extend(extra)
+    if not pairs:
+        return ""
+    inner = ",".join(f'{key}="{value}"' for key, value in pairs)
+    return "{" + inner + "}"
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, bool):  # pragma: no cover - no bool metrics
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    number = float(value)  # type: ignore[arg-type]
+    if math.isinf(number):
+        return "+Inf" if number > 0 else "-Inf"
+    return repr(number)
+
+
+def _format_le(bound: object) -> str:
+    if bound == "+inf":
+        return "+Inf"
+    return _format_value(bound)
+
+
+def render_prometheus_text(registry: "MetricsRegistry") -> str:
+    """Render every instrument in ``registry`` as Prometheus text.
+
+    Families appear in the registry's deterministic sample order; two
+    identical registries render byte-identically.  Raises
+    :class:`ValueError` if two differently-typed instruments sanitize
+    to the same family name.
+    """
+    lines: list[str] = []
+    family_types: dict[str, str] = {}
+    for record in registry.snapshot():
+        kind = record["type"]
+        family = _family_name(record["name"], kind)
+        prom_type = {"counter": "counter", "gauge": "gauge",
+                     "histogram": "histogram"}[kind]
+        seen = family_types.get(family)
+        if seen is None:
+            family_types[family] = prom_type
+            lines.append(
+                f"# HELP {family} repro {prom_type} {record['name']}")
+            lines.append(f"# TYPE {family} {prom_type}")
+        elif seen != prom_type:
+            raise ValueError(
+                f"metric family {family!r} rendered with conflicting "
+                f"types {seen!r} and {prom_type!r}")
+        labels = record.get("labels") or {}
+        if kind == "histogram":
+            cumulative = 0
+            for bucket in record["buckets"]:
+                cumulative += bucket["count"]
+                label_str = _format_labels(
+                    labels, [("le", _format_le(bucket["le"]))])
+                lines.append(
+                    f"{family}_bucket{label_str} {cumulative}")
+            label_str = _format_labels(labels)
+            lines.append(
+                f"{family}_sum{label_str} "
+                f"{_format_value(record['sum'])}")
+            lines.append(
+                f"{family}_count{label_str} {record['count']}")
+        else:
+            label_str = _format_labels(labels)
+            lines.append(
+                f"{family}{label_str} "
+                f"{_format_value(record['value'])}")
+    return "".join(line + "\n" for line in lines)
+
+
+def _parse_labels(raw: str | None, lineno: int) -> dict[str, str]:
+    if not raw:
+        return {}
+    labels: dict[str, str] = {}
+    for part in raw.rstrip(",").split(","):
+        match = _LABEL_PAIR.match(part.strip())
+        if match is None:
+            raise PrometheusFormatError(
+                f"line {lineno}: malformed label pair {part!r}")
+        key = match.group("key")
+        if key in labels:
+            raise PrometheusFormatError(
+                f"line {lineno}: duplicate label {key!r}")
+        # Single-pass unescape: sequential .replace() calls would turn
+        # a literal backslash-n (escaped as \\n) into a newline.
+        labels[key] = re.sub(
+            r"\\(.)",
+            lambda m: "\n" if m.group(1) == "n" else m.group(1),
+            match.group("value"))
+    return labels
+
+
+def _parse_value(raw: str, lineno: int) -> float:
+    if raw == "+Inf":
+        return math.inf
+    if raw == "-Inf":
+        return -math.inf
+    if raw == "NaN":
+        return math.nan
+    try:
+        return float(raw)
+    except ValueError as exc:
+        raise PrometheusFormatError(
+            f"line {lineno}: invalid sample value {raw!r}") from exc
+
+
+def _resolve_family(name: str, families: dict) -> str | None:
+    if name in families:
+        return name
+    for suffix in ("_bucket", "_sum", "_count"):
+        if name.endswith(suffix):
+            base = name[: -len(suffix)]
+            if base in families and families[base]["type"] in (
+                    "histogram", "summary"):
+                return base
+    return None
+
+
+def parse_prometheus_text(text: str) -> dict[str, dict]:
+    """Strictly parse Prometheus text exposition into families.
+
+    Returns ``{family_name: {"type": ..., "samples": [(sample_name,
+    labels_dict, value), ...]}}``.  Raises
+    :class:`PrometheusFormatError` on any deviation from the format:
+    trailing garbage, samples with no declared type, duplicate ``TYPE``
+    lines, non-cumulative or ``+Inf``-less histograms, and
+    ``_count``/``+Inf`` disagreement.
+    """
+    if text and not text.endswith("\n"):
+        raise PrometheusFormatError("exposition must end with a newline")
+    families: dict[str, dict] = {}
+    for lineno, line in enumerate(text.split("\n")[:-1], start=1):
+        if not line.strip():
+            continue
+        if line.startswith("# HELP "):
+            parts = line[len("# HELP "):].split(" ", 1)
+            if not parts or not _METRIC_NAME.fullmatch(parts[0]):
+                raise PrometheusFormatError(
+                    f"line {lineno}: malformed HELP line")
+            continue
+        if line.startswith("# TYPE "):
+            parts = line[len("# TYPE "):].split(" ")
+            if len(parts) != 2 or not _METRIC_NAME.fullmatch(parts[0]):
+                raise PrometheusFormatError(
+                    f"line {lineno}: malformed TYPE line")
+            name, prom_type = parts
+            if prom_type not in _VALID_TYPES:
+                raise PrometheusFormatError(
+                    f"line {lineno}: unknown metric type {prom_type!r}")
+            if name in families:
+                raise PrometheusFormatError(
+                    f"line {lineno}: duplicate TYPE for {name!r}")
+            families[name] = {"type": prom_type, "samples": []}
+            continue
+        if line.startswith("#"):
+            # Arbitrary comments are legal in the exposition format.
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise PrometheusFormatError(
+                f"line {lineno}: malformed sample line {line!r}")
+        name = match.group("name")
+        family = _resolve_family(name, families)
+        if family is None:
+            raise PrometheusFormatError(
+                f"line {lineno}: sample {name!r} has no preceding "
+                "# TYPE declaration")
+        labels = _parse_labels(match.group("labels"), lineno)
+        value = _parse_value(match.group("value"), lineno)
+        families[family]["samples"].append((name, labels, value))
+    for family, info in families.items():
+        if info["type"] == "histogram":
+            _validate_histogram(family, info["samples"])
+    return families
+
+
+def _series_key(labels: dict[str, str]) -> tuple:
+    return tuple(sorted((k, v) for k, v in labels.items() if k != "le"))
+
+
+def _validate_histogram(family: str, samples: list) -> None:
+    series: dict[tuple, dict] = {}
+    for name, labels, value in samples:
+        entry = series.setdefault(
+            _series_key(labels),
+            {"buckets": [], "sum": None, "count": None})
+        if name.endswith("_bucket"):
+            if "le" not in labels:
+                raise PrometheusFormatError(
+                    f"{family}: bucket sample without an 'le' label")
+            entry["buckets"].append((labels["le"], value))
+        elif name.endswith("_sum"):
+            entry["sum"] = value
+        elif name.endswith("_count"):
+            entry["count"] = value
+    for key, entry in series.items():
+        buckets = entry["buckets"]
+        if not buckets:
+            raise PrometheusFormatError(
+                f"{family}{dict(key)}: histogram series has no buckets")
+        if buckets[-1][0] != "+Inf":
+            raise PrometheusFormatError(
+                f"{family}{dict(key)}: final bucket must be le=\"+Inf\"")
+        previous = -math.inf
+        for le, value in buckets:
+            if value < previous:
+                raise PrometheusFormatError(
+                    f"{family}{dict(key)}: bucket counts are not "
+                    f"cumulative at le={le!r}")
+            previous = value
+        if entry["count"] is None or entry["sum"] is None:
+            raise PrometheusFormatError(
+                f"{family}{dict(key)}: missing _count or _sum sample")
+        if buckets[-1][1] != entry["count"]:
+            raise PrometheusFormatError(
+                f"{family}{dict(key)}: +Inf bucket ({buckets[-1][1]}) "
+                f"disagrees with _count ({entry['count']})")

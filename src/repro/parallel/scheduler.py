@@ -50,12 +50,13 @@ from __future__ import annotations
 import heapq
 import multiprocessing
 import os
+import time
 from collections import deque
 from dataclasses import dataclass, field
 from multiprocessing import connection
 from typing import Callable, Sequence
 
-from repro.obs import NULL_TRACER, OBS, Tracer
+from repro.obs import NULL_TRACER, OBS, ProgressTracker, Tracer
 from repro.parallel.leases import LeaseLedger, generate_leases
 from repro.parallel.supervisor import Supervisor, WorkerCrashInjector
 from repro.parallel.survey import (
@@ -114,6 +115,7 @@ class StealStats:
     heartbeat_timeouts: int = 0
     worker_restarts: int = 0
     backpressure_stalls: int = 0
+    max_heartbeat_lag_s: float = 0.0
     quarantined: list[int] = field(default_factory=list)
     supervisor_trace: Tracer = NULL_TRACER
 
@@ -133,6 +135,9 @@ class StealStats:
                 ("quarantined_units", len(self.quarantined))):
             if value:
                 registry.counter(f"parallel.steal.{name}").inc(value)
+        if self.max_heartbeat_lag_s:
+            registry.gauge("parallel.steal.max_heartbeat_lag_ms").set(
+                round(self.max_heartbeat_lag_s * 1000.0, 3))
 
 
 # -- the deterministic makespan model --------------------------------------
@@ -297,6 +302,13 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
     cursor = 0
     strikes = dict(seeded_strikes)
 
+    # Progress gauges + simulated-clock ticks happen at *flush* time —
+    # global unit order — so they are a pure function of the workload,
+    # identical at any worker count and under any kill schedule.
+    progress = (ProgressTracker(scope, len(units), done=len(outcomes))
+                if OBS.registry.enabled or OBS.timeseries.enabled
+                else None)
+
     def flush() -> None:
         nonlocal cursor
         while cursor < len(pending) and pending[cursor] in buffer:
@@ -310,6 +322,8 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
             if collect_spans and spans:
                 OBS.tracer.adopt(spans)
             outcomes[index] = restore_outcome(payload["outcome"])
+            if progress is not None:
+                progress.step(outcomes[index].latency_ms)
 
     def flush_complete() -> bool:
         return cursor >= len(pending)
@@ -333,6 +347,8 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
                                          threshold=poison_threshold)
         buffer[index] = (key, payload, None, None)
         stats.quarantined.append(index)
+        OBS.flight.record("unit.quarantine", unit=index,
+                          strikes=strikes.get(index, 0))
         if lease_log is not None:
             lease_log.quarantine(index)
 
@@ -422,12 +438,16 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
                         # result).
                         for span_record in spans:
                             span_record["worker"] = slot
+                    # Every message carries a monotonic send stamp as
+                    # its final element; fork children share the
+                    # parent's CLOCK_MONOTONIC epoch, so the parent
+                    # turns receive-minus-send into heartbeat *lag*.
                     conn.send(("unit", lease_id, index, key, payload,
-                               metrics, spans))
+                               metrics, spans, time.monotonic()))
                     units_done += 1
                 if journal is not None:
                     journal.sync()  # batched fsync, once per lease
-                conn.send(("lease_done", lease_id))
+                conn.send(("lease_done", lease_id, time.monotonic()))
         except (EOFError, KeyboardInterrupt):
             pass  # parent gone; nothing left to report to
         finally:
@@ -467,8 +487,14 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
             try:
                 while handle.conn.poll():
                     message = handle.conn.recv()
-                    supervisor.note_activity(handle)
-                    on_message(handle, message)
+                    # Strip the trailing monotonic send stamp and turn
+                    # it into heartbeat lag before dispatching.
+                    lag = supervisor.note_heartbeat(handle, message[-1])
+                    if OBS.diagnostics.enabled:
+                        OBS.diagnostics.gauge(
+                            "parallel.steal.heartbeat_lag_ms",
+                            slot=handle.slot).set(round(lag * 1000.0, 3))
+                    on_message(handle, message[:-1])
             except (EOFError, OSError):
                 pass  # worker died mid-message; the reap handles it
 
@@ -483,6 +509,9 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
                     lease_id = handle.lease.lease_id
                     incomplete = ledger.revoke(lease_id)
                     suspect = incomplete[0] if incomplete else None
+                    OBS.flight.record("lease.revoke", lease=lease_id,
+                                      slot=handle.slot, reason=reason,
+                                      suspect=suspect)
                     if suspect is None:
                         if lease_log is not None:
                             lease_log.revoke(lease_id, reason=reason,
@@ -525,6 +554,10 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
                 handle.lease = lease
                 supervisor.note_activity(handle)  # deadline from grant
                 stats.leases_granted += 1
+                OBS.flight.record("lease.grant", lease=lease.lease_id,
+                                  slot=handle.slot,
+                                  incarnation=handle.incarnation,
+                                  units=len(indices))
                 if lease_log is not None:
                     lease_log.grant(lease.lease_id, handle.slot,
                                     handle.incarnation, indices)
@@ -532,6 +565,32 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
                     handle.conn.send(("lease", lease.lease_id, indices))
                 except (BrokenPipeError, OSError):
                     pass  # found dead on the next poll; revoked there
+
+        def sample_liveness() -> None:
+            """Per-heartbeat placement gauges → diagnostics sidecar.
+
+            Everything here varies with timing and kill schedule, so it
+            goes to ``OBS.diagnostics`` (excluded from result exports)
+            and the wall-clock-rate-limited ``.diag`` time-series
+            sidecar, never the deterministic main stream.
+            """
+            if OBS.diagnostics.enabled:
+                registry = OBS.diagnostics
+                registry.gauge("parallel.steal.workers_live").set(
+                    len(supervisor.handles))
+                registry.gauge("parallel.steal.backlog").set(len(buffer))
+                registry.gauge("parallel.steal.lease_queue").set(
+                    len(heap) + ledger.in_flight)
+                registry.gauge("parallel.steal.units_flushed").set(
+                    cursor)
+                registry.gauge(
+                    "parallel.steal.max_heartbeat_lag_ms").set(
+                    round(supervisor.max_lag_s * 1000.0, 3))
+                for handle in supervisor.handles.values():
+                    registry.gauge("parallel.steal.worker_idle",
+                                   slot=handle.slot).set(
+                        1 if handle.idle else 0)
+            OBS.timeseries.sample_diagnostics()
 
         with trace.span("steal.dispatch", workers=workers,
                         lease_size=lease_size, units=len(grantable)):
@@ -556,9 +615,11 @@ def run_stealing_survey(groups, *, crawler_factory: Callable[[], Crawler],
                         drain(by_conn[ready])
                     for handle, reason in supervisor.dead_workers():
                         handle_death(handle, reason)
+                    sample_liveness()
             finally:
                 supervisor.shutdown()  # no zombies, on any path
         stats.worker_restarts = supervisor.restarts_used
+        stats.max_heartbeat_lag_s = supervisor.max_lag_s
         return supervisor
 
     try:

@@ -96,7 +96,14 @@ class WorkerCrashInjector:
 
 @dataclass(slots=True)
 class WorkerHandle:
-    """Parent-side state of one live worker incarnation."""
+    """Parent-side state of one live worker incarnation.
+
+    ``last_lag_s`` is the most recent *heartbeat lag* — how long the
+    worker's last message sat in the pipe before the parent drained it
+    (receive time minus the worker's monotonic send stamp).  Liveness
+    says "the worker spoke recently"; lag says "and the parent is
+    keeping up".
+    """
 
     slot: int
     incarnation: int
@@ -105,6 +112,7 @@ class WorkerHandle:
     last_seen: float
     lease: Lease | None = None
     exit_code: int | None = None
+    last_lag_s: float = 0.0
 
     @property
     def idle(self) -> bool:
@@ -137,6 +145,7 @@ class Supervisor:
         self.restarts_used = 0
         self.deaths = 0
         self.timeouts = 0
+        self.max_lag_s = 0.0
 
     # -- spawning --------------------------------------------------------
 
@@ -153,6 +162,9 @@ class Supervisor:
                               proc=proc, conn=parent_conn,
                               last_seen=self._clock())
         self.handles[slot] = handle
+        from repro.obs import OBS
+        OBS.flight.record("worker.spawn", slot=slot,
+                          incarnation=incarnation)
         return handle
 
     def spawn_initial(self) -> list[WorkerHandle]:
@@ -175,6 +187,24 @@ class Supervisor:
 
     def note_activity(self, handle: WorkerHandle) -> None:
         handle.last_seen = self._clock()
+
+    def note_heartbeat(self, handle: WorkerHandle,
+                       sent_s: float) -> float:
+        """Record a stamped heartbeat; returns the observed lag.
+
+        ``sent_s`` is the worker's ``time.monotonic()`` at send time —
+        fork children share the parent's CLOCK_MONOTONIC epoch on
+        Linux, so receive-minus-send is a real pipe+poll latency.  The
+        lag is clamped at zero (a torn or skewed stamp must never
+        *extend* a heartbeat deadline).
+        """
+        now = self._clock()
+        handle.last_seen = now
+        lag = max(0.0, now - sent_s)
+        handle.last_lag_s = lag
+        if lag > self.max_lag_s:
+            self.max_lag_s = lag
+        return lag
 
     def dead_workers(self) -> list[tuple[WorkerHandle, str]]:
         """Detect (and remove from the live set) every dead worker.
@@ -207,6 +237,12 @@ class Supervisor:
                 continue
             del self.handles[slot]
             self.deaths += 1
+        if dead:
+            from repro.obs import OBS
+            for handle, reason in dead:
+                OBS.flight.record(f"worker.{reason}", slot=handle.slot,
+                                  incarnation=handle.incarnation,
+                                  exit_code=handle.exit_code)
         return dead
 
     # -- shutdown --------------------------------------------------------

@@ -70,6 +70,7 @@ from repro.obs import (
     NULL_TRACER,
     OBS,
     MetricsRegistry,
+    ProgressTracker,
     Tracer,
 )
 from repro.parallel.pool import WorkPool, shard_round_robin
@@ -312,6 +313,12 @@ def run_sharded_survey(groups, *, crawler_factory: Callable[[], Crawler],
 
     merged = sorted((result for shard in shard_results for result in shard),
                     key=lambda result: result[0])
+    # Progress gauges + simulated-clock ticks advance in global unit
+    # order — the same order as the metric merge — so they match the
+    # steal scheduler's and any other worker count's byte for byte.
+    progress = (ProgressTracker(scope, len(units), done=len(outcomes))
+                if OBS.registry.enabled or OBS.timeseries.enabled
+                else None)
     for index, key, payload, metrics, spans in merged:
         if checkpoint is not None:
             checkpoint.record(scope, key, payload)
@@ -320,6 +327,8 @@ def run_sharded_survey(groups, *, crawler_factory: Callable[[], Crawler],
         if collect_spans and spans:
             OBS.tracer.adopt(spans)
         outcomes[index] = restore_outcome(payload["outcome"])
+        if progress is not None:
+            progress.step(outcomes[index].latency_ms)
     if checkpoint is not None:
         checkpoint.sync()
         for shard_index in range(len(shards)):

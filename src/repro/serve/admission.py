@@ -104,6 +104,9 @@ class AdmissionController:
         if OBS.enabled:
             OBS.registry.counter("serve.admission.shed",
                                  reason=reason).inc()
+        OBS.flight.record("serve.shed", reason=reason,
+                          draining=draining, inflight=self._inflight,
+                          queued=self._queued)
         return AdmissionDecision(admitted=False, reason=reason,
                                  retry_after=self._retry_after(),
                                  draining=draining)

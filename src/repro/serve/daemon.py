@@ -26,7 +26,8 @@ Endpoints::
     POST /admin/reload   {"lists": [{"name":..., "text":...}]}
     GET  /healthz        liveness + epoch + reload state (always 200)
     GET  /readyz         200 only when serving and not draining
-    GET  /metricz        the flat serve metrics view
+    GET  /metricz        the flat serve metrics view (JSON); append
+                         ``?format=prometheus`` for text exposition
 
 Responses are canonical JSON (:func:`repro.serve.protocol.encode`), so
 daemon bytes can be compared against direct engine calls — the verdict
@@ -40,11 +41,14 @@ import json
 import signal
 import threading
 import time
+from collections import deque
 from dataclasses import dataclass
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable
+from urllib.parse import parse_qs
 
-from repro.obs import OBS
+from repro.obs import OBS, WallClockTicker
+from repro.obs.prometheus import render_prometheus_text
 from repro.serve import protocol
 from repro.serve.admission import AdmissionController
 from repro.serve.protocol import ProtocolError
@@ -67,6 +71,13 @@ class ServeConfig:
     #: Off by default; the drain/chaos tests and the load benchmark
     #: turn it on to create genuinely in-flight requests.
     allow_test_delay: bool = False
+    #: The per-request latency SLO; requests over it burn
+    #: ``serve.slo.burn{slo=latency}``.
+    slo_latency_ms: float = 100.0
+    #: Width of the rolling window behind ``serve.window.*`` gauges.
+    window_s: float = 10.0
+    #: Wall seconds between time-series samples (``--timeseries-out``).
+    telemetry_interval_s: float = 1.0
 
 
 class ServeDaemon:
@@ -88,8 +99,64 @@ class ServeDaemon:
         self._drain_started = threading.Event()
         self._drained = threading.Event()
         self._stopped = threading.Event()
+        # Rolling-window state behind the serve.window.* gauges: the
+        # last window_s seconds of (finish time, latency) pairs and
+        # shed timestamps, evicted lazily on each update.
+        self._window_lock = threading.Lock()
+        self._window_latencies: deque[tuple[float, float]] = deque()
+        self._window_sheds: deque[float] = deque()
+        self._ticker: WallClockTicker | None = None
+        self._telemetry_flushed = False
 
     # -- lifecycle -----------------------------------------------------
+
+    def _prime_metrics(self) -> None:
+        """Create the serving metric families before the first request.
+
+        A scrape of a freshly booted daemon must already expose the
+        request-latency histogram, every shed-reason counter, and the
+        reload-epoch gauge — dashboards and the Prometheus-format smoke
+        test key on family *presence*, not just values.
+        """
+        if not OBS.enabled:
+            return
+        OBS.registry.histogram("serve.latency_ms")
+        for reason in ("queue-full", "deadline-hopeless",
+                       "deadline-in-queue", "draining"):
+            OBS.registry.counter("serve.admission.shed", reason=reason)
+        OBS.registry.gauge("serve.reload.epoch").set(
+            self.holder.current().epoch)
+        OBS.registry.gauge("serve.window.latency_p95_ms").set(0.0)
+        OBS.registry.gauge("serve.window.qps").set(0.0)
+        OBS.registry.gauge("serve.window.shed_rate").set(0.0)
+        OBS.registry.counter("serve.slo.burn", slo="latency")
+
+    def _start_telemetry(self) -> None:
+        """Own a wall-clock sampling ticker when a sampler is wired in."""
+        if OBS.timeseries.enabled and self._ticker is None:
+            self._ticker = WallClockTicker(
+                OBS.timeseries,
+                interval_s=self.config.telemetry_interval_s)
+            self._ticker.start()
+
+    def _flush_telemetry(self) -> None:
+        """Drain-time flush: final sample, sealed exporter, flight dump.
+
+        Runs exactly once, so a drain raced against ``stop()`` can never
+        write a torn telemetry tail — the SIGTERM chaos test asserts the
+        exports verify strictly afterwards.
+        """
+        if self._telemetry_flushed:
+            return
+        self._telemetry_flushed = True
+        if self._ticker is not None:
+            self._ticker.stop()
+            self._ticker = None
+        if OBS.timeseries.enabled:
+            OBS.timeseries.sample_wall()
+            OBS.timeseries.close()
+        OBS.flight.record("serve.drain", drained=self._drained.is_set())
+        OBS.flight.dump(reason="drain")
 
     def _make_server(self) -> ThreadingHTTPServer:
         daemon = self
@@ -111,6 +178,8 @@ class ServeDaemon:
 
     def start(self) -> tuple[str, int]:
         """Bind and serve in a background thread (tests, benchmarks)."""
+        self._prime_metrics()
+        self._start_telemetry()
         self._server = self._make_server()
         self._serve_thread = threading.Thread(
             target=self._server.serve_forever,
@@ -120,6 +189,8 @@ class ServeDaemon:
 
     def serve_forever(self) -> None:
         """Bind and serve on the calling thread (the CLI path)."""
+        self._prime_metrics()
+        self._start_telemetry()
         self._server = self._make_server()
         self._server.serve_forever()
 
@@ -162,6 +233,7 @@ class ServeDaemon:
                 "serve.drains", clean=str(clean).lower()).inc()
         if self.on_drained is not None:
             self.on_drained()
+        self._flush_telemetry()
         self.stop()
         return clean
 
@@ -170,6 +242,11 @@ class ServeDaemon:
         if self._stopped.is_set():
             return
         self._stopped.set()
+        if self._ticker is not None:
+            # A direct stop (no drain) must still not leak the sampling
+            # thread; the full flush stays on the drain path.
+            self._ticker.stop()
+            self._ticker = None
         if self._server is not None:
             self._server.shutdown()
             self._server.server_close()
@@ -203,6 +280,7 @@ class ServeDaemon:
         deadline_s = start + budget_ms / 1000.0
         decision = self.admission.admit(deadline_s)
         if not decision.admitted:
+            self._note_shed(time.monotonic())
             status, payload = protocol.shed(
                 decision.reason or "shed",
                 retry_after=decision.retry_after,
@@ -222,9 +300,15 @@ class ServeDaemon:
                 snapshot, requests,
                 deadline_expired=lambda: time.monotonic() >= deadline_s)
             self._count_outcome(outcome)
+            finished = time.monotonic()
+            latency_ms = (finished - start) * 1000.0
             if OBS.enabled:
                 OBS.registry.histogram("serve.latency_ms").observe(
-                    (time.monotonic() - start) * 1000.0)
+                    latency_ms)
+                if latency_ms > self.config.slo_latency_ms:
+                    OBS.registry.counter("serve.slo.burn",
+                                         slo="latency").inc()
+            self._note_latency(finished, latency_ms)
             return 200, payload, {}
         finally:
             self.admission.release(decision,
@@ -264,6 +348,51 @@ class ServeDaemon:
     def _count_outcome(outcome: str) -> None:
         if OBS.enabled:
             OBS.registry.counter("serve.outcomes", outcome=outcome).inc()
+
+    # -- rolling-window gauges (serve.window.*) ------------------------
+
+    def _note_latency(self, now: float, latency_ms: float) -> None:
+        if not OBS.enabled:
+            return
+        with self._window_lock:
+            self._window_latencies.append((now, latency_ms))
+            self._refresh_window(now)
+
+    def _note_shed(self, now: float) -> None:
+        if not OBS.enabled:
+            return
+        with self._window_lock:
+            self._window_sheds.append(now)
+            self._refresh_window(now)
+
+    def _refresh_window(self, now: float) -> None:
+        """Evict expired samples and republish the window gauges.
+
+        Caller holds ``_window_lock``.  The histogram in
+        ``serve.latency_ms`` is cumulative-forever; these gauges answer
+        the operator's *live* question — "what is p95 / qps / shed rate
+        right now" — over the last :attr:`ServeConfig.window_s` seconds.
+        """
+        horizon = now - self.config.window_s
+        latencies = self._window_latencies
+        while latencies and latencies[0][0] < horizon:
+            latencies.popleft()
+        sheds = self._window_sheds
+        while sheds and sheds[0] < horizon:
+            sheds.popleft()
+        served = len(latencies)
+        if served:
+            ordered = sorted(sample for _, sample in latencies)
+            p95 = ordered[min(served - 1, int(0.95 * served))]
+        else:
+            p95 = 0.0
+        total = served + len(sheds)
+        OBS.registry.gauge("serve.window.latency_p95_ms").set(
+            round(p95, 3))
+        OBS.registry.gauge("serve.window.qps").set(
+            round(total / self.config.window_s, 3))
+        OBS.registry.gauge("serve.window.shed_rate").set(
+            round(len(sheds) / total, 4) if total else 0.0)
 
 
 class _ServeHandler(BaseHTTPRequestHandler):
@@ -307,19 +436,41 @@ class _ServeHandler(BaseHTTPRequestHandler):
         except ValueError:
             return 0.0
 
+    def _send_text(self, status: int, text: str,
+                   content_type: str = "text/plain; version=0.0.4") -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        try:
+            self.wfile.write(body)
+        except (BrokenPipeError, ConnectionResetError):
+            if OBS.enabled:
+                OBS.registry.counter("serve.client_aborts").inc()
+
     def do_GET(self) -> None:  # noqa: N802 (http.server API)
         daemon = self.serve_daemon
-        if self.path == "/healthz":
+        path, _, query = self.path.partition("?")
+        if path == "/healthz":
             self._send(200, daemon.health())
-        elif self.path == "/readyz":
+        elif path == "/readyz":
             if daemon.draining:
                 self._send(503, {"status": "draining"},
                            {"Retry-After": "1"})
             else:
                 self._send(200, {"status": "ready",
                                  "epoch": daemon.holder.current().epoch})
-        elif self.path == "/metricz":
-            self._send(200, daemon.metrics())
+        elif path == "/metricz":
+            # JSON stays the default (existing scrapers grep it); the
+            # Prometheus text exposition is opt-in per scrape.
+            wanted = parse_qs(query).get("format", ["json"])[-1]
+            if wanted == "prometheus":
+                self._send_text(
+                    200, render_prometheus_text(OBS.registry)
+                    if OBS.enabled else "")
+            else:
+                self._send(200, daemon.metrics())
         else:
             self._send(*protocol.error(f"no such path {self.path!r}",
                                        status=404))

@@ -308,3 +308,6 @@ class Reloader:
         if OBS.enabled:
             OBS.registry.counter("serve.reloads",
                                  result=result.status).inc()
+            OBS.registry.gauge("serve.reload.epoch").set(result.epoch)
+        OBS.flight.record(f"reload.{result.status}", epoch=result.epoch,
+                          filters=result.filters, error=result.error)

@@ -85,6 +85,12 @@ class CrashInjector:
         """Count one step; raise :class:`SimulatedCrash` on the fatal one."""
         self.steps_taken += 1
         if self.steps_taken == self.at_step:
+            # The black box gets the kill before the stack unwinds: the
+            # dump-on-crash handler only sees the exception, not the
+            # injector's schedule.
+            from repro.obs import OBS
+            OBS.flight.record("crash.injected", step=self.steps_taken,
+                              label=label, torn=self.torn)
             raise SimulatedCrash(self.steps_taken, label)
 
 

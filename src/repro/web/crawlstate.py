@@ -293,6 +293,11 @@ def journaled_survey(crawler: Crawler, groups, *,
     restore_crawler_state(
         crawler, merge_states(payload["state"] for _, payload in done))
     last_rng = snapshot_rng(crawler.rng)
+    from repro.obs import OBS, ProgressTracker
+    progress = (ProgressTracker(
+        scope, sum(len(group.targets) for group in groups),
+        done=len(done_keys))
+        if OBS.registry.enabled or OBS.timeseries.enabled else None)
     for group in groups:
         pending = [target for target in group.targets
                    if unit_key(group.name, target) not in done_keys]
@@ -310,5 +315,7 @@ def journaled_survey(crawler: Crawler, groups, *,
                      "outcome": snapshot_outcome(outcome),
                      "state": state})
                 outcomes_by_group[group.name].append(outcome)
+                if progress is not None:
+                    progress.step(outcome.latency_ms)
         checkpoint.sync()
     return outcomes_by_group

@@ -153,3 +153,101 @@ class TestDiff:
             records.append(record)
         atomic_write_jsonl(str(dest), records)
         return str(dest)
+
+
+class TestDiffJson:
+    def test_identical_runs_emit_ok_document(self, run):
+        _, metrics, _ = run
+        document = json.loads(run_cli("obs", "diff", metrics, metrics,
+                                      "--json"))
+        assert document["ok"] is True
+        assert document["violations"] == 0
+        assert document["metrics"] == len(document["deltas"])
+        assert all(delta["violation"] is False
+                   for delta in document["deltas"])
+
+    def test_regression_document_names_the_violation(self, run, tmp_path):
+        _, metrics, _ = run
+        slowed = TestDiff()._rewrite(metrics, tmp_path / "slow.jsonl",
+                                     scale=2.0)
+        text = run_cli("obs", "diff", metrics, slowed,
+                       "--metric", "web.crawl.latency_ms.*",
+                       "--json", expect=1)
+        document = json.loads(text)
+        assert document["ok"] is False
+        assert document["violations"] >= 1
+        bad = [delta for delta in document["deltas"]
+               if delta["violation"]]
+        assert any(delta["name"].startswith("web.crawl.latency_ms")
+                   for delta in bad)
+
+    def test_infinite_relative_stays_strict_json(self, run, tmp_path):
+        """A counter appearing from a zero baseline has infinite
+        relative change; the JSON document must stay loadable by a
+        strict parser (no bare Infinity tokens)."""
+        from repro.state.atomic import atomic_write_jsonl
+
+        _, metrics, _ = run
+        baseline = tmp_path / "zeroed.jsonl"
+        records = []
+        for record in read_jsonl(metrics):
+            if record.get("type") == "counter":
+                record = dict(record)
+                record["value"] = 0
+            records.append(record)
+        atomic_write_jsonl(str(baseline), records)
+        text = run_cli("obs", "diff", str(baseline), metrics, "--json",
+                       expect=1)
+        assert "Infinity" not in text
+        document = json.loads(text)
+        assert any(delta["relative"] == "inf"
+                   for delta in document["deltas"])
+
+
+@pytest.fixture(scope="module")
+def telemetry_run(tmp_path_factory):
+    tmp = tmp_path_factory.mktemp("obs-cli-telemetry")
+    ts = str(tmp / "run.ts.jsonl")
+    flight = str(tmp / "run.flight.jsonl")
+    run_cli(*ARGS, "--timeseries-out", ts, "--flight-out", flight)
+    return ts, flight
+
+
+class TestWatchAndTimeline:
+    def test_watch_once_renders_latest_sample(self, telemetry_run):
+        ts, _ = telemetry_run
+        text = run_cli("obs", "watch", "--once", ts)
+        lines = text.splitlines()
+        assert lines[0].startswith(f"== {ts}")
+        assert "(sealed)" in lines[0]           # clean run closed it
+        assert "tick " in text
+        assert "run.progress.units_done" in text
+
+    def test_watch_metric_filter(self, telemetry_run):
+        ts, _ = telemetry_run
+        text = run_cli("obs", "watch", "--once", ts,
+                       "--metric", "run.progress.*")
+        assert "run.progress.units_done" in text
+        assert "web.crawl.latency_ms" not in text
+
+    def test_watch_missing_file_fails_cleanly(self):
+        text = run_cli("obs", "watch", "--once", "/no/such/ts.jsonl",
+                       expect=2)
+        assert text.startswith("error:")
+
+    def test_timeline_sparkles_progress(self, telemetry_run):
+        ts, _ = telemetry_run
+        text = run_cli("obs", "timeline", ts)
+        assert "ticks" in text.splitlines()[0]
+        assert "run.progress.units_done" in text
+        assert "last=" in text
+
+    def test_flight_renders_clean_exit(self, telemetry_run):
+        _, flight = telemetry_run
+        text = run_cli("obs", "flight", flight)
+        assert "reason=exit" in text.splitlines()[0]
+
+    def test_flight_missing_file_fails_cleanly(self):
+        text = run_cli("obs", "flight", "/no/such/flight.jsonl",
+                       expect=2)
+        assert text.startswith("error:")

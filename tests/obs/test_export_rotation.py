@@ -1,0 +1,168 @@
+"""Rotation and corruption tests for the streaming segment exporter."""
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    DEFAULT_SEGMENT_BYTES,
+    RotatingJsonlExporter,
+    list_segments,
+    read_rotated_jsonl,
+    segment_path,
+)
+from repro.state.atomic import ArtifactError, read_jsonl
+
+
+def write_stream(path, count, *, run_id=None, max_segment_bytes=None):
+    kwargs = {"run_id": run_id}
+    if max_segment_bytes is not None:
+        kwargs["max_segment_bytes"] = max_segment_bytes
+    exporter = RotatingJsonlExporter(str(path), **kwargs)
+    for n in range(count):
+        exporter.write({"type": "sample", "tick": n + 1,
+                        "metrics": {"demo.units": n + 1}})
+    return exporter
+
+
+class TestSegmentNaming:
+    def test_segment_path_is_zero_padded(self):
+        assert segment_path("ts.jsonl", 0) == "ts.jsonl.000"
+        assert segment_path("ts.jsonl", 12) == "ts.jsonl.012"
+
+    def test_list_segments_orders_by_index(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        for index in (2, 0, 1):
+            (tmp_path / f"ts.jsonl.{index:03d}").write_text("{}\n")
+        assert [p.rsplit(".", 1)[-1] for p in list_segments(str(base))] \
+            == ["000", "001", "002"]
+
+    def test_list_segments_excludes_diag_sidecar(self, tmp_path):
+        (tmp_path / "ts.jsonl.000").write_text("{}\n")
+        (tmp_path / "ts.jsonl.diag.000").write_text("{}\n")
+        segments = list_segments(str(tmp_path / "ts.jsonl"))
+        assert [s.endswith("ts.jsonl.000") for s in segments] == [True]
+
+    def test_list_segments_empty_when_missing(self, tmp_path):
+        assert list_segments(str(tmp_path / "nope" / "ts.jsonl")) == []
+
+
+class TestRotation:
+    def test_rotates_when_segment_fills(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        exporter = write_stream(base, 50, max_segment_bytes=256)
+        exporter.close()
+        segments = list_segments(str(base))
+        assert len(segments) > 1
+        assert exporter.segments_written == len(segments)
+        records = read_rotated_jsonl(str(base), strict=True)
+        assert [r["tick"] for r in records] == list(range(1, 51))
+
+    def test_each_segment_opens_with_run_header(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 50, run_id="rid0", max_segment_bytes=256).close()
+        for index, segment in enumerate(list_segments(str(base))):
+            header = read_jsonl(segment)[0]
+            assert header["type"] == "run"
+            assert header["run_id"] == "rid0"
+            assert header["segment"] == index
+
+    def test_sealed_segments_verify_under_read_jsonl(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 10).close()
+        records = read_jsonl(segment_path(str(base), 0))
+        assert [r["tick"] for r in records] == list(range(1, 11))
+
+    def test_identical_write_sequences_are_byte_identical(self, tmp_path):
+        def run(name):
+            base = tmp_path / name
+            write_stream(base, 30, run_id="r",
+                         max_segment_bytes=512).close()
+            return b"".join(
+                open(s, "rb").read() for s in list_segments(str(base)))
+
+        assert run("a.jsonl") == run("b.jsonl")
+
+    def test_default_segment_size_is_sane(self):
+        assert DEFAULT_SEGMENT_BYTES >= 64 * 1024
+
+    def test_rejects_nonpositive_segment_size(self, tmp_path):
+        with pytest.raises(ValueError, match="max_segment_bytes"):
+            RotatingJsonlExporter(str(tmp_path / "x"), max_segment_bytes=0)
+
+
+class TestClose:
+    def test_close_is_idempotent_and_stops_writes(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        exporter = write_stream(base, 3)
+        exporter.close()
+        exporter.close()
+        exporter.write({"type": "sample", "tick": 99})
+        records = read_rotated_jsonl(str(base), strict=True)
+        assert [r["tick"] for r in records] == [1, 2, 3]
+
+    def test_close_without_writes_seals_header_only_segment(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        exporter = RotatingJsonlExporter(str(base), run_id="rid")
+        exporter.close()
+        records = read_rotated_jsonl(str(base), strict=True)
+        assert [r["type"] for r in records] == ["run"]
+
+
+class TestTornTailAndCorruption:
+    def test_torn_final_line_is_dropped(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 3)                     # never closed
+        segment = segment_path(str(base), 0)
+        with open(segment, "ab") as handle:
+            handle.write(b'{"type": "sample", "tick": 4, "met')
+        records = read_rotated_jsonl(str(base))
+        assert [r["tick"] for r in records] == [1, 2, 3]
+
+    def test_unsealed_but_complete_lines_all_survive(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 3)                     # killed before close()
+        records = read_rotated_jsonl(str(base))
+        assert [r["tick"] for r in records] == [1, 2, 3]
+
+    def test_strict_raises_on_unsealed_final_segment(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 3)                     # no footer
+        with pytest.raises(ArtifactError):
+            read_rotated_jsonl(str(base), strict=True)
+
+    def test_midfile_corruption_raises_even_tolerant(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 5)                     # unsealed
+        segment = segment_path(str(base), 0)
+        lines = open(segment, "rb").read().splitlines(keepends=True)
+        lines[2] = b"NOT JSON\n"
+        open(segment, "wb").write(b"".join(lines))
+        with pytest.raises(ArtifactError, match="line 3"):
+            read_rotated_jsonl(str(base))
+
+    def test_corrupt_sealed_segment_raises(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 50, max_segment_bytes=256).close()
+        first = list_segments(str(base))[0]
+        data = bytearray(open(first, "rb").read())
+        data[10] ^= 0x01
+        open(first, "wb").write(bytes(data))
+        with pytest.raises(ArtifactError):
+            read_rotated_jsonl(str(base))
+
+    def test_tampered_footer_detected_on_final_segment(self, tmp_path):
+        base = tmp_path / "ts.jsonl"
+        write_stream(base, 3).close()
+        segment = segment_path(str(base), 0)
+        lines = open(segment, "rb").read().splitlines(keepends=True)
+        footer = json.loads(lines[-1])
+        footer["crc32"] = "00000000"
+        lines[-1] = (json.dumps(footer) + "\n").encode()
+        open(segment, "wb").write(b"".join(lines))
+        with pytest.raises(ArtifactError):
+            read_rotated_jsonl(str(base))
+
+    def test_no_segments_raises(self, tmp_path):
+        with pytest.raises(ArtifactError, match="no time-series"):
+            read_rotated_jsonl(str(tmp_path / "ts.jsonl"))

@@ -1,0 +1,139 @@
+"""Unit tests for the flight recorder ring and its dump artifact."""
+
+import pytest
+
+from repro.obs import (
+    NULL_FLIGHT,
+    DEFAULT_FLIGHT_CAPACITY,
+    FlightRecorder,
+    Tracer,
+    observe,
+)
+from repro.obs.analyze import load_flight
+from repro.state.atomic import ArtifactError, read_jsonl
+
+
+def make_recorder(capacity=4, **kwargs):
+    ticks = iter(x * 0.5 for x in range(1000))
+    return FlightRecorder(capacity, clock=lambda: next(ticks), **kwargs)
+
+
+class TestRing:
+    def test_records_in_order_with_seq_and_time(self):
+        recorder = make_recorder()
+        recorder.record("worker.spawn", slot=0)
+        recorder.record("lease.grant", lease=1, units=4)
+        events = recorder.events()
+        assert [e["kind"] for e in events] == ["worker.spawn",
+                                              "lease.grant"]
+        assert [e["seq"] for e in events] == [1, 2]
+        # The constructor consumes one clock value for the epoch, so
+        # the first record lands half a step later.
+        assert events[0]["t_s"] == 0.5 and events[1]["t_s"] == 1.0
+        assert events[1]["attrs"] == {"lease": 1, "units": 4}
+
+    def test_overflow_evicts_oldest_and_counts_dropped(self):
+        recorder = make_recorder(capacity=2)
+        for n in range(5):
+            recorder.record("e", n=n)
+        events = recorder.events()
+        assert [e["attrs"]["n"] for e in events] == [3, 4]
+        assert recorder.dropped == 3
+
+    def test_correlates_current_trace_span(self):
+        recorder = make_recorder()
+        tracer = Tracer()
+        with observe(tracer=tracer):
+            with tracer.span("survey.run") as span:
+                recorder.record("inside")
+            recorder.record("outside")
+        inside, outside = recorder.events()
+        assert inside["span_id"] == span.span_id
+        assert "span_id" not in outside
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError, match="capacity"):
+            FlightRecorder(0)
+
+    def test_default_capacity(self):
+        assert FlightRecorder().capacity == DEFAULT_FLIGHT_CAPACITY
+
+
+class TestDump:
+    def test_dump_writes_header_and_events(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        recorder = make_recorder(capacity=2, run_id="r123")
+        for n in range(3):
+            recorder.record("e", n=n)
+        assert recorder.dump(path, reason="test") == path
+        records = read_jsonl(path)                # CRC footer verifies
+        header = records[0]
+        assert header["type"] == "flight"
+        assert header["reason"] == "test"
+        assert header["capacity"] == 2
+        assert header["events"] == 2
+        assert header["dropped"] == 1
+        assert header["run_id"] == "r123"
+        assert [r["kind"] for r in records[1:]] == ["e", "e"]
+
+    def test_dump_uses_configured_path(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        recorder = make_recorder(path=path)
+        recorder.record("e")
+        assert recorder.dump(reason="exit") == path
+
+    def test_dump_without_destination_returns_none(self):
+        recorder = make_recorder()
+        recorder.record("e")
+        assert recorder.dump(reason="manual") is None
+
+    def test_repeated_dump_replaces_atomically(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        recorder = make_recorder(path=path)
+        recorder.record("first")
+        recorder.dump(reason="one")
+        recorder.record("second")
+        recorder.dump(reason="two")
+        dump = load_flight(path)
+        assert dump.reason == "two"
+        assert [e["kind"] for e in dump.events] == ["first", "second"]
+
+
+class TestLoadFlight:
+    def test_round_trip(self, tmp_path):
+        path = str(tmp_path / "flight.jsonl")
+        recorder = make_recorder(run_id="rid")
+        recorder.record("worker.spawn", slot=1)
+        recorder.dump(path, reason="drain")
+        dump = load_flight(path)
+        assert (dump.reason, dump.run_id, dump.dropped) == \
+            ("drain", "rid", 0)
+        assert dump.events[0]["attrs"] == {"slot": 1}
+
+    def test_rejects_non_flight_artifact(self, tmp_path):
+        from repro.state.atomic import atomic_write_jsonl
+
+        path = str(tmp_path / "other.jsonl")
+        atomic_write_jsonl(path, [{"type": "counter", "name": "x"}])
+        with pytest.raises(ArtifactError, match="flight"):
+            load_flight(path)
+
+    def test_rejects_corrupt_dump(self, tmp_path):
+        path = tmp_path / "flight.jsonl"
+        recorder = make_recorder()
+        recorder.record("e")
+        recorder.dump(str(path), reason="x")
+        data = bytearray(path.read_bytes())
+        data[15] ^= 0x01
+        path.write_bytes(bytes(data))
+        with pytest.raises(ArtifactError):
+            load_flight(str(path))
+
+
+class TestNullFlight:
+    def test_null_is_inert(self):
+        assert NULL_FLIGHT.enabled is False
+        NULL_FLIGHT.record("anything", x=1)
+        assert NULL_FLIGHT.events() == []
+        assert NULL_FLIGHT.dump(reason="x") is None
+        assert NULL_FLIGHT.dropped == 0

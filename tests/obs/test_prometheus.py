@@ -1,0 +1,168 @@
+"""Tests for Prometheus text rendering and the strict parser."""
+
+import pytest
+
+from repro.obs import MetricsRegistry
+from repro.obs.prometheus import (
+    PrometheusFormatError,
+    parse_prometheus_text,
+    render_prometheus_text,
+)
+
+
+class TestRender:
+    def test_counter_gains_total_suffix(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", route="/v1/match").inc(3)
+        text = render_prometheus_text(registry)
+        assert "# TYPE serve_requests_total counter" in text
+        assert 'serve_requests_total{route="/v1/match"} 3' in text
+
+    def test_dotted_names_sanitize_to_underscores(self):
+        registry = MetricsRegistry()
+        registry.gauge("serve.reload.epoch").set(2)
+        text = render_prometheus_text(registry)
+        assert "serve_reload_epoch 2" in text
+        assert "." not in text.split("\n")[-2].split(" ")[0]
+
+    def test_help_and_type_lines_precede_samples(self):
+        registry = MetricsRegistry()
+        registry.counter("n").inc()
+        lines = render_prometheus_text(registry).splitlines()
+        assert lines[0] == "# HELP n_total repro counter n"
+        assert lines[1] == "# TYPE n_total counter"
+        assert lines[2] == "n_total 1"
+
+    def test_histogram_buckets_are_cumulative_with_inf(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("serve.latency_ms")
+        for value in (0.5, 0.5, 40.0):
+            histogram.observe(value)
+        text = render_prometheus_text(registry)
+        families = parse_prometheus_text(text)
+        samples = families["serve_latency_ms"]["samples"]
+        buckets = [(labels["le"], value) for name, labels, value in samples
+                   if name.endswith("_bucket")]
+        assert buckets[-1][0] == "+Inf"
+        counts = [value for _, value in buckets]
+        assert counts == sorted(counts)           # cumulative
+        assert counts[-1] == 3
+        count = [value for name, _, value in samples
+                 if name.endswith("_count")]
+        assert count == [3]
+
+    def test_label_values_escape_quotes_and_backslashes(self):
+        registry = MetricsRegistry()
+        registry.counter("c", tag='say "hi"\\now').inc()
+        text = render_prometheus_text(registry)
+        families = parse_prometheus_text(text)
+        _, labels, _ = families["c_total"]["samples"][0]
+        assert labels["tag"] == 'say "hi"\\now'
+
+    def test_identical_registries_render_identically(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("a", x="1").inc(2)
+            registry.gauge("b").set(0.5)
+            registry.histogram("h").observe(1.0)
+            return render_prometheus_text(registry)
+
+        assert build() == build()
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus_text(MetricsRegistry()) == ""
+
+    def test_conflicting_family_types_raise(self):
+        registry = MetricsRegistry()
+        registry.counter("x.y").inc()
+        registry.gauge("x_y_total").set(1)
+        with pytest.raises(ValueError, match="conflicting"):
+            render_prometheus_text(registry)
+
+
+class TestParseRoundTrip:
+    def test_full_round_trip(self):
+        registry = MetricsRegistry()
+        registry.counter("serve.requests", route="/v1/match").inc(7)
+        registry.gauge("serve.inflight").set(2)
+        registry.histogram("serve.latency_ms", route="/v1/match").observe(3.0)
+        families = parse_prometheus_text(render_prometheus_text(registry))
+        assert families["serve_requests_total"]["type"] == "counter"
+        assert families["serve_inflight"]["type"] == "gauge"
+        assert families["serve_latency_ms"]["type"] == "histogram"
+        name, labels, value = families["serve_requests_total"]["samples"][0]
+        assert (labels, value) == ({"route": "/v1/match"}, 7)
+
+    def test_parses_empty_exposition(self):
+        assert parse_prometheus_text("") == {}
+
+    def test_ignores_blank_lines_and_comments(self):
+        text = ("# a free-form comment\n"
+                "\n"
+                "# TYPE g gauge\n"
+                "g 1\n")
+        assert parse_prometheus_text(text)["g"]["samples"] == \
+            [("g", {}, 1.0)]
+
+
+class TestParseErrors:
+    def test_rejects_missing_trailing_newline(self):
+        with pytest.raises(PrometheusFormatError, match="newline"):
+            parse_prometheus_text("# TYPE g gauge\ng 1")
+
+    def test_rejects_sample_without_type(self):
+        with pytest.raises(PrometheusFormatError, match="no preceding"):
+            parse_prometheus_text("orphan 1\n")
+
+    def test_rejects_malformed_sample_line(self):
+        with pytest.raises(PrometheusFormatError, match="malformed sample"):
+            parse_prometheus_text("# TYPE g gauge\ng 1 2 3 junk here\n")
+
+    def test_rejects_bad_value(self):
+        with pytest.raises(PrometheusFormatError, match="invalid sample"):
+            parse_prometheus_text("# TYPE g gauge\ng one\n")
+
+    def test_rejects_duplicate_type_line(self):
+        with pytest.raises(PrometheusFormatError, match="duplicate TYPE"):
+            parse_prometheus_text(
+                "# TYPE g gauge\n# TYPE g gauge\ng 1\n")
+
+    def test_rejects_unknown_metric_type(self):
+        with pytest.raises(PrometheusFormatError, match="unknown"):
+            parse_prometheus_text("# TYPE g widget\ng 1\n")
+
+    def test_rejects_malformed_label_pair(self):
+        with pytest.raises(PrometheusFormatError, match="label"):
+            parse_prometheus_text("# TYPE g gauge\ng{oops} 1\n")
+
+    def test_rejects_histogram_without_inf_bucket(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1.0"} 1\n'
+                "h_sum 0.5\n"
+                "h_count 1\n")
+        with pytest.raises(PrometheusFormatError, match=r"\+Inf"):
+            parse_prometheus_text(text)
+
+    def test_rejects_non_cumulative_buckets(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="1.0"} 5\n'
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1.0\n"
+                "h_count 3\n")
+        with pytest.raises(PrometheusFormatError, match="cumulative"):
+            parse_prometheus_text(text)
+
+    def test_rejects_inf_bucket_count_mismatch(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 3\n'
+                "h_sum 1.0\n"
+                "h_count 4\n")
+        with pytest.raises(PrometheusFormatError, match="disagrees"):
+            parse_prometheus_text(text)
+
+    def test_rejects_histogram_missing_count(self):
+        text = ("# TYPE h histogram\n"
+                'h_bucket{le="+Inf"} 1\n'
+                "h_sum 1.0\n")
+        with pytest.raises(PrometheusFormatError, match="missing"):
+            parse_prometheus_text(text)

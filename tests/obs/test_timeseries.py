@@ -1,0 +1,184 @@
+"""Unit tests for the time-series sampler, progress tracker, and ticker."""
+
+import threading
+
+import pytest
+
+from repro.obs import (
+    NULL_TIMESERIES,
+    OBS,
+    InMemoryTimeSeries,
+    MetricsRegistry,
+    ProgressTracker,
+    TimeSeriesSampler,
+    WallClockTicker,
+    observe,
+)
+
+
+def make_sampler(**kwargs):
+    sink = InMemoryTimeSeries()
+    registry = kwargs.pop("registry", MetricsRegistry())
+    sampler = TimeSeriesSampler(sink, registry=registry, **kwargs)
+    return sampler, sink, registry
+
+
+class TestAdvance:
+    def test_emits_one_sample_per_tick_crossed(self):
+        sampler, sink, registry = make_sampler(interval_s=1.0)
+        registry.counter("demo.units").inc()
+        assert sampler.advance(0.4) == 0
+        assert sampler.advance(0.4) == 0
+        assert sampler.advance(0.4) == 1          # crosses 1.0
+        assert sampler.advance(2.0) == 2          # crosses 2.0 and 3.0
+        assert [r["tick"] for r in sink.records] == [1, 2, 3]
+        assert [r["t_s"] for r in sink.records] == [1.0, 2.0, 3.0]
+        assert sink.records[0]["metrics"] == {"demo.units": 1}
+
+    def test_float_accumulation_crosses_exact_boundary(self):
+        """0.1 x 10 must cross the 1.0 tick despite float error."""
+        sampler, sink, _ = make_sampler(interval_s=1.0)
+        emitted = sum(sampler.advance(0.1) for _ in range(10))
+        assert emitted == 1
+        assert sink.records[0]["t_s"] == 1.0
+
+    def test_snapshot_reflects_registry_at_tick_time(self):
+        sampler, sink, registry = make_sampler(interval_s=1.0)
+        registry.counter("n").inc()
+        sampler.advance(1.0)
+        registry.counter("n").inc()
+        sampler.advance(1.0)
+        assert [r["metrics"]["n"] for r in sink.records] == [1, 2]
+
+    def test_zero_and_negative_deltas_are_noops(self):
+        sampler, sink, _ = make_sampler()
+        assert sampler.advance(0.0) == 0
+        assert sampler.advance(-1.0) == 0
+        assert sink.records == []
+
+    def test_closed_sampler_stops_emitting(self):
+        sampler, sink, _ = make_sampler()
+        sampler.close()
+        assert sampler.advance(5.0) == 0
+        assert sink.closed
+        sampler.close()                           # idempotent
+
+    def test_reads_current_obs_registry_when_unpinned(self):
+        sink = InMemoryTimeSeries()
+        sampler = TimeSeriesSampler(sink)         # registry=None
+        with observe() as (registry, _):
+            registry.counter("live").inc(7)
+            sampler.advance(1.0)
+        assert sink.records[0]["metrics"] == {"live": 7}
+
+    def test_interval_must_be_positive(self):
+        with pytest.raises(ValueError, match="interval_s"):
+            TimeSeriesSampler(InMemoryTimeSeries(), interval_s=0.0)
+
+
+class TestWallSampling:
+    def test_wall_samples_stamp_elapsed_seconds(self):
+        ticks = iter([10.0, 12.5])
+        sampler, sink, _ = make_sampler(clock=lambda: next(ticks))
+        sampler.sample_wall()
+        sampler.sample_wall()
+        assert [r["t_s"] for r in sink.records] == [0.0, 2.5]
+        assert [r["tick"] for r in sink.records] == [1, 2]
+
+
+class TestDiagnosticsSidecar:
+    def test_writes_diagnostics_to_sidecar_only(self):
+        side = InMemoryTimeSeries()
+        ticks = iter([0.0, 1.0])
+        sampler, sink, _ = make_sampler(diagnostics_exporter=side,
+                                        clock=lambda: next(ticks))
+        with observe(diagnostics=MetricsRegistry()):
+            OBS.diagnostics.gauge("parallel.steal.backlog").set(3)
+            sampler.sample_diagnostics()
+        assert sink.records == []
+        assert side.records[0]["metrics"] == {
+            "parallel.steal.backlog": 3}
+
+    def test_rate_limited_on_wall_clock(self):
+        side = InMemoryTimeSeries()
+        ticks = iter([0.0, 0.1, 0.6])
+        sampler, _, _ = make_sampler(diagnostics_exporter=side,
+                                     diagnostics_min_wall_s=0.25,
+                                     clock=lambda: next(ticks))
+        with observe(diagnostics=MetricsRegistry()):
+            OBS.diagnostics.gauge("g").set(1)
+            sampler.sample_diagnostics()          # t=0.0: emits
+            sampler.sample_diagnostics()          # t=0.1: suppressed
+            sampler.sample_diagnostics()          # t=0.6: emits
+        assert len(side.records) == 2
+
+    def test_noop_without_sidecar_or_diagnostics(self):
+        sampler, sink, _ = make_sampler()
+        sampler.sample_diagnostics()              # no sidecar exporter
+        assert sink.records == []
+
+
+class TestProgressTracker:
+    def test_publishes_gauges_and_drives_ticks(self):
+        sink = InMemoryTimeSeries()
+        sampler = TimeSeriesSampler(sink, interval_s=1.0)
+        with observe(timeseries=sampler) as (registry, _):
+            tracker = ProgressTracker("survey/demo", total=4)
+            tracker.step(600.0)
+            tracker.step(600.0)                   # 1.2s: crosses 1.0
+            flat = registry.flat()
+        assert flat["run.progress.units_total{stage=survey/demo}"] == 4
+        assert flat["run.progress.units_done{stage=survey/demo}"] == 2
+        assert flat["run.progress.elapsed_s{stage=survey/demo}"] == 1.2
+        assert flat["run.progress.eta_s{stage=survey/demo}"] == 1.2
+        assert len(sink.records) == 1
+
+    def test_resumed_run_starts_with_done_offset(self):
+        with observe() as (registry, _):
+            ProgressTracker("s", total=10, done=7)
+            flat = registry.flat()
+        assert flat["run.progress.units_done{stage=s}"] == 7
+        assert flat["run.progress.eta_s{stage=s}"] == 0.0
+
+    def test_silent_without_registry_or_sampler(self):
+        tracker = ProgressTracker("s", total=2)
+        tracker.step(100.0)                       # no observe(): no-op
+        assert OBS.timeseries is NULL_TIMESERIES
+
+
+class TestWallClockTicker:
+    def test_ticks_until_stopped(self):
+        emitted = threading.Event()
+        sink = InMemoryTimeSeries()
+
+        class Signalling(TimeSeriesSampler):
+            def sample_wall(self):
+                super().sample_wall()
+                emitted.set()
+
+        sampler = Signalling(sink, registry=MetricsRegistry())
+        ticker = WallClockTicker(sampler, interval_s=0.01)
+        ticker.start()
+        assert emitted.wait(timeout=5.0)
+        ticker.stop()
+        count = len(sink.records)
+        assert count >= 1
+        ticker.stop()                             # idempotent
+
+    def test_start_twice_is_single_thread(self):
+        sampler, _, _ = make_sampler()
+        ticker = WallClockTicker(sampler, interval_s=60.0)
+        ticker.start()
+        thread = ticker._thread
+        ticker.start()
+        assert ticker._thread is thread
+        ticker.stop()
+
+
+class TestNullTimeSeries:
+    def test_null_is_inert(self):
+        assert NULL_TIMESERIES.enabled is False
+        assert NULL_TIMESERIES.advance(100.0) == 0
+        NULL_TIMESERIES.sample_wall()
+        NULL_TIMESERIES.sample_diagnostics()
+        NULL_TIMESERIES.close()

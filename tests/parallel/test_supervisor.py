@@ -22,7 +22,7 @@ from repro.parallel.scheduler import (POISONED_ERROR_CLASS, SchedulerError,
                                       StealStats, run_stealing_survey,
                                       simulate_steal_makespan)
 from repro.parallel.supervisor import (POISON_EXIT_CODE, Supervisor,
-                                       WorkerCrashInjector)
+                                       WorkerCrashInjector, WorkerHandle)
 from repro.web.crawler import Crawler
 from repro.web.crawlstate import snapshot_outcome
 from repro.web.faults import FaultInjector, FaultPlan
@@ -84,6 +84,37 @@ class TestSupervisorBookkeeping:
                                 heartbeat_timeout=1.0, max_restarts=0)
         assert supervisor.respawn(0) is None
         assert supervisor.restarts_used == 0
+
+    def test_heartbeat_lag_computed_from_send_stamp(self):
+        clock = iter([0.0, 10.3, 20.0])
+        supervisor = Supervisor(lambda *a: None, workers=1,
+                                heartbeat_timeout=5.0, max_restarts=0,
+                                clock=lambda: next(clock))
+        handle = WorkerHandle(slot=0, incarnation=0, proc=None,
+                              conn=None, last_seen=next(clock))
+        # Receive at t=10.3 of a message stamped t=10.0: 0.3s of lag.
+        lag = supervisor.note_heartbeat(handle, sent_s=10.0)
+        assert lag == pytest.approx(0.3)
+        assert handle.last_lag_s == pytest.approx(0.3)
+        assert handle.last_seen == 10.3
+        assert supervisor.max_lag_s == pytest.approx(0.3)
+        # A smaller lag updates last_lag_s but not the maximum.
+        lag = supervisor.note_heartbeat(handle, sent_s=19.9)
+        assert lag == pytest.approx(0.1)
+        assert supervisor.max_lag_s == pytest.approx(0.3)
+
+    def test_heartbeat_lag_clamped_for_future_stamps(self):
+        """A skewed send stamp must never extend the deadline."""
+        clock = iter([0.0, 5.0])
+        supervisor = Supervisor(lambda *a: None, workers=1,
+                                heartbeat_timeout=5.0, max_restarts=0,
+                                clock=lambda: next(clock))
+        handle = WorkerHandle(slot=0, incarnation=0, proc=None,
+                              conn=None, last_seen=next(clock))
+        assert supervisor.note_heartbeat(handle, sent_s=99.0) == 0.0
+        assert handle.last_lag_s == 0.0
+        assert handle.last_seen == 5.0
+        assert supervisor.max_lag_s == 0.0
 
     def test_idle_workers_never_time_out(self):
         clock = iter([0.0, 100.0, 200.0])

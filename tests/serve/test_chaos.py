@@ -11,6 +11,13 @@ import threading
 
 import pytest
 
+from repro.obs import (
+    FlightRecorder,
+    RotatingJsonlExporter,
+    TimeSeriesSampler,
+    observe,
+)
+from repro.obs.analyze import load_flight, load_timeseries
 from repro.serve import (
     Reloader,
     ServeConfig,
@@ -114,6 +121,45 @@ class TestHostileClients:
         assert any(status == 200 for status, _ in reload_results)
         assert all(outcome in ("swapped", "rejected")
                    for _, outcome in reload_results)
+
+
+class TestTelemetryUnderChaos:
+    def test_drain_after_chaos_leaves_no_torn_telemetry(self, tmp_path):
+        """Hostile clients + live telemetry, then the SIGTERM sequence:
+        every time-series segment must verify strictly (no torn tail)
+        and the flight dump must be a complete, checksummed artifact."""
+        ts_path = str(tmp_path / "ts.jsonl")
+        flight_path = str(tmp_path / "flight.jsonl")
+        sampler = TimeSeriesSampler(
+            RotatingJsonlExporter(ts_path, run_id="chaos"),
+            interval_s=0.05)
+        flight = FlightRecorder(path=flight_path, run_id="chaos")
+        holder = SnapshotHolder.from_sources(SOURCES)
+        with observe(timeseries=sampler, flight=flight):
+            instance = ServeDaemon(
+                holder,
+                ServeConfig(port=0, max_inflight=2, max_queue=4,
+                            default_deadline_ms=5_000.0,
+                            drain_timeout_s=10.0, allow_test_delay=True,
+                            telemetry_interval_s=0.05),
+                reloader=Reloader(holder))
+            instance.start()
+            try:
+                report = run_chaos_clients(instance, CORPUS, clients=4,
+                                           requests_per_client=10,
+                                           fault_rate=0.5, seed=7)
+            finally:
+                instance.drain_and_stop()
+        assert report.accounted == report.sent
+        series = load_timeseries(ts_path, strict=True)
+        assert series.complete
+        dump = load_flight(flight_path)
+        assert dump.reason == "drain"
+        kinds = [event["kind"] for event in dump.events]
+        assert "serve.drain" in kinds
+        # Chaos produced sheds, and each shed left a flight event.
+        if report.shed_overload or report.shed_unavailable:
+            assert "serve.shed" in kinds
 
 
 class TestReloaderDeath:

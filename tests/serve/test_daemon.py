@@ -14,6 +14,14 @@ import threading
 
 import pytest
 
+from repro.obs import (
+    FlightRecorder,
+    RotatingJsonlExporter,
+    TimeSeriesSampler,
+    observe,
+)
+from repro.obs.analyze import load_flight, load_timeseries
+from repro.obs.prometheus import parse_prometheus_text
 from repro.serve import (
     Reloader,
     ServeConfig,
@@ -176,6 +184,131 @@ class TestHealth:
     def test_unknown_paths_are_404(self, daemon):
         assert request(daemon, "GET", "/nope")[0] == 404
         assert request(daemon, "POST", "/nope", {})[0] == 404
+
+
+def make_daemon(**config) -> ServeDaemon:
+    holder = SnapshotHolder.from_sources(SOURCES)
+    defaults = dict(port=0, max_inflight=2, max_queue=2,
+                    default_deadline_ms=5_000.0, drain_timeout_s=10.0)
+    defaults.update(config)
+    return ServeDaemon(holder, ServeConfig(**defaults),
+                       reloader=Reloader(holder))
+
+
+class TestPrometheusEndpoint:
+    def test_required_families_present_at_boot(self):
+        """A scrape of a freshly booted daemon already exposes the
+        latency histogram, every shed-reason counter, and the
+        reload-epoch gauge — no traffic required."""
+        with observe():
+            instance = make_daemon()
+            instance.start()
+            try:
+                status, raw, headers = request(
+                    instance, "GET", "/metricz?format=prometheus")
+            finally:
+                instance.stop()
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        families = parse_prometheus_text(raw.decode("utf-8"))
+        assert "serve_latency_ms" in families
+        assert families["serve_latency_ms"]["type"] == "histogram"
+        assert "serve_admission_shed_total" in families
+        reasons = {labels["reason"] for _, labels, _ in
+                   families["serve_admission_shed_total"]["samples"]}
+        assert {"queue-full", "deadline-hopeless", "deadline-in-queue",
+                "draining"} <= reasons
+        assert "serve_reload_epoch" in families
+        assert "serve_slo_burn_total" in families
+
+    def test_traffic_lands_in_latency_histogram(self):
+        with observe() as (registry, _):
+            instance = make_daemon()
+            instance.start()
+            try:
+                assert request(instance, "POST", "/v1/match",
+                               MATCH)[0] == 200
+            finally:
+                instance.stop()
+            flat = registry.flat()
+        assert flat["serve.latency_ms.count"] == 1
+        assert flat["serve.window.qps"] > 0.0
+
+    def test_json_remains_the_default_format(self):
+        with observe():
+            instance = make_daemon()
+            instance.start()
+            try:
+                status, raw, headers = request(instance, "GET", "/metricz")
+            finally:
+                instance.stop()
+        assert status == 200
+        assert headers["Content-Type"] == "application/json"
+        flat = json.loads(raw)
+        assert "serve.window.qps" in flat
+
+    def test_prometheus_empty_when_observability_disabled(self, daemon):
+        status, raw, _ = request(daemon, "GET",
+                                 "/metricz?format=prometheus")
+        assert (status, raw) == (200, b"")
+
+
+class TestTelemetryDrainFlush:
+    def test_drain_seals_timeseries_and_dumps_flight(self, tmp_path):
+        """The SIGTERM sequence must leave zero torn telemetry: every
+        segment strictly verifiable, flight dump present with the
+        drain marker event."""
+        ts_path = str(tmp_path / "ts.jsonl")
+        flight_path = str(tmp_path / "flight.jsonl")
+        sampler = TimeSeriesSampler(
+            RotatingJsonlExporter(ts_path, run_id="rid"), interval_s=0.05)
+        flight = FlightRecorder(path=flight_path, run_id="rid")
+        with observe(timeseries=sampler, flight=flight):
+            instance = make_daemon(telemetry_interval_s=0.05)
+            instance.start()
+            try:
+                assert request(instance, "POST", "/v1/match",
+                               MATCH)[0] == 200
+            finally:
+                assert instance.drain_and_stop() is True
+        series = load_timeseries(ts_path, strict=True)
+        assert series.complete
+        assert series.run_id == "rid"
+        assert len(series.samples) >= 1        # the final drain sample
+        dump = load_flight(flight_path)
+        assert dump.reason == "drain"
+        assert "serve.drain" in [e["kind"] for e in dump.events]
+
+    def test_flush_is_idempotent_under_stop_race(self, tmp_path):
+        ts_path = str(tmp_path / "ts.jsonl")
+        sampler = TimeSeriesSampler(
+            RotatingJsonlExporter(ts_path, run_id="rid"), interval_s=0.05)
+        with observe(timeseries=sampler):
+            instance = make_daemon()
+            instance.start()
+            instance.drain_and_stop()
+            instance.drain_and_stop()          # second flush is a no-op
+            instance.stop()
+        assert load_timeseries(ts_path, strict=True).complete
+
+    def test_plain_stop_leaves_stream_unsealed(self, tmp_path):
+        """stop() without a drain is the crash path: the stream stays
+        open (honest torn tail) but the ticker thread must not leak."""
+        ts_path = str(tmp_path / "ts.jsonl")
+        sampler = TimeSeriesSampler(
+            RotatingJsonlExporter(ts_path, run_id="rid"), interval_s=0.05)
+        with observe(timeseries=sampler):
+            instance = make_daemon(telemetry_interval_s=0.01)
+            instance.start()
+            for _ in range(200):
+                if sampler.samples_emitted:
+                    break
+                threading.Event().wait(0.01)
+            instance.stop()
+            assert instance._ticker is None
+        assert not sampler.closed
+        series = load_timeseries(ts_path)      # tolerant read still works
+        assert series.complete is False
 
 
 class TestDrain:
